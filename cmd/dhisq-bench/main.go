@@ -1,0 +1,107 @@
+// Command dhisq-bench regenerates the paper's tables and figures. Each
+// experiment prints the measured values next to the published ones where
+// applicable; EXPERIMENTS.md records the comparison.
+//
+// Usage:
+//
+//	dhisq-bench -exp table1|fig11|fig13|fig14|fig15|fig16|all [-scale N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dhisq/internal/exp"
+)
+
+func main() {
+	which := flag.String("exp", "all", "experiment: table1, fig11, fig13, fig14, fig15, fig16, ablation, all")
+	scale := flag.Int("scale", 1, "divide Fig. 15 benchmark sizes by this factor")
+	seed := flag.Int64("seed", 1, "measurement outcome seed")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *which != "all" && *which != name {
+			return
+		}
+		fmt.Printf("=== %s ===\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table1", func() error {
+		fmt.Print(exp.Table1().Render())
+		return nil
+	})
+	run("fig11", func() error {
+		circle, err := exp.Fig11DrawCircle(64, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("(a) draw circle:   R=%.3f center=(%.3f,%.3f) interference RMSE=%.4f\n",
+			circle.Circle.R, circle.Circle.X0, circle.Circle.Y0, circle.RMSE)
+		spec, err := exp.Fig11Spectroscopy(41, 80, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("(b) spectroscopy:  f0=%.4f GHz (true %.4f, paper 4.62)\n", spec.Fit.X0, spec.TrueF0)
+		rabi, err := exp.Fig11Rabi(33, 80, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("(c) rabi:          pi amplitude=%.4f (true %.4f)\n", rabi.PiAmp, rabi.TruePi)
+		t1, err := exp.Fig11T1(21, 150, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("(d) relaxation:    T1=%.2f us (true %.2f, paper 9.9)\n", t1.T1Us, t1.TrueT1Us)
+		return nil
+	})
+	run("fig13", func() error {
+		res, err := exp.Fig13SyncWaveforms()
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		return nil
+	})
+	run("fig14", func() error {
+		res, err := exp.Fig14LongRange([]int{2, 4, 8, 16, 32}, true, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		return nil
+	})
+	run("fig15", func() error {
+		res, err := exp.Fig15Runtime(exp.Fig15Options{ScaleDiv: *scale, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		fmt.Printf("paper: mean normalized runtime 0.772 (22.8%% reduction)\n")
+		return nil
+	})
+	run("ablation", func() error {
+		rows, err := exp.AblationSyncAdvance(nil, *scale, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.RenderAblation(rows))
+		fmt.Println("booking-in-advance (Fig. 6) vs sync-immediately-before (QubiC style, §2.1.3)")
+		return nil
+	})
+	run("fig16", func() error {
+		res, err := exp.Fig16Fidelity(0, 0, nil, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		fmt.Printf("paper: ~5x infidelity reduction across the T1 sweep\n")
+		return nil
+	})
+}

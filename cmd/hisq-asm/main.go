@@ -1,0 +1,61 @@
+// Command hisq-asm assembles HISQ assembly into machine code and back.
+//
+// Usage:
+//
+//	hisq-asm [-d] [-o out] file.hisq     assemble (or disassemble with -d)
+//
+// Without -o, assembly prints a hex dump plus the instruction listing;
+// disassembly prints the recovered assembly text.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+
+	"dhisq/internal/isa"
+)
+
+func main() {
+	disasm := flag.Bool("d", false, "disassemble a binary instead of assembling")
+	out := flag.String("o", "", "output file (default stdout listing)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hisq-asm [-d] [-o out] file")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	must(err)
+
+	if *disasm {
+		p, err := isa.DecodeProgram(data)
+		must(err)
+		if *out != "" {
+			must(os.WriteFile(*out, []byte(p.Text()), 0o644))
+			return
+		}
+		fmt.Print(p.Text())
+		return
+	}
+
+	p, err := isa.Assemble(string(data))
+	must(err)
+	code, err := isa.EncodeProgram(p)
+	must(err)
+	if *out != "" {
+		must(os.WriteFile(*out, code, 0o644))
+		return
+	}
+	for i, in := range p.Instrs {
+		w := binary.LittleEndian.Uint32(code[4*i:])
+		fmt.Printf("%4d  %08x  %s\n", i, w, in)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hisq-asm:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,81 @@
+// Command hisq-run executes one or two HISQ programs on simulated
+// controllers connected by the two-board fabric of §6.3 and prints the TELF
+// timing log — the software analogue of watching board outputs on an
+// oscilloscope (Fig. 13).
+//
+// Usage:
+//
+//	hisq-run prog0.hisq [prog1.hisq] [-cycles N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dhisq/internal/core"
+	"dhisq/internal/isa"
+	"dhisq/internal/network"
+	"dhisq/internal/sim"
+	"dhisq/internal/telf"
+)
+
+func main() {
+	cycles := flag.Int64("cycles", 1_000_000, "simulation deadline in cycles")
+	flag.Parse()
+	if flag.NArg() < 1 || flag.NArg() > 2 {
+		fmt.Fprintln(os.Stderr, "usage: hisq-run [-cycles N] prog0.hisq [prog1.hisq]")
+		os.Exit(2)
+	}
+
+	eng := sim.NewEngine()
+	log := telf.NewLog()
+	cfg := network.DefaultConfig(2)
+	cfg.MeshW, cfg.MeshH = 2, 1
+	topo, err := network.NewTopology(cfg)
+	must(err)
+	fab := network.NewFabric(eng, topo, log)
+
+	ctrls := make([]*core.Controller, flag.NArg())
+	for i := range ctrls {
+		src, err := os.ReadFile(flag.Arg(i))
+		must(err)
+		p, err := isa.Assemble(string(src))
+		must(err)
+		ctrls[i] = core.NewController(eng, core.Config{ID: i, Ports: 28, QueueDepth: 1024}, fab, nil, log)
+		fab.Attach(i, ctrls[i])
+		ctrls[i].Load(p)
+	}
+	if len(ctrls) == 1 {
+		// A lone board still needs a fabric endpoint at address 1.
+		idle := core.NewController(eng, core.Config{ID: 1, Ports: 28}, fab, nil, log)
+		idle.Load(&isa.Program{Instrs: []isa.Instr{{Op: isa.OpHALT}}})
+		fab.Attach(1, idle)
+		idle.Start()
+	}
+	for _, c := range ctrls {
+		c.Start()
+	}
+	eng.RunUntil(*cycles)
+
+	fmt.Print(log.Text())
+	for i, c := range ctrls {
+		status := "halted"
+		if !c.Halted() {
+			status = "running/" + c.Blocked().String()
+		}
+		fmt.Printf("# board %d: %s at pc=%d, end=%d cycles (%d ns), %d instrs, %d commits, %d violations\n",
+			i, status, c.PC(), c.EndTime(), sim.Nanoseconds(c.EndTime()),
+			c.Stats.Instrs, c.Stats.Commits, c.Stats.Violations)
+		if err := c.Err(); err != nil {
+			fmt.Printf("# board %d error: %v\n", i, err)
+		}
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hisq-run:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,235 @@
+// Package dhisq is a from-scratch Go implementation of Distributed-HISQ
+// (MICRO 2025): a distributed quantum control architecture built around the
+// hardware-agnostic HISQ instruction set and the booking-based BISP
+// synchronization protocol.
+//
+// The package is a façade over the implementation packages:
+//
+//   - build dynamic quantum circuits (NewCircuit, the long-range CNOT
+//     constructions of Fig. 14, the OpenQASM subset);
+//   - compile them through the quantum software stack into per-controller
+//     HISQ binaries (Compile / the machine's one-call Run path);
+//   - execute them cycle-accurately on a simulated fleet of HISQ cores
+//     connected by the hybrid mesh+tree fabric, with a quantum chip model
+//     enforcing the two-qubit co-commitment invariant;
+//   - reproduce the paper's evaluation (Table1, Fig11*, Fig13, Fig14,
+//     Fig15, Fig16).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-versus-measured results.
+package dhisq
+
+import (
+	"dhisq/internal/baseline"
+	"dhisq/internal/chip"
+	"dhisq/internal/circuit"
+	"dhisq/internal/compiler"
+	"dhisq/internal/core"
+	"dhisq/internal/exp"
+	"dhisq/internal/isa"
+	"dhisq/internal/machine"
+	"dhisq/internal/network"
+	"dhisq/internal/sim"
+	"dhisq/internal/telf"
+	"dhisq/internal/workloads"
+)
+
+// ---------------------------------------------------------------------------
+// Circuit layer
+// ---------------------------------------------------------------------------
+
+// Circuit is a dynamic quantum circuit: gates, measurements into classical
+// bits, and parity-conditioned feed-forward operations.
+type Circuit = circuit.Circuit
+
+// Condition guards an operation on the parity of classical bits.
+type Condition = circuit.Condition
+
+// Durations are the fixed operation times of the evaluation (§6.4.1).
+type Durations = circuit.Durations
+
+// DualRail embeds a logical circuit on a data-rail + ancilla-rail device,
+// converting every non-adjacent two-qubit gate to the Fig. 14 dynamic
+// long-range construction.
+type DualRail = circuit.DualRailEmbedding
+
+// NewCircuit returns an empty circuit over n qubits.
+func NewCircuit(n int) *Circuit { return circuit.New(n) }
+
+// ParseQASM reads the OpenQASM 2.0 subset.
+func ParseQASM(src string) (*Circuit, error) { return circuit.ParseQASM(src) }
+
+// WriteQASM renders a circuit as OpenQASM 2.0.
+func WriteQASM(c *Circuit) (string, error) { return circuit.WriteQASM(c) }
+
+// PaperDurations returns 20/40/300 ns gate/two-qubit/measure times in cycles.
+func PaperDurations() Durations { return circuit.PaperDurations() }
+
+// ---------------------------------------------------------------------------
+// ISA layer
+// ---------------------------------------------------------------------------
+
+// Program is an assembled HISQ binary.
+type Program = isa.Program
+
+// Instr is one decoded HISQ instruction.
+type Instr = isa.Instr
+
+// Assemble translates HISQ assembly (the paper's Figure 12 syntax plus
+// labels) into a program.
+func Assemble(src string) (*Program, error) { return isa.Assemble(src) }
+
+// EncodeProgram serializes a program to RV32I-compatible machine code.
+func EncodeProgram(p *Program) ([]byte, error) { return isa.EncodeProgram(p) }
+
+// DecodeProgram parses machine code back into a program.
+func DecodeProgram(code []byte) (*Program, error) { return isa.DecodeProgram(code) }
+
+// ---------------------------------------------------------------------------
+// Machine layer
+// ---------------------------------------------------------------------------
+
+// Machine is a full Distributed-HISQ system: engine, fabric, HISQ cores and
+// the chip model.
+type Machine = machine.Machine
+
+// MachineConfig parameterizes a machine.
+type MachineConfig = machine.Config
+
+// RunResult summarizes one execution.
+type RunResult = machine.Result
+
+// Compiled holds per-controller programs and codeword tables.
+type Compiled = compiler.Compiled
+
+// Controller is a single HISQ core (pipeline + TCU + SyncU + MsgU).
+type Controller = core.Controller
+
+// TELFLog is the timing-event log (the paper's TELF format, §6.4.1).
+type TELFLog = telf.Log
+
+// Backend kinds for the quantum chip model.
+const (
+	BackendAuto       = machine.BackendAuto
+	BackendStateVec   = machine.BackendStateVec
+	BackendStabilizer = machine.BackendStabilizer
+	BackendSeeded     = machine.BackendSeeded
+)
+
+// DefaultMachineConfig sizes a machine for n qubits with the paper's
+// constants (4 ns cycle, 2-cycle mesh links, 4-cycle tree hops).
+func DefaultMachineConfig(n int) MachineConfig { return machine.DefaultConfig(n) }
+
+// NewMachine builds a machine for a circuit on a meshW×meshH controller
+// fabric.
+func NewMachine(c *Circuit, meshW, meshH int, cfg MachineConfig) (*Machine, error) {
+	return machine.NewForCircuit(c, meshW, meshH, cfg)
+}
+
+// Run compiles and executes a circuit end to end: mapping[q] gives the
+// controller of qubit q (nil = identity). It returns the run result and the
+// machine for inspection (TELF log, chip state, controller memories).
+func Run(c *Circuit, meshW, meshH int, mapping []int, cfg MachineConfig) (RunResult, *Machine, error) {
+	return machine.RunCircuit(c, meshW, meshH, mapping, cfg)
+}
+
+// Lockstep executes a circuit under the paper's lock-step baseline
+// (§6.4.3) with a seeded outcome source and returns its makespan in cycles.
+func Lockstep(c *Circuit, seed int64) (sim.Time, error) {
+	res, err := baseline.Run(c, baseline.DefaultConfig(chip.NewSeeded(seed)))
+	if err != nil {
+		return 0, err
+	}
+	return res.Makespan, nil
+}
+
+// NetworkConfig parameterizes the hybrid mesh+tree fabric.
+type NetworkConfig = network.Config
+
+// ---------------------------------------------------------------------------
+// Workloads
+// ---------------------------------------------------------------------------
+
+// Benchmark is one named Figure 15 workload with its mesh shape and
+// qubit-to-controller mapping.
+type Benchmark = workloads.Benchmark
+
+// BenchmarkNames lists the Figure 15 suite in the paper's order.
+func BenchmarkNames() []string { return workloads.Fig15Names() }
+
+// BuildBenchmark constructs a Figure 15 benchmark at full size.
+func BuildBenchmark(name string) (Benchmark, error) { return workloads.Build(name) }
+
+// BuildBenchmarkScaled constructs a reduced-size variant (qubits divided by
+// div) for quick runs.
+func BuildBenchmarkScaled(name string, div int) (Benchmark, error) {
+	return workloads.BuildScaled(name, div)
+}
+
+// ---------------------------------------------------------------------------
+// Experiments (the paper's evaluation)
+// ---------------------------------------------------------------------------
+
+// Experiment result types.
+type (
+	Table1Result  = exp.Table1Result
+	Fig11Circle   = exp.Fig11CircleResult
+	Fig11Spectrum = exp.Fig11SpectroscopyResult
+	Fig11RabiFit  = exp.Fig11RabiResult
+	Fig11T1Fit    = exp.Fig11T1Result
+	Fig13Result   = exp.Fig13Result
+	Fig14Result   = exp.Fig14Result
+	Fig15Result   = exp.Fig15Result
+	Fig15Options  = exp.Fig15Options
+	Fig16Result   = exp.Fig16Result
+)
+
+// Table1 evaluates the FPGA resource model against the paper's Table 1.
+func Table1() Table1Result { return exp.Table1() }
+
+// Fig11DrawCircle runs the phase-sweep readout calibration (Fig. 11a).
+func Fig11DrawCircle(points int, seed int64) (Fig11Circle, error) {
+	return exp.Fig11DrawCircle(points, seed)
+}
+
+// Fig11Spectroscopy runs the qubit-frequency sweep (Fig. 11b).
+func Fig11Spectroscopy(points, shots int, seed int64) (Fig11Spectrum, error) {
+	return exp.Fig11Spectroscopy(points, shots, seed)
+}
+
+// Fig11Rabi runs the amplitude sweep (Fig. 11c).
+func Fig11Rabi(points, shots int, seed int64) (Fig11RabiFit, error) {
+	return exp.Fig11Rabi(points, shots, seed)
+}
+
+// Fig11T1 runs the relaxation measurement (Fig. 11d).
+func Fig11T1(points, shots int, seed int64) (Fig11T1Fit, error) {
+	return exp.Fig11T1(points, shots, seed)
+}
+
+// Fig13 runs the two-board synchronization verification (§6.3, Figs. 12-13).
+func Fig13() (Fig13Result, error) { return exp.Fig13SyncWaveforms() }
+
+// Fig14 sweeps long-range CNOT distance: dynamic constant depth versus
+// SWAP-routed linear depth.
+func Fig14(distances []int, runMachine bool, seed int64) (Fig14Result, error) {
+	return exp.Fig14LongRange(distances, runMachine, seed)
+}
+
+// Fig15 reproduces the runtime comparison across the benchmark suite.
+func Fig15(opt Fig15Options) (Fig15Result, error) { return exp.Fig15Runtime(opt) }
+
+// Fig16 reproduces the infidelity-versus-T1 comparison.
+func Fig16(distance, repetitions int, t1us []float64, seed int64) (Fig16Result, error) {
+	return exp.Fig16Fidelity(distance, repetitions, t1us, seed)
+}
+
+// AblationRow compares Fig. 6 booking-in-advance against the as-needed
+// sync-immediately-before scheme (§2.1.3).
+type AblationRow = exp.AblationRow
+
+// AblationSyncAdvance isolates BISP's booking advance on the given
+// benchmarks (nil = the qft family).
+func AblationSyncAdvance(names []string, scaleDiv int, seed int64) ([]AblationRow, error) {
+	return exp.AblationSyncAdvance(names, scaleDiv, seed)
+}

@@ -1,0 +1,48 @@
+// Quickstart: build a small dynamic circuit, compile it through the
+// Distributed-HISQ software stack, execute it on a simulated 3x3 controller
+// fabric, and read the results back from controller data memory.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dhisq"
+)
+
+func main() {
+	// A 9-qubit GHZ state: H on qubit 0, a CNOT chain, measure everything.
+	c := dhisq.NewCircuit(9)
+	c.H(0)
+	for q := 0; q < 8; q++ {
+		c.CNOT(q, q+1)
+	}
+	for q := 0; q < 9; q++ {
+		c.MeasureInto(q, q)
+	}
+
+	// One controller per qubit on a 3x3 mesh; exact state-vector backend.
+	cfg := dhisq.DefaultMachineConfig(9)
+	cfg.Backend = dhisq.BackendStateVec
+	cfg.Seed = 42
+
+	res, m, err := dhisq.Run(c, 3, 3, nil, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("makespan: %d cycles (%d ns at the 250 MHz TCU clock)\n",
+		res.Makespan, res.Makespan*4)
+	fmt.Printf("chip applied %d gates and %d measurements\n", res.Gates, res.Measurements)
+	fmt.Printf("co-commitment misalignments: %d (must be 0)\n", res.Misalignments)
+	fmt.Printf("timing violations:           %d (must be 0)\n", res.Violations)
+
+	// The compiled programs store each classical bit at address 4*bit in its
+	// owning controller's data memory.
+	fmt.Print("GHZ outcomes: ")
+	for q := 0; q < 9; q++ {
+		mem := m.Ctrls[q].ReadMem(4*q, 1)
+		fmt.Print(mem[0] & 1)
+	}
+	fmt.Println(" (all equal by entanglement)")
+}

@@ -1,0 +1,151 @@
+package baseline
+
+import (
+	"testing"
+
+	"dhisq/internal/chip"
+	"dhisq/internal/circuit"
+)
+
+func run(t *testing.T, c *circuit.Circuit, cfg Config) Result {
+	t.Helper()
+	res, err := Run(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDeterministicOpsOverlap(t *testing.T) {
+	// Parallel H gates on different qubits cost one gate time, not four.
+	c := circuit.New(4)
+	c.H(0).H(1).H(2).H(3)
+	cfg := DefaultConfig(chip.NewSeeded(1))
+	cfg.IssueCost = 0
+	res := run(t, c, cfg)
+	if res.Makespan != cfg.Durations.OneQubit {
+		t.Fatalf("makespan = %d, want %d", res.Makespan, cfg.Durations.OneQubit)
+	}
+}
+
+func TestIssueCostSerializesFlow(t *testing.T) {
+	c := circuit.New(4)
+	for i := 0; i < 100; i++ {
+		c.H(i % 4)
+	}
+	cfg := DefaultConfig(chip.NewSeeded(1))
+	cfg.IssueCost = 2
+	res := run(t, c, cfg)
+	if res.Makespan < 200 {
+		t.Fatalf("issue cost not charged: makespan %d", res.Makespan)
+	}
+}
+
+func TestConditionalWaitsForBroadcast(t *testing.T) {
+	c := circuit.New(2)
+	c.X(0)
+	b := c.MeasureNew(0)
+	c.CondGate(circuit.X, circuit.Condition{Bits: []int{b}, Parity: 1}, 1)
+	cfg := DefaultConfig(chip.NewSeeded(1))
+	cfg.IssueCost = 0
+	res := run(t, c, cfg)
+	// X(5) + measure start at 5, latched at 5+80, broadcast +10, then X(5).
+	want := int64(5) + cfg.MeasLatency + cfg.Broadcast + 5
+	if int64(res.Makespan) != want {
+		t.Fatalf("makespan = %d, want %d", res.Makespan, want)
+	}
+	if res.Feedbacks != 1 {
+		t.Fatalf("feedbacks = %d", res.Feedbacks)
+	}
+}
+
+func TestUntakenBranchSkipsGateTime(t *testing.T) {
+	// Shared flow skips together: an untaken conditional costs no gate time
+	// (unlike time-reservation, §2.1.2).
+	build := func(prepOne bool) *circuit.Circuit {
+		c := circuit.New(2)
+		if prepOne {
+			c.X(0)
+		}
+		b := c.MeasureNew(0)
+		c.CondGate(circuit.X, circuit.Condition{Bits: []int{b}, Parity: 1}, 1)
+		c.H(1)
+		return c
+	}
+	cfg := DefaultConfig(chip.NewStateVec(2, 1))
+	cfg.IssueCost = 0
+	taken := run(t, build(true), cfg)
+	cfg2 := DefaultConfig(chip.NewStateVec(2, 2))
+	cfg2.IssueCost = 0
+	skipped := run(t, build(false), cfg2)
+	if skipped.Makespan >= taken.Makespan {
+		t.Fatalf("skipped branch (%d) should beat taken (%d)", skipped.Makespan, taken.Makespan)
+	}
+}
+
+func TestHubSerializesSimultaneousResults(t *testing.T) {
+	// Four simultaneous measurements: with the hub bus, the last result is
+	// delayed by 3 extra broadcast slots.
+	build := func() *circuit.Circuit {
+		c := circuit.New(4)
+		var bits []int
+		for q := 0; q < 4; q++ {
+			bits = append(bits, c.MeasureNew(q))
+		}
+		for q := 0; q < 4; q++ {
+			c.CondGate(circuit.X, circuit.Condition{Bits: []int{bits[q]}, Parity: 0}, q)
+		}
+		return c
+	}
+	hub := DefaultConfig(chip.NewSeeded(3))
+	hub.IssueCost = 0
+	fav := FavorableConfig(chip.NewSeeded(3))
+	fav.IssueCost = 0
+	hr := run(t, build(), hub)
+	fr := run(t, build(), fav)
+	if hr.Makespan <= fr.Makespan {
+		t.Fatalf("hub (%d) should be slower than favorable (%d)", hr.Makespan, fr.Makespan)
+	}
+	// The last consumed result trails by up to 3 extra broadcast slots
+	// (exactly which conditional ends last depends on the seeded outcomes).
+	if d := hr.Makespan - fr.Makespan; d < 2*hub.Broadcast || d > 3*hub.Broadcast {
+		t.Fatalf("hub penalty = %d, want within [%d,%d]", d, 2*hub.Broadcast, 3*hub.Broadcast)
+	}
+}
+
+func TestBarrierLiftsWatermark(t *testing.T) {
+	c := circuit.New(2)
+	c.MeasureInto(0, 0) // 75 cycles on qubit 0
+	c.BarrierAll()
+	c.H(1) // must start after the barrier
+	cfg := DefaultConfig(chip.NewSeeded(1))
+	cfg.IssueCost = 0
+	res := run(t, c, cfg)
+	if res.Makespan != 75+5 {
+		t.Fatalf("makespan = %d, want 80", res.Makespan)
+	}
+}
+
+func TestOutcomesMatchBackend(t *testing.T) {
+	// Deterministic circuit: the recorded bits follow the quantum state.
+	c := circuit.New(2)
+	c.X(0)
+	c.CNOT(0, 1)
+	c.MeasureInto(0, 0)
+	c.MeasureInto(1, 1)
+	cfg := DefaultConfig(chip.NewStateVec(2, 5))
+	res := run(t, c, cfg)
+	if res.Bits[0] != 1 || res.Bits[1] != 1 {
+		t.Fatalf("bits = %v", res.Bits)
+	}
+}
+
+func TestCompareRejectsZero(t *testing.T) {
+	if _, err := Compare(10, 0); err == nil {
+		t.Fatal("expected error")
+	}
+	r, err := Compare(50, 100)
+	if err != nil || r != 0.5 {
+		t.Fatalf("ratio = %v err = %v", r, err)
+	}
+}

@@ -1,0 +1,265 @@
+// Package chip models the quantum device attached to the control fabric: it
+// is the CWSink that receives committed codewords from every HISQ core,
+// binds them to gate-level actions through per-controller codeword tables
+// (the "waveform tables + configuration" of Fig. 10), applies them to a
+// pluggable quantum-state backend, and returns measurement results to the
+// owning controller's result FIFO.
+//
+// The chip is also the referee for the paper's central invariant: the two
+// halves of a two-qubit gate must commit on the same cycle (§1.1, "a timing
+// error of even a few nanoseconds can lead to the failure of a quantum
+// gate"). Misaligned halves are counted and surfaced to tests and
+// experiments.
+package chip
+
+import (
+	"fmt"
+
+	"dhisq/internal/circuit"
+	"dhisq/internal/sim"
+)
+
+// Role distinguishes the two commits of a two-qubit gate.
+type Role uint8
+
+const (
+	RoleSingle      Role = iota // complete one-qubit action
+	RoleControl                 // two-qubit gate, applying side
+	RoleParticipant             // two-qubit gate, passive side
+	RoleMeasure                 // measurement window trigger
+)
+
+// Port classes: the compiler emits gate triggers on the XY port, two-qubit
+// (flux/coupler) triggers on the Z port, and measurement triggers on the
+// readout port, mirroring the channel classes of the DQCtrl boards (§6.1).
+const (
+	PortXY = 0
+	PortZ  = 1
+	PortRO = 2
+)
+
+// TableEntry is one row of a controller's codeword table: what committing
+// codeword (index+1) on this controller means.
+type TableEntry struct {
+	Role    Role
+	Kind    circuit.Kind
+	Param   float64
+	Qubit   int // acted qubit (global index)
+	Partner int // other qubit for two-qubit gates
+	Channel int // result FIFO channel for measurements
+}
+
+// Port returns the port class this entry's trigger must arrive on.
+func (e TableEntry) Port() int {
+	switch e.Role {
+	case RoleMeasure:
+		return PortRO
+	case RoleControl, RoleParticipant:
+		return PortZ
+	default:
+		return PortXY
+	}
+}
+
+// Backend is the quantum-state substrate the chip applies gates to.
+// Implementations: StateVecBackend (exact, small n), StabilizerBackend
+// (Clifford, large n), SeededBackend (no state; reproducible outcomes for
+// timing-only studies of non-Clifford circuits).
+type Backend interface {
+	Apply1(kind circuit.Kind, param float64, q int)
+	Apply2(kind circuit.Kind, param float64, a, b int)
+	Measure(q int) int
+}
+
+// ResultDelivery pushes a measurement result back to a controller; the
+// machine wires it to Controller.PushResult via an engine event.
+type ResultDelivery func(node, channel int, value uint32, at sim.Time)
+
+// Violation records a co-commitment failure between two-qubit gate halves.
+type Violation struct {
+	QubitA, QubitB int
+	TimeA, TimeB   sim.Time
+}
+
+// Overlap records an operation committed while its qubit was still busy.
+type Overlap struct {
+	Qubit     int
+	At        sim.Time
+	BusyUntil sim.Time
+	Kind      circuit.Kind
+}
+
+// Model is the chip. It implements core.CWSink.
+type Model struct {
+	eng     *sim.Engine
+	backend Backend
+	tables  map[int][]TableEntry
+	deliver ResultDelivery
+
+	// MeasLatency is the delay from the measurement trigger commit to the
+	// result being available at the controller (window + discrimination).
+	MeasLatency sim.Time
+
+	// pending holds the first-arrived half of each two-qubit gate, keyed by
+	// the unordered qubit pair.
+	pending map[[2]int]pendingHalf
+
+	// busyUntil tracks per-qubit occupancy to detect scheduler bugs: a
+	// commit during another operation's window is an overlap violation.
+	busyUntil map[int]sim.Time
+	durations circuit.Durations
+
+	Gates        uint64
+	Measurements uint64
+	Violations   []Violation
+	Overlaps     int
+	OverlapInfo  []Overlap
+	// OrderInversions counts backend applications whose timestamp precedes
+	// an already-applied operation on the same qubit (would corrupt state
+	// semantics; always zero for compiler-generated programs).
+	OrderInversions int
+	lastApplied     map[int]sim.Time
+	Errs            []error
+}
+
+type pendingHalf struct {
+	entry TableEntry
+	at    sim.Time
+}
+
+// New builds a chip model bound to the engine.
+func New(eng *sim.Engine, backend Backend, durations circuit.Durations, measLatency sim.Time) *Model {
+	return &Model{
+		eng:         eng,
+		backend:     backend,
+		tables:      map[int][]TableEntry{},
+		MeasLatency: measLatency,
+		pending:     map[[2]int]pendingHalf{},
+		busyUntil:   map[int]sim.Time{},
+		lastApplied: map[int]sim.Time{},
+		durations:   durations,
+	}
+}
+
+// SetTable installs the codeword table for one controller.
+func (m *Model) SetTable(node int, table []TableEntry) { m.tables[node] = table }
+
+// SetDelivery installs the result-delivery callback.
+func (m *Model) SetDelivery(d ResultDelivery) { m.deliver = d }
+
+// Backend exposes the state substrate (tests inspect it after a run).
+func (m *Model) Backend() Backend { return m.backend }
+
+func (m *Model) fail(format string, args ...any) {
+	m.Errs = append(m.Errs, fmt.Errorf("chip: "+format, args...))
+}
+
+// Commit implements core.CWSink: codeword cw committed on (node, port) at
+// cycle `at`.
+func (m *Model) Commit(node, port int, cw uint32, at sim.Time) {
+	if cw == 0 {
+		return // codeword 0 is reserved as a no-op marker
+	}
+	table := m.tables[node]
+	idx := int(cw) - 1
+	if idx < 0 || idx >= len(table) {
+		m.fail("node %d: codeword %d outside table (%d entries)", node, cw, len(table))
+		return
+	}
+	e := table[idx]
+	if want := e.Port(); port != want {
+		m.fail("node %d: codeword %d arrived on port %d, want %d", node, cw, port, want)
+		return
+	}
+	switch e.Role {
+	case RoleSingle:
+		m.occupyKind(e.Qubit, at, m.dur(e.Kind, e.Param), e.Kind)
+		m.backend.Apply1(e.Kind, e.Param, e.Qubit)
+		m.Gates++
+	case RoleMeasure:
+		m.occupyKind(e.Qubit, at, m.durations.Measure, circuit.Measure)
+		out := m.backend.Measure(e.Qubit)
+		m.Measurements++
+		if m.deliver != nil {
+			m.deliver(node, e.Channel, uint32(out), at+m.MeasLatency)
+		}
+	case RoleControl, RoleParticipant:
+		m.commit2Q(e, at)
+	}
+}
+
+func (m *Model) commit2Q(e TableEntry, at sim.Time) {
+	key := pairKey(e.Qubit, e.Partner)
+	prev, ok := m.pending[key]
+	if !ok {
+		m.pending[key] = pendingHalf{entry: e, at: at}
+		return
+	}
+	delete(m.pending, key)
+	if prev.at != at {
+		m.Violations = append(m.Violations, Violation{
+			QubitA: prev.entry.Qubit, QubitB: e.Qubit, TimeA: prev.at, TimeB: at,
+		})
+	}
+	if prev.entry.Role == e.Role {
+		m.fail("two-qubit gate on pair %v committed two %v halves", key, e.Role)
+		return
+	}
+	// The control-role entry carries the gate.
+	ctrl := e
+	if prev.entry.Role == RoleControl {
+		ctrl = prev.entry
+	}
+	later := at
+	if prev.at > later {
+		later = prev.at
+	}
+	m.occupyKind(ctrl.Qubit, later, m.dur(ctrl.Kind, ctrl.Param), ctrl.Kind)
+	m.occupyKind(ctrl.Partner, later, m.dur(ctrl.Kind, ctrl.Param), ctrl.Kind)
+	m.backend.Apply2(ctrl.Kind, ctrl.Param, ctrl.Qubit, ctrl.Partner)
+	m.Gates++
+}
+
+// PendingHalves reports unmatched two-qubit commits (should be zero after a
+// complete run).
+func (m *Model) PendingHalves() int { return len(m.pending) }
+
+func (m *Model) dur(kind circuit.Kind, param float64) sim.Time {
+	switch {
+	case kind == circuit.Measure:
+		return m.durations.Measure
+	case kind == circuit.Delay:
+		return sim.Time(param)
+	case kind.IsTwoQubit():
+		return m.durations.TwoQubit
+	default:
+		return m.durations.OneQubit
+	}
+}
+
+func (m *Model) occupy(q int, at, dur sim.Time) {
+	m.occupyKind(q, at, dur, circuit.KindInvalid)
+}
+
+func (m *Model) occupyKind(q int, at, dur sim.Time, kind circuit.Kind) {
+	if at < m.busyUntil[q] {
+		m.Overlaps++
+		if len(m.OverlapInfo) < 32 {
+			m.OverlapInfo = append(m.OverlapInfo, Overlap{Qubit: q, At: at, BusyUntil: m.busyUntil[q], Kind: kind})
+		}
+	}
+	if at < m.lastApplied[q] {
+		m.OrderInversions++
+	}
+	m.lastApplied[q] = at
+	if end := at + dur; end > m.busyUntil[q] {
+		m.busyUntil[q] = end
+	}
+}
+
+func pairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}

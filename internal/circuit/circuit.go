@@ -1,0 +1,477 @@
+// Package circuit defines the dynamic-circuit intermediate representation
+// consumed by the Distributed-HISQ software stack (the "circuit-layer SISQ"
+// of Fig. 10): gates, measurements into classical bits, and classically
+// conditioned operations with parity conditions — the form produced by the
+// long-range-CNOT transform of Fig. 14 and required by the logical-T
+// workloads of Fig. 2.
+package circuit
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dhisq/internal/quantum"
+	"dhisq/internal/stabilizer"
+)
+
+// Kind enumerates operations.
+type Kind uint8
+
+const (
+	KindInvalid Kind = iota
+	H
+	X
+	Y
+	Z
+	S
+	Sdg
+	T
+	Tdg
+	RX
+	RY
+	RZ
+	CPhase // controlled phase (QFT primitive); Param is the angle
+	CNOT
+	CZ
+	SWAP
+	Measure // Qubits[0] measured into CBit
+	Barrier // scheduling barrier across Qubits (empty = all)
+	Delay   // hold Qubits[0] idle for Param cycles (decoder latency modeling, §6.4.2)
+	Reset   // unconditional reset of Qubits[0] to |0> (reset drive pulse)
+)
+
+var kindNames = [...]string{
+	KindInvalid: "invalid",
+	H:           "h", X: "x", Y: "y", Z: "z", S: "s", Sdg: "sdg", T: "t", Tdg: "tdg",
+	RX: "rx", RY: "ry", RZ: "rz", CPhase: "cp",
+	CNOT: "cx", CZ: "cz", SWAP: "swap",
+	Measure: "measure", Barrier: "barrier", Delay: "delay", Reset: "reset",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsTwoQubit reports whether the kind acts on exactly two qubits.
+func (k Kind) IsTwoQubit() bool {
+	switch k {
+	case CNOT, CZ, SWAP, CPhase:
+		return true
+	}
+	return false
+}
+
+// IsClifford reports whether the operation is simulable on a stabilizer
+// tableau.
+func (k Kind) IsClifford() bool {
+	switch k {
+	case H, X, Y, Z, S, Sdg, CNOT, CZ, SWAP, Measure, Barrier, Delay, Reset:
+		return true
+	}
+	return false
+}
+
+// Condition guards an operation on classical bits: the op executes iff the
+// XOR (parity) of the listed bits equals Parity. Single-bit feedback is the
+// one-element case; the long-range CNOT corrections of Fig. 14 need the
+// multi-bit parity form (the "XOR" box in the figure).
+type Condition struct {
+	Bits   []int
+	Parity int // 0 or 1
+}
+
+// Op is one circuit operation.
+type Op struct {
+	Kind   Kind
+	Qubits []int
+	Param  float64
+	CBit   int // Measure destination; -1 otherwise
+	Cond   *Condition
+}
+
+func (o Op) String() string {
+	s := o.Kind.String()
+	for _, q := range o.Qubits {
+		s += fmt.Sprintf(" q%d", q)
+	}
+	if o.Kind == Measure {
+		s += fmt.Sprintf(" -> c%d", o.CBit)
+	}
+	if o.Cond != nil {
+		s = fmt.Sprintf("if(parity%v==%d) %s", o.Cond.Bits, o.Cond.Parity, s)
+	}
+	return s
+}
+
+// Circuit is a dynamic quantum circuit over NumQubits qubits and NumBits
+// classical bits.
+type Circuit struct {
+	NumQubits int
+	NumBits   int
+	Ops       []Op
+}
+
+// New returns an empty circuit.
+func New(qubits int) *Circuit { return &Circuit{NumQubits: qubits} }
+
+func (c *Circuit) add(op Op) *Circuit {
+	if op.Kind != Measure {
+		op.CBit = -1
+	}
+	c.Ops = append(c.Ops, op)
+	return c
+}
+
+// Gate appends an arbitrary unconditioned operation.
+func (c *Circuit) Gate(k Kind, qubits ...int) *Circuit {
+	return c.add(Op{Kind: k, Qubits: qubits})
+}
+
+// H and friends are builder conveniences.
+func (c *Circuit) H(q int) *Circuit       { return c.Gate(H, q) }
+func (c *Circuit) X(q int) *Circuit       { return c.Gate(X, q) }
+func (c *Circuit) Y(q int) *Circuit       { return c.Gate(Y, q) }
+func (c *Circuit) Z(q int) *Circuit       { return c.Gate(Z, q) }
+func (c *Circuit) S(q int) *Circuit       { return c.Gate(S, q) }
+func (c *Circuit) Sdg(q int) *Circuit     { return c.Gate(Sdg, q) }
+func (c *Circuit) T(q int) *Circuit       { return c.Gate(T, q) }
+func (c *Circuit) Tdg(q int) *Circuit     { return c.Gate(Tdg, q) }
+func (c *Circuit) CNOT(a, b int) *Circuit { return c.Gate(CNOT, a, b) }
+func (c *Circuit) CZ(a, b int) *Circuit   { return c.Gate(CZ, a, b) }
+func (c *Circuit) SWAP(a, b int) *Circuit { return c.Gate(SWAP, a, b) }
+
+// RXGate appends a rotation; name avoids clashing with the Kind constants.
+func (c *Circuit) RXGate(q int, theta float64) *Circuit {
+	return c.add(Op{Kind: RX, Qubits: []int{q}, Param: theta})
+}
+
+// RYGate appends an RY rotation.
+func (c *Circuit) RYGate(q int, theta float64) *Circuit {
+	return c.add(Op{Kind: RY, Qubits: []int{q}, Param: theta})
+}
+
+// RZGate appends an RZ rotation.
+func (c *Circuit) RZGate(q int, theta float64) *Circuit {
+	return c.add(Op{Kind: RZ, Qubits: []int{q}, Param: theta})
+}
+
+// CPhaseGate appends a controlled-phase rotation.
+func (c *Circuit) CPhaseGate(a, b int, theta float64) *Circuit {
+	return c.add(Op{Kind: CPhase, Qubits: []int{a, b}, Param: theta})
+}
+
+// MeasureInto measures qubit q into classical bit b (allocating bits as
+// needed).
+func (c *Circuit) MeasureInto(q, b int) *Circuit {
+	if b >= c.NumBits {
+		c.NumBits = b + 1
+	}
+	return c.add(Op{Kind: Measure, Qubits: []int{q}, CBit: b})
+}
+
+// MeasureNew measures q into a fresh classical bit and returns its index.
+func (c *Circuit) MeasureNew(q int) int {
+	b := c.NumBits
+	c.MeasureInto(q, b)
+	return b
+}
+
+// CondGate appends an operation conditioned on the parity of classical bits.
+func (c *Circuit) CondGate(k Kind, cond Condition, qubits ...int) *Circuit {
+	cc := cond
+	cc.Bits = append([]int{}, cond.Bits...)
+	return c.add(Op{Kind: k, Qubits: qubits, Cond: &cc})
+}
+
+// BarrierAll appends a global scheduling barrier.
+func (c *Circuit) BarrierAll() *Circuit { return c.add(Op{Kind: Barrier}) }
+
+// DelayGate holds qubit q idle for the given number of cycles (used to model
+// decoder latency in the QEC workloads, §6.4.2).
+func (c *Circuit) DelayGate(q int, cycles int64) *Circuit {
+	return c.add(Op{Kind: Delay, Qubits: []int{q}, Param: float64(cycles)})
+}
+
+// ResetGate unconditionally returns qubit q to |0⟩ (a reset drive — the
+// hardware alternative to measurement-conditioned X for ancilla recycling).
+func (c *Circuit) ResetGate(q int) *Circuit { return c.add(Op{Kind: Reset, Qubits: []int{q}}) }
+
+// Append concatenates another circuit's ops (qubit/bit spaces must already
+// agree; use this for composing generated blocks).
+func (c *Circuit) Append(o *Circuit) *Circuit {
+	if o.NumQubits > c.NumQubits {
+		c.NumQubits = o.NumQubits
+	}
+	if o.NumBits > c.NumBits {
+		c.NumBits = o.NumBits
+	}
+	c.Ops = append(c.Ops, o.Ops...)
+	return c
+}
+
+// Validate checks qubit/bit indices and arities.
+func (c *Circuit) Validate() error {
+	for i, op := range c.Ops {
+		want := 1
+		if op.Kind.IsTwoQubit() {
+			want = 2
+		}
+		if op.Kind == Barrier {
+			want = len(op.Qubits)
+		}
+		if len(op.Qubits) != want {
+			return fmt.Errorf("circuit: op %d (%s): %d qubits, want %d", i, op, len(op.Qubits), want)
+		}
+		for _, q := range op.Qubits {
+			if q < 0 || q >= c.NumQubits {
+				return fmt.Errorf("circuit: op %d (%s): qubit %d out of range", i, op, q)
+			}
+		}
+		if op.Kind.IsTwoQubit() && op.Qubits[0] == op.Qubits[1] {
+			return fmt.Errorf("circuit: op %d (%s): duplicate qubit", i, op)
+		}
+		if op.Kind == Measure && (op.CBit < 0 || op.CBit >= c.NumBits) {
+			return fmt.Errorf("circuit: op %d (%s): bad classical bit", i, op)
+		}
+		if op.Cond != nil {
+			for _, b := range op.Cond.Bits {
+				if b < 0 || b >= c.NumBits {
+					return fmt.Errorf("circuit: op %d (%s): condition bit %d out of range", i, op, b)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a circuit.
+type Stats struct {
+	OneQubit     int
+	TwoQubit     int
+	Measurements int
+	Conditioned  int
+	Feedforward  int // conditioned ops whose condition bits come from measurements
+}
+
+// CountStats tallies gate classes.
+func (c *Circuit) CountStats() Stats {
+	var s Stats
+	for _, op := range c.Ops {
+		switch {
+		case op.Kind == Measure:
+			s.Measurements++
+		case op.Kind == Barrier:
+		case op.Kind.IsTwoQubit():
+			s.TwoQubit++
+		default:
+			s.OneQubit++
+		}
+		if op.Cond != nil {
+			s.Conditioned++
+			s.Feedforward++
+		}
+	}
+	return s
+}
+
+// IsClifford reports whether every op is stabilizer-simulable.
+func (c *Circuit) IsClifford() bool {
+	for _, op := range c.Ops {
+		if !op.Kind.IsClifford() {
+			return false
+		}
+	}
+	return true
+}
+
+func evalCond(cond *Condition, bits []int) bool {
+	if cond == nil {
+		return true
+	}
+	p := 0
+	for _, b := range cond.Bits {
+		p ^= bits[b]
+	}
+	return p == cond.Parity
+}
+
+// RunStateVector executes the circuit on a dense simulator, returning the
+// final state and the classical bit values. Conditions are evaluated on the
+// classical record exactly as the control stack would.
+func (c *Circuit) RunStateVector(rng *rand.Rand) (*quantum.State, []int, error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	st := quantum.NewState(c.NumQubits)
+	bits := make([]int, c.NumBits)
+	for _, op := range c.Ops {
+		if !evalCond(op.Cond, bits) {
+			continue
+		}
+		q := op.Qubits
+		switch op.Kind {
+		case H:
+			st.H(q[0])
+		case X:
+			st.X(q[0])
+		case Y:
+			st.Y(q[0])
+		case Z:
+			st.Z(q[0])
+		case S:
+			st.S(q[0])
+		case Sdg:
+			st.Sdg(q[0])
+		case T:
+			st.T(q[0])
+		case Tdg:
+			st.Tdg(q[0])
+		case RX:
+			st.RX(q[0], op.Param)
+		case RY:
+			st.RY(q[0], op.Param)
+		case RZ:
+			st.RZ(q[0], op.Param)
+		case CPhase:
+			st.CPhase(q[0], q[1], op.Param)
+		case CNOT:
+			st.CNOT(q[0], q[1])
+		case CZ:
+			st.CZ(q[0], q[1])
+		case SWAP:
+			st.SWAP(q[0], q[1])
+		case Measure:
+			bits[op.CBit] = st.Measure(q[0], rng)
+		case Reset:
+			if st.Measure(q[0], rng) == 1 {
+				st.X(q[0])
+			}
+		case Barrier, Delay:
+		default:
+			return nil, nil, fmt.Errorf("circuit: cannot simulate %s", op.Kind)
+		}
+	}
+	return st, bits, nil
+}
+
+// RunStabilizer executes a Clifford circuit on a tableau.
+func (c *Circuit) RunStabilizer(rng *rand.Rand) (*stabilizer.Tableau, []int, error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	tb := stabilizer.New(c.NumQubits)
+	bits := make([]int, c.NumBits)
+	for _, op := range c.Ops {
+		if !evalCond(op.Cond, bits) {
+			continue
+		}
+		q := op.Qubits
+		switch op.Kind {
+		case H:
+			tb.H(q[0])
+		case X:
+			tb.X(q[0])
+		case Y:
+			tb.Y(q[0])
+		case Z:
+			tb.Z(q[0])
+		case S:
+			tb.S(q[0])
+		case Sdg:
+			tb.Sdg(q[0])
+		case CNOT:
+			tb.CNOT(q[0], q[1])
+		case CZ:
+			tb.CZ(q[0], q[1])
+		case SWAP:
+			tb.SWAP(q[0], q[1])
+		case Measure:
+			bits[op.CBit] = tb.MeasureZ(q[0], rng)
+		case Reset:
+			if tb.MeasureZ(q[0], rng) == 1 {
+				tb.X(q[0])
+			}
+		case Barrier, Delay:
+		default:
+			return nil, nil, fmt.Errorf("circuit: %s is not Clifford", op.Kind)
+		}
+	}
+	return tb, bits, nil
+}
+
+// Durations gives the fixed operation times of the evaluation (§6.4.1):
+// 20 ns single-qubit, 40 ns two-qubit, 300 ns measurement, on a 4 ns grid.
+type Durations struct {
+	OneQubit int64 // cycles
+	TwoQubit int64
+	Measure  int64
+}
+
+// PaperDurations are the §6.4.1 constants in cycles.
+func PaperDurations() Durations { return Durations{OneQubit: 5, TwoQubit: 10, Measure: 75} }
+
+// Depth returns the circuit's time depth in cycles under d, using ASAP
+// scheduling on per-qubit timelines and treating conditioned ops as ordinary
+// gates (the dependency through classical bits is charged by the full-system
+// simulation, not here). It is the metric for the Fig. 14 constant-depth
+// claim.
+func (c *Circuit) Depth(d Durations) int64 {
+	avail := make([]int64, c.NumQubits)
+	measDone := make([]int64, c.NumBits)
+	var maxT int64
+	for _, op := range c.Ops {
+		if op.Kind == Barrier {
+			qs := op.Qubits
+			if len(qs) == 0 {
+				var m int64
+				for _, t := range avail {
+					if t > m {
+						m = t
+					}
+				}
+				for i := range avail {
+					avail[i] = m
+				}
+			}
+			continue
+		}
+		var dur int64
+		switch {
+		case op.Kind == Measure:
+			dur = d.Measure
+		case op.Kind == Delay:
+			dur = int64(op.Param)
+		case op.Kind.IsTwoQubit():
+			dur = d.TwoQubit
+		default:
+			dur = d.OneQubit
+		}
+		start := int64(0)
+		for _, q := range op.Qubits {
+			if avail[q] > start {
+				start = avail[q]
+			}
+		}
+		if op.Cond != nil {
+			for _, b := range op.Cond.Bits {
+				if measDone[b] > start {
+					start = measDone[b]
+				}
+			}
+		}
+		end := start + dur
+		for _, q := range op.Qubits {
+			avail[q] = end
+		}
+		if op.Kind == Measure {
+			measDone[op.CBit] = end
+		}
+		if end > maxT {
+			maxT = end
+		}
+	}
+	return maxT
+}

@@ -1,0 +1,294 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteQASM renders the circuit as OpenQASM 2.0 (§6.4.2 benchmarks are
+// OpenQASM programs). One quantum register q[n] is used; every classical bit
+// becomes a one-bit register c<i>[1] because OpenQASM 2.0 conditions test
+// whole registers. Parity conditions on self-inverse gates (X/Z/Y — the only
+// conditioned gates our transforms emit) are decomposed into a chain of
+// single-bit conditioned gates, which is XOR-equivalent.
+func WriteQASM(c *Circuit) (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n")
+	fmt.Fprintf(&b, "qreg q[%d];\n", c.NumQubits)
+	for i := 0; i < c.NumBits; i++ {
+		fmt.Fprintf(&b, "creg c%d[1];\n", i)
+	}
+	emit := func(prefix, body string) {
+		b.WriteString(prefix)
+		b.WriteString(body)
+		b.WriteString(";\n")
+	}
+	for _, op := range c.Ops {
+		body, err := qasmBody(op)
+		if err != nil {
+			return "", err
+		}
+		switch {
+		case op.Cond == nil:
+			emit("", body)
+		case len(op.Cond.Bits) == 1:
+			emit(fmt.Sprintf("if(c%d==%d) ", op.Cond.Bits[0], op.Cond.Parity), body)
+		default:
+			if op.Kind != X && op.Kind != Z && op.Kind != Y {
+				return "", fmt.Errorf("circuit: cannot express parity condition on %s in QASM", op.Kind)
+			}
+			// X^(b0 xor b1 xor ...): chain per-bit conditionals; if Parity is
+			// 0 the correction is inverted by one unconditional application.
+			if op.Cond.Parity == 0 {
+				emit("", body)
+			}
+			for _, bit := range op.Cond.Bits {
+				emit(fmt.Sprintf("if(c%d==1) ", bit), body)
+			}
+		}
+	}
+	return b.String(), nil
+}
+
+func qasmBody(op Op) (string, error) {
+	q := func(i int) string { return fmt.Sprintf("q[%d]", op.Qubits[i]) }
+	switch op.Kind {
+	case H, X, Y, Z, S, T, Reset:
+		return fmt.Sprintf("%s %s", op.Kind, q(0)), nil
+	case Sdg:
+		return "sdg " + q(0), nil
+	case Tdg:
+		return "tdg " + q(0), nil
+	case RX, RY, RZ:
+		return fmt.Sprintf("%s(%.17g) %s", op.Kind, op.Param, q(0)), nil
+	case CPhase:
+		return fmt.Sprintf("cp(%.17g) %s,%s", op.Param, q(0), q(1)), nil
+	case CNOT:
+		return fmt.Sprintf("cx %s,%s", q(0), q(1)), nil
+	case CZ:
+		return fmt.Sprintf("cz %s,%s", q(0), q(1)), nil
+	case SWAP:
+		return fmt.Sprintf("swap %s,%s", q(0), q(1)), nil
+	case Measure:
+		return fmt.Sprintf("measure %s -> c%d[0]", q(0), op.CBit), nil
+	case Barrier:
+		if len(op.Qubits) == 0 {
+			return "barrier q", nil
+		}
+		parts := make([]string, len(op.Qubits))
+		for i := range op.Qubits {
+			parts[i] = q(i)
+		}
+		return "barrier " + strings.Join(parts, ","), nil
+	}
+	return "", fmt.Errorf("circuit: cannot express %s in QASM", op.Kind)
+}
+
+// ParseQASM reads the OpenQASM 2.0 subset produced by WriteQASM (plus the
+// common single-register "creg c[n]" style with c[i] bit references).
+func ParseQASM(src string) (*Circuit, error) {
+	c := &Circuit{}
+	bitOf := map[string]int{} // "c3" or "c[3]" -> circuit bit index
+	lineNo := 0
+	for _, raw := range strings.Split(src, "\n") {
+		lineNo++
+		line := strings.TrimSpace(raw)
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		for _, stmt := range strings.Split(line, ";") {
+			stmt = strings.TrimSpace(stmt)
+			if stmt == "" {
+				continue
+			}
+			if err := parseStmt(c, bitOf, stmt); err != nil {
+				return nil, fmt.Errorf("qasm line %d: %w", lineNo, err)
+			}
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func parseStmt(c *Circuit, bitOf map[string]int, stmt string) error {
+	switch {
+	case strings.HasPrefix(stmt, "OPENQASM"), strings.HasPrefix(stmt, "include"):
+		return nil
+	case strings.HasPrefix(stmt, "qreg"):
+		n, err := parseRegSize(stmt)
+		if err != nil {
+			return err
+		}
+		c.NumQubits = n
+		return nil
+	case strings.HasPrefix(stmt, "creg"):
+		name, n, err := parseRegDecl(stmt)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("%s[%d]", name, i)
+			bitOf[key] = c.NumBits
+			if n == 1 {
+				bitOf[name] = c.NumBits
+			}
+			c.NumBits++
+		}
+		return nil
+	case strings.HasPrefix(stmt, "barrier"):
+		c.BarrierAll()
+		return nil
+	}
+	var cond *Condition
+	if strings.HasPrefix(stmt, "if(") {
+		close := strings.Index(stmt, ")")
+		if close < 0 {
+			return fmt.Errorf("unterminated if")
+		}
+		inner := stmt[3:close]
+		eq := strings.Index(inner, "==")
+		if eq < 0 {
+			return fmt.Errorf("if without ==")
+		}
+		reg := strings.TrimSpace(inner[:eq])
+		val, err := strconv.Atoi(strings.TrimSpace(inner[eq+2:]))
+		if err != nil {
+			return err
+		}
+		bit, ok := bitOf[reg]
+		if !ok {
+			return fmt.Errorf("unknown creg %q", reg)
+		}
+		cond = &Condition{Bits: []int{bit}, Parity: val & 1}
+		stmt = strings.TrimSpace(stmt[close+1:])
+	}
+
+	name, rest, _ := strings.Cut(stmt, " ")
+	var param float64
+	if open := strings.Index(name, "("); open >= 0 {
+		pstr := name[open+1 : strings.LastIndex(name, ")")]
+		v, err := parseAngle(pstr)
+		if err != nil {
+			return err
+		}
+		param = v
+		name = name[:open]
+	}
+	args := strings.Split(rest, ",")
+	qubits := make([]int, 0, 2)
+	if name != "measure" {
+		for _, a := range args {
+			q, err := parseIndex(strings.TrimSpace(a))
+			if err != nil {
+				return err
+			}
+			qubits = append(qubits, q)
+		}
+	}
+	kinds := map[string]Kind{
+		"h": H, "x": X, "y": Y, "z": Z, "s": S, "sdg": Sdg, "t": T, "tdg": Tdg, "reset": Reset,
+		"rx": RX, "ry": RY, "rz": RZ, "cp": CPhase, "cu1": CPhase,
+		"cx": CNOT, "CX": CNOT, "cz": CZ, "swap": SWAP,
+	}
+	if k, ok := kinds[name]; ok {
+		op := Op{Kind: k, Qubits: qubits, Param: param, CBit: -1, Cond: cond}
+		c.Ops = append(c.Ops, op)
+		return nil
+	}
+	if name == "measure" {
+		parts := strings.Split(rest, "->")
+		if len(parts) != 2 {
+			return fmt.Errorf("bad measure %q", stmt)
+		}
+		q, err := parseIndex(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return err
+		}
+		key := strings.TrimSpace(parts[1])
+		bit, ok := bitOf[key]
+		if !ok {
+			return fmt.Errorf("unknown classical bit %q", key)
+		}
+		c.Ops = append(c.Ops, Op{Kind: Measure, Qubits: []int{q}, CBit: bit, Cond: cond})
+		return nil
+	}
+	return fmt.Errorf("unsupported statement %q", stmt)
+}
+
+func parseRegSize(stmt string) (int, error) {
+	_, n, err := parseRegDecl(stmt)
+	return n, err
+}
+
+func parseRegDecl(stmt string) (string, int, error) {
+	open := strings.Index(stmt, "[")
+	close := strings.Index(stmt, "]")
+	if open < 0 || close < open {
+		return "", 0, fmt.Errorf("bad register decl %q", stmt)
+	}
+	n, err := strconv.Atoi(stmt[open+1 : close])
+	if err != nil {
+		return "", 0, err
+	}
+	fields := strings.Fields(stmt[:open])
+	name := fields[len(fields)-1]
+	return name, n, nil
+}
+
+func parseIndex(ref string) (int, error) {
+	open := strings.Index(ref, "[")
+	close := strings.Index(ref, "]")
+	if open < 0 || close < open {
+		return 0, fmt.Errorf("bad qubit reference %q", ref)
+	}
+	return strconv.Atoi(ref[open+1 : close])
+}
+
+// parseAngle evaluates the tiny angle grammar QASM files use: a float, "pi",
+// "pi/N", "-pi/N", "N*pi/M".
+func parseAngle(s string) (float64, error) {
+	s = strings.ReplaceAll(strings.TrimSpace(s), " ", "")
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return v, nil
+	}
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	num, den := 1.0, 1.0
+	if i := strings.Index(s, "/"); i >= 0 {
+		d, err := strconv.ParseFloat(s[i+1:], 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad angle %q", s)
+		}
+		den = d
+		s = s[:i]
+	}
+	if i := strings.Index(s, "*"); i >= 0 {
+		n, err := strconv.ParseFloat(s[:i], 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad angle %q", s)
+		}
+		num = n
+		s = s[i+1:]
+	}
+	if s != "pi" {
+		return 0, fmt.Errorf("bad angle %q", s)
+	}
+	v := num * math.Pi / den
+	if neg {
+		v = -v
+	}
+	return v, nil
+}

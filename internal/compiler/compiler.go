@@ -1,0 +1,477 @@
+// Package compiler is the backend of the quantum software stack (Fig. 10):
+// it lowers a dynamic circuit (internal/circuit) into one HISQ binary per
+// controller plus the codeword tables the chip model binds them with.
+//
+// The lowering follows the Distributed-HISQ execution model:
+//
+//   - each controller gets its own instruction stream and runs at its own
+//     pace (§7.2); there is no global schedule;
+//   - two-qubit gates between controllers are aligned with nearby BISP sync:
+//     the sync instruction is placed exactly N cycles of deterministic work
+//     before the gate's commit point, sliding backwards over already-emitted
+//     deterministic operations ("advancing the sync instruction", Fig. 6),
+//     and padding when the available deterministic window is shorter than N
+//     (the §4.4 overhead case);
+//   - barriers become region-level syncs against the root router;
+//   - measurement results are fetched with fmr, stored to data memory, and
+//     forwarded with send/recv at each consumption site; parity conditions
+//     compile to xor chains and a branch (the "XOR" boxes of Fig. 14).
+package compiler
+
+import (
+	"fmt"
+
+	"dhisq/internal/chip"
+	"dhisq/internal/circuit"
+	"dhisq/internal/isa"
+	"dhisq/internal/sim"
+)
+
+// Windows supplies the calibrated BISP windows; *network.Fabric implements it.
+type Windows interface {
+	NearbyWindow(src, dst int) sim.Time
+	RegionWindow(src, router int) sim.Time
+}
+
+// Options parameterizes compilation.
+type Options struct {
+	Durations   circuit.Durations
+	MeasLatency sim.Time // trigger commit -> result available (>= Measure window)
+	Root        int      // root router address for region sync
+	Controllers int      // total controllers (mesh size); all join barriers
+	// InitialBarrier emits a program-start region sync, the per-repetition
+	// global synchronization of §2.1.4.
+	InitialBarrier bool
+	// PipeGuard is the margin (cycles) added when padding the timing point
+	// past the classical pipeline to guarantee violation-free commits.
+	PipeGuard int64
+	// AdvanceBooking enables the Fig. 6 placement: sync instructions slide
+	// backwards over deterministic work so the N-cycle countdown overlaps
+	// useful execution (zero-cycle overhead when slack suffices, §4.2).
+	// When false, every sync sits immediately before its synchronized
+	// instruction with the window fully padded — the QubiC-style scheme the
+	// paper improves on (§2.1.3), kept for the ablation experiment.
+	AdvanceBooking bool
+}
+
+// DefaultOptions uses the paper's durations and a 5-cycle (20 ns) readout
+// discrimination latency on top of the 300 ns window.
+func DefaultOptions(root, controllers int) Options {
+	d := circuit.PaperDurations()
+	return Options{
+		Durations:      d,
+		MeasLatency:    d.Measure + 5,
+		Root:           root,
+		Controllers:    controllers,
+		InitialBarrier: true,
+		PipeGuard:      6,
+		AdvanceBooking: true,
+	}
+}
+
+// Compiled is the result: one program and codeword table per controller.
+type Compiled struct {
+	Programs []*isa.Program
+	Tables   [][]chip.TableEntry
+	// BitOwner maps each classical bit to the controller that measures it;
+	// the bit's value is stored at data-memory address 4*bit on that node.
+	BitOwner []int
+	MemBytes int
+	Stats    Stats
+}
+
+// Stats summarizes the lowering.
+type Stats struct {
+	Instructions int
+	NearbySyncs  int
+	RegionSyncs  int
+	Sends        int
+	Recvs        int
+	TableEntries int
+}
+
+// Register conventions of generated code.
+const (
+	regScratch = 1 // fmr/recv/lw destination
+	regParity  = 2 // xor accumulator
+	regAddr    = 5 // memory addressing
+	regCW      = 6 // wide codewords
+	regWait    = 7 // wide waits
+)
+
+// unit is one atomic chunk of a controller stream. det units may have a
+// sync instruction inserted before them by the backward scan; wait units may
+// additionally be split.
+type unit struct {
+	ins    []isa.Instr
+	dur    int64 // deterministic timing-point advance contributed by this unit
+	det    bool
+	wait   bool // pure wait (splittable)
+	window bool // inside a sync window [B, B+N): later syncs must not book here
+}
+
+type stream struct {
+	id       int
+	units    []unit
+	instrSum int64 // instructions since the last pipeline anchor
+	waitSum  int64 // timing-point advance since the last pipeline anchor
+	table    []chip.TableEntry
+	tableIdx map[chip.TableEntry]int
+}
+
+func newStream(id int) *stream {
+	return &stream{id: id, tableIdx: map[chip.TableEntry]int{}}
+}
+
+func (s *stream) push(u unit) {
+	s.units = append(s.units, u)
+	s.instrSum += int64(len(u.ins))
+	if u.det {
+		s.waitSum += u.dur
+	}
+}
+
+// anchor marks a pipeline anchor: a blocking fmr/recv re-synchronized the
+// timing point to the pipeline clock, or a commit resumed the pipeline at
+// its own commit time — in both cases the pipeline clock equals the timing
+// point and the guard accounting restarts.
+func (s *stream) anchor() {
+	s.instrSum = 0
+	s.waitSum = 0
+}
+
+// waitInstrs renders a timing-point advance of d cycles.
+func waitInstrs(d int64) []isa.Instr {
+	if d <= 0 {
+		return nil
+	}
+	if d <= 2047 {
+		return []isa.Instr{{Op: isa.OpWAITI, Imm: int32(d)}}
+	}
+	return append(loadImm(regWait, int32(d)), isa.Instr{Op: isa.OpWAITR, Rs1: regWait})
+}
+
+// loadImm renders li reg, v.
+func loadImm(reg uint8, v int32) []isa.Instr {
+	if v >= -2048 && v <= 2047 {
+		return []isa.Instr{{Op: isa.OpADDI, Rd: reg, Imm: v}}
+	}
+	lo := v << 20 >> 20
+	hi := (v - lo) >> 12 & 0xFFFFF
+	return []isa.Instr{
+		{Op: isa.OpLUI, Rd: reg, Imm: hi},
+		{Op: isa.OpADDI, Rd: reg, Rs1: reg, Imm: lo},
+	}
+}
+
+func (s *stream) wait(d int64) {
+	if d <= 0 {
+		return
+	}
+	s.push(unit{ins: waitInstrs(d), dur: d, det: true, wait: true})
+}
+
+// cwInstrs renders the codeword trigger for a table entry, interning it.
+func (s *stream) cwInstrs(e chip.TableEntry) []isa.Instr {
+	idx, ok := s.tableIdx[e]
+	if !ok {
+		idx = len(s.table)
+		s.table = append(s.table, e)
+		s.tableIdx[e] = idx
+	}
+	v := int32(idx + 1)
+	port := uint8(e.Port())
+	if v <= 2047 {
+		return []isa.Instr{{Op: isa.OpCWII, Rd: port, Imm: v}}
+	}
+	return append(loadImm(regCW, v), isa.Instr{Op: isa.OpCWIR, Rd: port, Rs1: regCW})
+}
+
+// guard pads the timing point so the next commit cannot trail the classical
+// pipeline (commit time >= pipeline time, no TELF violations). extraInstrs
+// accounts for instructions that will execute before the commit.
+func (s *stream) guard(pipeGuard, extraInstrs int64) {
+	need := s.instrSum + extraInstrs + pipeGuard - s.waitSum
+	if need > 0 {
+		s.wait(need)
+	}
+}
+
+// insertSyncBack places a sync instruction exactly `window` cycles of
+// deterministic time before the end of the stream (where the caller is about
+// to emit the synchronized commit), sliding backwards over deterministic
+// units and splitting waits — the Fig. 6 "advance the sync instruction"
+// placement. When less deterministic slack is available (the stream starts,
+// a non-deterministic operation, or a previous sync's own window bounds the
+// slide), the sync books as early as permitted and the shortfall is padded
+// at the gate end — the §4.4 overhead case.
+//
+// Every unit between the sync and the commit is marked as window territory:
+// a later sync must not book inside [B, B+N) of an earlier one, because its
+// booking would be transmitted at a pre-pause wall time the controller
+// cannot honor (see DESIGN.md §2.3).
+func (s *stream) insertSyncBack(target int, window int64, advance bool) {
+	syncU := unit{ins: []isa.Instr{{Op: isa.OpSYNC, Imm: int32(target)}}, window: true}
+	acc := int64(0)
+	i := len(s.units)
+	for advance && i > 0 && acc < window {
+		u := s.units[i-1]
+		if !u.det || u.window {
+			break
+		}
+		if u.wait && acc+u.dur > window {
+			// Split the wait: [dur-need] stays outside, [need] joins the window.
+			need := window - acc
+			before := u.dur - need
+			s.units[i-1] = unit{ins: waitInstrs(before), dur: before, det: true, wait: true}
+			rest := unit{ins: waitInstrs(need), dur: need, det: true, wait: true, window: true}
+			s.units = append(s.units, unit{})
+			copy(s.units[i+1:], s.units[i:len(s.units)-1])
+			s.units[i] = rest
+			s.instrSum += int64(len(rest.ins))
+			acc = window
+			break
+		}
+		acc += u.dur
+		i--
+	}
+	// Insert the sync at position i and claim everything after it as window.
+	s.units = append(s.units, unit{})
+	copy(s.units[i+1:], s.units[i:len(s.units)-1])
+	s.units[i] = syncU
+	s.instrSum += int64(len(syncU.ins))
+	for j := i + 1; j < len(s.units); j++ {
+		s.units[j].window = true
+	}
+	if pad := window - acc; pad > 0 {
+		// Shortfall: pad at the gate end so earlier commits stay put.
+		s.push(unit{ins: waitInstrs(pad), dur: pad, det: true, wait: true, window: true})
+	}
+}
+
+// Compile lowers the circuit. mapping[q] gives the controller of qubit q
+// (nil = identity); fab supplies BISP windows.
+func Compile(c *circuit.Circuit, mapping []int, fab Windows, opt Options) (*Compiled, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Controllers <= 0 {
+		return nil, fmt.Errorf("compiler: no controllers")
+	}
+	if opt.PipeGuard <= 0 {
+		opt.PipeGuard = 6
+	}
+	ctrlOf := func(q int) int {
+		if mapping == nil {
+			return q
+		}
+		return mapping[q]
+	}
+	for q := 0; q < c.NumQubits; q++ {
+		if m := ctrlOf(q); m < 0 || m >= opt.Controllers {
+			return nil, fmt.Errorf("compiler: qubit %d maps to controller %d of %d", q, m, opt.Controllers)
+		}
+	}
+
+	streams := make([]*stream, opt.Controllers)
+	for i := range streams {
+		streams[i] = newStream(i)
+	}
+	st := Stats{}
+	bitOwner := make([]int, c.NumBits)
+	bitMeasured := make([]bool, c.NumBits)
+	for i := range bitOwner {
+		bitOwner[i] = -1
+	}
+
+	barrier := func() {
+		for _, s := range streams {
+			s.insertSyncBack(opt.Root, fab.RegionWindow(s.id, opt.Root), opt.AdvanceBooking)
+			st.RegionSyncs++
+		}
+	}
+	if opt.InitialBarrier {
+		barrier()
+	}
+
+	d := opt.Durations
+	for opIdx, op := range c.Ops {
+		switch {
+		case op.Kind == circuit.Barrier:
+			barrier()
+
+		case op.Kind == circuit.Delay:
+			streams[ctrlOf(op.Qubits[0])].wait(int64(op.Param))
+
+		case op.Kind == circuit.Measure:
+			if op.Cond != nil {
+				return nil, fmt.Errorf("compiler: op %d: conditioned measurement unsupported", opIdx)
+			}
+			q := op.Qubits[0]
+			s := streams[ctrlOf(q)]
+			entry := chip.TableEntry{Role: chip.RoleMeasure, Kind: circuit.Measure, Qubit: q, Channel: 0}
+			s.guard(opt.PipeGuard, 1)
+			s.push(unit{ins: s.cwInstrs(entry), det: true})
+			// Fetch the result (pipeline blocks until MeasLatency elapses,
+			// which re-anchors the timing point past the window) and store
+			// it at the bit's home address.
+			s.push(unit{ins: []isa.Instr{{Op: isa.OpFMR, Rd: regScratch, Imm: 0}}})
+			s.anchor()
+			store := append(loadImm(regAddr, int32(4*op.CBit)),
+				isa.Instr{Op: isa.OpSW, Rs1: regAddr, Rs2: regScratch})
+			s.push(unit{ins: store, det: true})
+			// Timing point already advanced to the result time by the fmr
+			// anchor; nothing further to wait for.
+			bitOwner[op.CBit] = s.id
+			bitMeasured[op.CBit] = true
+
+		case op.Cond != nil:
+			if op.Kind.IsTwoQubit() {
+				return nil, fmt.Errorf("compiler: op %d: conditioned two-qubit gate unsupported", opIdx)
+			}
+			q := op.Qubits[0]
+			actor := ctrlOf(q)
+			s := streams[actor]
+			for _, b := range op.Cond.Bits {
+				if !bitMeasured[b] {
+					return nil, fmt.Errorf("compiler: op %d uses bit %d before it is measured", opIdx, b)
+				}
+			}
+			// Owners forward remote bits at this consumption site. Send units
+			// are slide-stops (det: false): a later sync must never be booked
+			// before them, because the simulated pipeline parks at a pending
+			// sync and a deferred send can deadlock the consumer whose
+			// progress that very sync transitively needs.
+			for _, b := range op.Cond.Bits {
+				owner := bitOwner[b]
+				if owner == actor {
+					continue
+				}
+				os := streams[owner]
+				ins := append(loadImm(regAddr, int32(4*b)),
+					isa.Instr{Op: isa.OpLW, Rd: regScratch, Rs1: regAddr},
+					isa.Instr{Op: isa.OpSEND, Rs1: regScratch, Imm: int32(actor)})
+				os.push(unit{ins: ins})
+				st.Sends++
+			}
+			// Actor gathers, xors, branches, and conditionally commits.
+			var ins []isa.Instr
+			ins = append(ins, isa.Instr{Op: isa.OpADDI, Rd: regParity}) // r2 = 0
+			anchored := false
+			for _, b := range op.Cond.Bits {
+				if bitOwner[b] == actor {
+					ins = append(ins, loadImm(regAddr, int32(4*b))...)
+					ins = append(ins, isa.Instr{Op: isa.OpLW, Rd: regScratch, Rs1: regAddr})
+				} else {
+					ins = append(ins, isa.Instr{Op: isa.OpRECV, Rd: regScratch, Imm: int32(bitOwner[b])})
+					anchored = true
+					st.Recvs++
+				}
+				ins = append(ins, isa.Instr{Op: isa.OpXOR, Rd: regParity, Rs1: regParity, Rs2: regScratch})
+			}
+			// Branch over the conditional body.
+			brOp := isa.OpBEQ // parity==1 required: skip when parity == 0
+			if op.Cond.Parity == 0 {
+				brOp = isa.OpBNE
+			}
+			entry := tableEntryFor(op, q, ctrlOf)
+			// The in-branch guard wait covers every instruction that can
+			// retire between the last pipeline anchor and the commit.
+			guardAmt := opt.PipeGuard + s.instrSum + int64(len(ins)) + 8
+			if anchored {
+				guardAmt = opt.PipeGuard + int64(len(ins)) + 8
+			}
+			body := waitInstrs(guardAmt)
+			body = append(body, s.cwInstrs(entry)...)
+			body = append(body, waitInstrs(gateDur(op, d))...)
+			ins = append(ins, isa.Instr{Op: brOp, Rs1: regParity, Imm: int32(4 * (len(body) + 1))})
+			ins = append(ins, body...)
+			s.push(unit{ins: ins})
+			if anchored {
+				s.anchor()
+				// The body retires after the anchor; seed the counters so the
+				// next guard still covers it.
+				s.instrSum = int64(len(body)) + 4
+			}
+
+		case op.Kind.IsTwoQubit():
+			a, b := op.Qubits[0], op.Qubits[1]
+			ca, cb := ctrlOf(a), ctrlOf(b)
+			ctrlEntry := chip.TableEntry{Role: chip.RoleControl, Kind: op.Kind, Param: op.Param, Qubit: a, Partner: b}
+			partEntry := chip.TableEntry{Role: chip.RoleParticipant, Kind: op.Kind, Param: op.Param, Qubit: b, Partner: a}
+			if ca == cb {
+				// Both halves on one node commit at the same timing point.
+				s := streams[ca]
+				s.guard(opt.PipeGuard, 2)
+				ins := append(s.cwInstrs(ctrlEntry), s.cwInstrs(partEntry)...)
+				s.push(unit{ins: ins, det: true})
+				s.wait(d.TwoQubit)
+				break
+			}
+			sa, sb := streams[ca], streams[cb]
+			n := fab.NearbyWindow(ca, cb)
+			// Guards first so the sync window measured backwards from the
+			// commit point is identical (= n) on both sides.
+			sa.guard(opt.PipeGuard, 1)
+			sb.guard(opt.PipeGuard, 1)
+			sa.insertSyncBack(cb, n, opt.AdvanceBooking)
+			sb.insertSyncBack(ca, n, opt.AdvanceBooking)
+			st.NearbySyncs += 2
+			// The synchronized commit belongs to its sync's window: nothing —
+			// in particular no later sync — may be inserted between them, or
+			// the parked pipeline would delay the commit past foreign events.
+			sa.push(unit{ins: sa.cwInstrs(ctrlEntry), det: true, window: true})
+			sb.push(unit{ins: sb.cwInstrs(partEntry), det: true, window: true})
+			sa.wait(d.TwoQubit)
+			sb.wait(d.TwoQubit)
+
+		default: // unconditioned one-qubit gate
+			q := op.Qubits[0]
+			s := streams[ctrlOf(q)]
+			entry := tableEntryFor(op, q, ctrlOf)
+			s.guard(opt.PipeGuard, 1)
+			s.push(unit{ins: s.cwInstrs(entry), det: true})
+			s.wait(gateDur(op, d))
+		}
+	}
+
+	out := &Compiled{
+		Programs: make([]*isa.Program, opt.Controllers),
+		Tables:   make([][]chip.TableEntry, opt.Controllers),
+		BitOwner: bitOwner,
+		MemBytes: 4*c.NumBits + 4096,
+	}
+	for i, s := range streams {
+		p := &isa.Program{}
+		for _, u := range s.units {
+			p.Instrs = append(p.Instrs, u.ins...)
+		}
+		p.Instrs = append(p.Instrs, isa.Instr{Op: isa.OpHALT})
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("compiler: controller %d: %w", i, err)
+		}
+		out.Programs[i] = p
+		out.Tables[i] = s.table
+		st.Instructions += p.Len()
+		st.TableEntries += len(s.table)
+	}
+	out.Stats = st
+	return out, nil
+}
+
+func tableEntryFor(op circuit.Op, q int, ctrlOf func(int) int) chip.TableEntry {
+	return chip.TableEntry{Role: chip.RoleSingle, Kind: op.Kind, Param: op.Param, Qubit: q}
+}
+
+func gateDur(op circuit.Op, d circuit.Durations) int64 {
+	switch {
+	case op.Kind == circuit.Measure:
+		return d.Measure
+	case op.Kind == circuit.Delay:
+		return int64(op.Param)
+	case op.Kind.IsTwoQubit():
+		return d.TwoQubit
+	default:
+		return d.OneQubit
+	}
+}

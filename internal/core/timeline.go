@@ -1,0 +1,88 @@
+// Package core implements the single-node HISQ microarchitecture of §3.2:
+// a classical RV32I pipeline, the quantum instruction decoder, the
+// queue-based Timing Control Unit (TCU), the Synchronization Unit (SyncU)
+// implementing the controller side of BISP, and the Message Unit (MsgU).
+//
+// The model is transaction-level in the style of CACTUS-Light (§6.4.1): the
+// pipeline retires one instruction per cycle, quantum events commit at exact
+// cycle timestamps computed by the TCU's timing-point algebra, and all
+// interaction with other nodes goes through timestamped events on the shared
+// simulation engine, so commit times are cycle-accurate even though the
+// pipeline microstructure is abstracted.
+package core
+
+import (
+	"dhisq/internal/sim"
+)
+
+// syncGate represents a resolved synchronization acting on the TCU timer:
+// the timer pauses at cycle C (Condition I, end of the SyncU countdown) and
+// resumes at cycle R (both conditions met). Events scheduled before C commit
+// unaffected — this is the BISP property that deterministic tasks keep
+// executing after a booking (Fig. 5a); events at or after C are shifted by
+// R−C.
+type syncGate struct {
+	c, r sim.Time
+}
+
+// timeline is the TCU timing manager: the current timing point plus the
+// pending sync gates. Wait instructions advance the point; codeword events
+// commit at the transformed point. All times are absolute cycles.
+type timeline struct {
+	tp    sim.Time
+	gates []syncGate
+}
+
+// Advance moves the timing point forward by n cycles (a wait instruction).
+func (t *timeline) Advance(n sim.Time) {
+	if n < 0 {
+		n = 0
+	}
+	t.tp += n
+}
+
+// Point returns the transformed timing point: tp with every triggered sync
+// gate applied. Gates that the point has passed are folded into tp — the
+// timing point is monotonic (waits are non-negative), so a triggered gate
+// applies to every later event as well.
+func (t *timeline) Point() sim.Time {
+	for len(t.gates) > 0 && t.tp >= t.gates[0].c {
+		t.tp += t.gates[0].r - t.gates[0].c
+		t.gates = t.gates[1:]
+	}
+	return t.tp
+}
+
+// AddGate registers a resolved sync: pause at c, resume at r. Overlapping
+// gates (a second sync booked before the first gate was passed) are clamped
+// to remain ordered: a paused timer cannot un-pause.
+func (t *timeline) AddGate(c, r sim.Time) {
+	if n := len(t.gates); n > 0 {
+		// A new pause cannot begin before the previous resume: booking a
+		// sync whose Condition I lands inside an earlier pause extends it.
+		if last := t.gates[n-1]; c < last.r {
+			c = last.r
+		}
+	}
+	if r < c {
+		r = c
+	}
+	if r == c {
+		return // zero-width pause: nothing to do
+	}
+	t.gates = append(t.gates, syncGate{c: c, r: r})
+}
+
+// PendingGates reports how many sync gates have not yet been passed.
+func (t *timeline) PendingGates() int { return len(t.gates) }
+
+// AnchorAt implements the §3.2 external-trigger semantics: after a
+// non-deterministic event resolves at wall time w (a measurement result or
+// message arrival), the timer resumes from w, so the timing point can never
+// sit behind the event that subsequent operations depend on. Earlier points
+// are unaffected; later waits are relative to w.
+func (t *timeline) AnchorAt(w sim.Time) {
+	if p := t.Point(); p < w {
+		t.tp += w - p
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTimelineAdvanceAndPoint(t *testing.T) {
+	var tl timeline
+	if tl.Point() != 0 {
+		t.Fatal("fresh timeline not at 0")
+	}
+	tl.Advance(10)
+	tl.Advance(5)
+	if tl.Point() != 15 {
+		t.Fatalf("point = %d, want 15", tl.Point())
+	}
+	tl.Advance(-3) // negative advances are clamped
+	if tl.Point() != 15 {
+		t.Fatalf("point = %d, want 15", tl.Point())
+	}
+}
+
+func TestTimelineGateBeforeC(t *testing.T) {
+	// Events scheduled before the pause point C commit unaffected: this is
+	// the BISP property that deterministic tasks keep running between the
+	// booking and Condition I (Fig. 5a).
+	var tl timeline
+	tl.Advance(10)
+	tl.AddGate(20, 50) // pause at 20, resume at 50
+	if got := tl.Point(); got != 10 {
+		t.Fatalf("pre-gate point = %d, want 10", got)
+	}
+	tl.Advance(5) // 15 < 20: still unaffected
+	if got := tl.Point(); got != 15 {
+		t.Fatalf("point = %d, want 15", got)
+	}
+}
+
+func TestTimelineGateShiftsLaterEvents(t *testing.T) {
+	var tl timeline
+	tl.Advance(10)
+	tl.AddGate(20, 50)
+	tl.Advance(15) // scheduled 25, past C=20: shifted by 30
+	if got := tl.Point(); got != 55 {
+		t.Fatalf("point = %d, want 55", got)
+	}
+	tl.Advance(5)
+	if got := tl.Point(); got != 60 {
+		t.Fatalf("point = %d, want 60", got)
+	}
+	if tl.PendingGates() != 0 {
+		t.Fatalf("gate not folded")
+	}
+}
+
+func TestTimelineGateAtExactlyC(t *testing.T) {
+	var tl timeline
+	tl.AddGate(20, 50)
+	tl.Advance(20)
+	if got := tl.Point(); got != 50 {
+		t.Fatalf("point at exactly C = %d, want 50 (resume time)", got)
+	}
+}
+
+func TestTimelineZeroWidthGateIgnored(t *testing.T) {
+	var tl timeline
+	tl.AddGate(20, 20)
+	if tl.PendingGates() != 0 {
+		t.Fatal("zero-width gate should be dropped")
+	}
+	tl.AddGate(30, 10) // r < c clamps to zero width
+	if tl.PendingGates() != 0 {
+		t.Fatal("negative gate should be dropped")
+	}
+}
+
+func TestTimelineStackedGates(t *testing.T) {
+	var tl timeline
+	tl.AddGate(10, 20) // +10 after cycle 10
+	tl.AddGate(30, 35) // +5 after (already-shifted) cycle 30
+	tl.Advance(12)     // 12 -> 22 (past first gate), 22 < 30 so second untouched
+	if got := tl.Point(); got != 22 {
+		t.Fatalf("point = %d, want 22", got)
+	}
+	tl.Advance(10) // folded tp 22+10=32 >= 30: second gate fires -> 37
+	if got := tl.Point(); got != 37 {
+		t.Fatalf("point = %d, want 37", got)
+	}
+}
+
+func TestTimelineOverlappingGatesClamped(t *testing.T) {
+	// A second sync that books before the first resolved gate must not
+	// un-pause the timer: c and r are clamped monotone.
+	var tl timeline
+	tl.AddGate(50, 100)
+	tl.AddGate(30, 40) // out of order: clamped to c=50, r=100 -> zero width after clamp
+	tl.Advance(60)
+	if got := tl.Point(); got != 110 {
+		t.Fatalf("point = %d, want 110", got)
+	}
+}
+
+func TestTimelineMonotonicProperty(t *testing.T) {
+	// Property: commit times are non-decreasing under any interleaving of
+	// advances and well-formed gates.
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		var tl timeline
+		last := int64(-1)
+		for step := 0; step < 100; step++ {
+			switch r.Intn(3) {
+			case 0, 1:
+				tl.Advance(int64(r.Intn(20)))
+			case 2:
+				c := tl.Point() + int64(r.Intn(30))
+				tl.AddGate(c, c+int64(r.Intn(25)))
+			}
+			p := tl.Point()
+			if p < last {
+				t.Fatalf("trial %d: point went backwards %d -> %d", trial, last, p)
+			}
+			last = p
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Package exp implements the paper's evaluation: one runner per table and
+// figure (see DESIGN.md §4 for the index). Each runner returns structured
+// results that the tests assert on, the root benchmarks time, and the
+// dhisq-bench command prints.
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders rows of labeled values as a fixed-width text table.
+func Table(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"fmt"
+
+	"dhisq/internal/circuit"
+	"dhisq/internal/machine"
+	"dhisq/internal/sim"
+)
+
+// Fig14Point compares the dynamic long-range CNOT against SWAP routing at
+// one qubit distance: circuit depth (the figure's claim: "this scheme
+// maintains constant circuit depth as the number of qubits grows") and the
+// measured makespan through the full control stack.
+type Fig14Point struct {
+	Distance     int
+	DynamicDepth int64
+	SwapDepth    int64
+	DynamicMake  sim.Time
+	SwapMake     sim.Time
+}
+
+// Fig14Result is the distance sweep.
+type Fig14Result struct {
+	Points []Fig14Point
+}
+
+// Fig14LongRange sweeps the control-target distance. runMachine additionally
+// executes both variants on the Distributed-HISQ machine (slower; tests can
+// disable it).
+func Fig14LongRange(distances []int, runMachine bool, seed int64) (Fig14Result, error) {
+	if len(distances) == 0 {
+		distances = []int{2, 4, 8, 16, 32}
+	}
+	d := circuit.PaperDurations()
+	var out Fig14Result
+	for _, dist := range distances {
+		logical := circuit.New(dist + 1)
+		logical.X(0)
+		logical.CNOT(0, dist)
+		logical.MeasureInto(dist, 0)
+		dyn, err := circuit.DualRailEmbedding{}.Embed(logical)
+		if err != nil {
+			return out, err
+		}
+		// SWAP-routed static alternative on the same dual-rail device.
+		sw := circuit.New(2 * (dist + 1))
+		sw.X(0)
+		chain := make([]int, dist-1)
+		for i := range chain {
+			chain[i] = i + 1
+		}
+		sw.SwapRouteCNOT(0, dist, chain)
+		sw.MeasureInto(dist, 0)
+
+		p := Fig14Point{
+			Distance:     dist,
+			DynamicDepth: dyn.Depth(d),
+			SwapDepth:    sw.Depth(d),
+		}
+		if runMachine {
+			w := (dyn.NumQubits + 1) / 2
+			cfg := machine.DefaultConfig(dyn.NumQubits)
+			cfg.Backend = machine.BackendStabilizer
+			cfg.Seed = seed
+			res, _, err := machine.RunCircuit(dyn, w, 2, nil, cfg)
+			if err != nil {
+				return out, fmt.Errorf("distance %d dynamic: %w", dist, err)
+			}
+			p.DynamicMake = res.Makespan
+			cfg2 := machine.DefaultConfig(sw.NumQubits)
+			cfg2.Backend = machine.BackendStabilizer
+			cfg2.Seed = seed
+			res2, _, err := machine.RunCircuit(sw, w, 2, nil, cfg2)
+			if err != nil {
+				return out, fmt.Errorf("distance %d swap: %w", dist, err)
+			}
+			p.SwapMake = res2.Makespan
+		}
+		out.Points = append(out.Points, p)
+	}
+	return out, nil
+}
+
+// Render formats the sweep.
+func (r Fig14Result) Render() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprint(p.Distance),
+			fmt.Sprint(p.DynamicDepth),
+			fmt.Sprint(p.SwapDepth),
+			fmt.Sprint(p.DynamicMake),
+			fmt.Sprint(p.SwapMake),
+		})
+	}
+	return Table([]string{"distance", "dyn depth(cy)", "swap depth(cy)", "dyn makespan", "swap makespan"}, rows)
+}

@@ -1,0 +1,144 @@
+package exp
+
+import (
+	"fmt"
+
+	"dhisq/internal/baseline"
+	"dhisq/internal/chip"
+	"dhisq/internal/machine"
+	"dhisq/internal/sim"
+	"dhisq/internal/workloads"
+)
+
+// Fig15Row is one bar of Figure 15: the normalized end-to-end runtime of a
+// dynamic-circuit benchmark under BISP versus the lock-step baseline.
+type Fig15Row struct {
+	Name     string
+	Qubits   int
+	BISP     sim.Time // makespan, cycles
+	Lockstep sim.Time // star-hub lock-step (broadcasts serialize at the hub)
+	// Favorable is the lock-step makespan under the paper's fully favourable
+	// assumption (§6.4.3): constant feedback latency with unlimited broadcast
+	// concurrency.
+	Favorable     sim.Time
+	Normalized    float64 // BISP / Lockstep (baseline = 1.0)
+	NormFavorable float64 // BISP / Favorable
+	Feedbacks     uint64
+	Syncs         sim.Time // total BISP sync stall cycles
+}
+
+// Fig15Options parameterizes the sweep.
+type Fig15Options struct {
+	// ScaleDiv divides every benchmark's qubit count (1 = the paper's full
+	// sizes; tests use 8-16 for speed).
+	ScaleDiv int
+	Seed     int64
+	// Names restricts the run (nil = the full Figure 15 suite).
+	Names []string
+}
+
+// Fig15Result is the full figure.
+type Fig15Result struct {
+	Rows    []Fig15Row
+	Average float64 // mean normalized runtime (paper: 0.772)
+}
+
+// Fig15Runtime reproduces Figure 15: every benchmark compiled and executed
+// on the Distributed-HISQ machine (BISP), then replayed under the lock-step
+// model with the same seeded outcome source, so both take identical
+// branches.
+func Fig15Runtime(opt Fig15Options) (Fig15Result, error) {
+	if opt.ScaleDiv <= 0 {
+		opt.ScaleDiv = 1
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	names := opt.Names
+	if names == nil {
+		names = workloads.Fig15Names()
+	}
+	var out Fig15Result
+	sum := 0.0
+	for _, name := range names {
+		b, err := workloads.BuildScaled(name, opt.ScaleDiv)
+		if err != nil {
+			return out, err
+		}
+		row, err := fig15One(b, opt.Seed)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", name, err)
+		}
+		out.Rows = append(out.Rows, row)
+		sum += row.Normalized
+	}
+	if len(out.Rows) > 0 {
+		out.Average = sum / float64(len(out.Rows))
+	}
+	return out, nil
+}
+
+func fig15One(b workloads.Benchmark, seed int64) (Fig15Row, error) {
+	cfg := machine.DefaultConfig(b.Qubits)
+	cfg.Backend = machine.BackendSeeded
+	cfg.Seed = seed
+	res, _, err := machine.RunCircuit(b.Circuit, b.MeshW, b.MeshH, b.Mapping, cfg)
+	if err != nil {
+		return Fig15Row{}, err
+	}
+	if res.Misalignments != 0 || res.Violations != 0 {
+		return Fig15Row{}, fmt.Errorf("invariant broken: %d misalignments, %d violations",
+			res.Misalignments, res.Violations)
+	}
+
+	bres, err := baseline.Run(b.Circuit, baseline.DefaultConfig(chip.NewSeeded(seed)))
+	if err != nil {
+		return Fig15Row{}, err
+	}
+	fres, err := baseline.Run(b.Circuit, baseline.FavorableConfig(chip.NewSeeded(seed)))
+	if err != nil {
+		return Fig15Row{}, err
+	}
+	norm, err := baseline.Compare(res.Makespan, bres.Makespan)
+	if err != nil {
+		return Fig15Row{}, err
+	}
+	normFav, err := baseline.Compare(res.Makespan, fres.Makespan)
+	if err != nil {
+		return Fig15Row{}, err
+	}
+	return Fig15Row{
+		Name:          b.Name,
+		Qubits:        b.Qubits,
+		BISP:          res.Makespan,
+		Lockstep:      bres.Makespan,
+		Favorable:     fres.Makespan,
+		Normalized:    norm,
+		NormFavorable: normFav,
+		Feedbacks:     bres.Feedbacks,
+		Syncs:         res.SyncStall,
+	}, nil
+}
+
+// Render formats the figure as a table.
+func (r Fig15Result) Render() string {
+	rows := make([][]string, 0, len(r.Rows)+1)
+	favSum := 0.0
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Name,
+			fmt.Sprint(row.Qubits),
+			fmt.Sprint(row.BISP),
+			fmt.Sprint(row.Lockstep),
+			fmt.Sprintf("%.3f", row.Normalized),
+			fmt.Sprintf("%.3f", row.NormFavorable),
+		})
+		favSum += row.NormFavorable
+	}
+	favAvg := 0.0
+	if len(r.Rows) > 0 {
+		favAvg = favSum / float64(len(r.Rows))
+	}
+	rows = append(rows, []string{"avg", "", "", "", fmt.Sprintf("%.3f", r.Average), fmt.Sprintf("%.3f", favAvg)})
+	return Table([]string{"benchmark", "qubits", "bisp(cy)", "lockstep(cy)", "normalized", "vs favorable"}, rows)
+}

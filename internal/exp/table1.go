@@ -1,0 +1,55 @@
+package exp
+
+import (
+	"fmt"
+
+	"dhisq/internal/resources"
+)
+
+// Table1Row is one row of the paper's Table 1.
+type Table1Row struct {
+	Name         string
+	Est          resources.Estimate
+	PaperLUTs    int
+	PaperFFs     int
+	PaperBRAM    float64
+	MatchesPaper bool
+}
+
+// Table1Result is the full table.
+type Table1Result struct {
+	Rows     []Table1Row
+	AllMatch bool
+}
+
+// Table1 evaluates the resource model against the published numbers.
+func Table1() Table1Result {
+	rows := []Table1Row{
+		{Name: "Control Board", Est: resources.ControlBoard(), PaperLUTs: 4155, PaperFFs: 6392, PaperBRAM: 75},
+		{Name: "Readout Board", Est: resources.ReadoutBoard(), PaperLUTs: 2435, PaperFFs: 3192, PaperBRAM: 45},
+		{Name: "Event Queue (38bit x 1024)", Est: resources.EventQueue(38, 1024), PaperLUTs: 86, PaperFFs: 160, PaperBRAM: 1.5},
+	}
+	all := true
+	for i := range rows {
+		r := &rows[i]
+		r.MatchesPaper = r.Est.LUTs == r.PaperLUTs && r.Est.FFs == r.PaperFFs &&
+			r.Est.BRAMBlocks == r.PaperBRAM
+		all = all && r.MatchesPaper
+	}
+	return Table1Result{Rows: rows, AllMatch: all}
+}
+
+// Render formats the table with the paper's values for comparison.
+func (t Table1Result) Render() string {
+	rows := make([][]string, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		rows = append(rows, []string{
+			r.Name,
+			fmt.Sprintf("%d (%d)", r.Est.LUTs, r.PaperLUTs),
+			fmt.Sprintf("%.1f (%.1f)", r.Est.BRAMBlocks, r.PaperBRAM),
+			fmt.Sprintf("%d (%d)", r.Est.FFs, r.PaperFFs),
+			fmt.Sprint(r.MatchesPaper),
+		})
+	}
+	return Table([]string{"type", "#LUTs (paper)", "#BRAM blocks (paper)", "#FF (paper)", "match"}, rows)
+}

@@ -1,0 +1,62 @@
+// Package fidelity estimates program infidelity from execution time and
+// qubit coherence, the metric of the paper's Figure 16: longer control
+// timelines expose qubits to more decoherence, so the synchronization
+// scheme's latency directly costs fidelity.
+package fidelity
+
+import (
+	"math"
+
+	"dhisq/internal/sim"
+)
+
+// Coherence describes qubit decay times in nanoseconds. The paper sweeps
+// T1 (= T2 in its setup) from 30 µs to 300 µs.
+type Coherence struct {
+	T1 float64 // energy relaxation, ns
+	T2 float64 // dephasing, ns (<= 2*T1)
+}
+
+// Microseconds builds a Coherence with T1 = T2 = t µs, the Fig. 16 setting.
+func Microseconds(t float64) Coherence {
+	return Coherence{T1: t * 1000, T2: t * 1000}
+}
+
+// SurvivalProbability returns the probability that one qubit retains its
+// state over t cycles: the product of the T1 and pure-dephasing channels'
+// fidelity proxies exp(-t/T1)·exp(-t/Tphi), with 1/Tphi = 1/T2 - 1/(2 T1).
+func (c Coherence) SurvivalProbability(t sim.Time) float64 {
+	ns := float64(sim.Nanoseconds(t))
+	if ns <= 0 {
+		return 1
+	}
+	gamma := 1 / c.T1
+	if c.T2 > 0 {
+		phi := 1/c.T2 - 1/(2*c.T1)
+		if phi > 0 {
+			gamma += phi
+		}
+	}
+	return math.Exp(-ns * gamma)
+}
+
+// ProgramInfidelity estimates 1 - F for a program holding `qubits` active
+// qubits live for `makespan` cycles. Every active qubit decoheres for the
+// full program duration — the conservative model matching the paper's
+// argument that execution-time overhead "dampens program fidelity" (§2.1.2).
+func ProgramInfidelity(makespan sim.Time, qubits int, c Coherence) float64 {
+	if qubits <= 0 {
+		return 0
+	}
+	p := c.SurvivalProbability(makespan)
+	return 1 - math.Pow(p, float64(qubits))
+}
+
+// ReductionRatio is baselineInfidelity / bispInfidelity, the Fig. 16 series
+// (~5x in the paper).
+func ReductionRatio(bisp, base float64) float64 {
+	if bisp <= 0 {
+		return math.Inf(1)
+	}
+	return base / bisp
+}

@@ -1,0 +1,65 @@
+package fidelity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSurvivalProbability(t *testing.T) {
+	c := Microseconds(30) // T1 = T2 = 30 us
+	// Effective rate: 1/T1 + (1/T2 - 1/(2 T1)) = 1.5/T1.
+	tCycles := int64(30_000 / 4) // exactly T1 worth of wall time
+	got := c.SurvivalProbability(tCycles)
+	want := math.Exp(-1.5)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("survival = %g, want %g", got, want)
+	}
+	if c.SurvivalProbability(0) != 1 {
+		t.Fatal("zero time must not decay")
+	}
+}
+
+func TestProgramInfidelityMonotone(t *testing.T) {
+	c := Microseconds(100)
+	a := ProgramInfidelity(1000, 4, c)
+	b := ProgramInfidelity(2000, 4, c)
+	d := ProgramInfidelity(1000, 8, c)
+	if !(a < b && a < d) {
+		t.Fatalf("infidelity not monotone: %g %g %g", a, b, d)
+	}
+	if ProgramInfidelity(1000, 0, c) != 0 {
+		t.Fatal("zero qubits must have zero infidelity")
+	}
+}
+
+func TestLinearRegimeRatio(t *testing.T) {
+	// For small exposure, infidelity ratio tracks the makespan ratio.
+	c := Microseconds(300)
+	bisp := ProgramInfidelity(500, 1, c)
+	lock := ProgramInfidelity(2000, 1, c)
+	ratio := ReductionRatio(bisp, lock)
+	if math.Abs(ratio-4) > 0.1 {
+		t.Fatalf("linear-regime ratio = %g, want ~4", ratio)
+	}
+}
+
+func TestReductionRatioEdge(t *testing.T) {
+	if !math.IsInf(ReductionRatio(0, 0.5), 1) {
+		t.Fatal("zero denominator should be +Inf")
+	}
+}
+
+func TestSurvivalMonotoneProperty(t *testing.T) {
+	// Property: longer exposure and shorter T1 never increase survival.
+	f := func(t1 uint16, dt uint16) bool {
+		c1 := Microseconds(float64(t1%300) + 1)
+		c2 := Microseconds(float64(t1%300) + 50)
+		tt := int64(dt)
+		return c1.SurvivalProbability(tt) <= c2.SurvivalProbability(tt)+1e-12 &&
+			c1.SurvivalProbability(tt+100) <= c1.SurvivalProbability(tt)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,244 @@
+// Package fit provides the small least-squares toolkit the calibration
+// experiments of Figure 11 need: exponential decay (T1), Lorentzian
+// (spectroscopy), sinusoidal Rabi oscillation, and circle fitting (IQ
+// plane). Nonlinear fits run Nelder–Mead simplex on the sum of squared
+// residuals from heuristic starting points.
+package fit
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Model is a parametric curve y = f(x; p).
+type Model func(x float64, p []float64) float64
+
+// SSE returns the sum of squared residuals of the model on the data.
+func SSE(xs, ys []float64, m Model, p []float64) float64 {
+	s := 0.0
+	for i := range xs {
+		d := ys[i] - m(xs[i], p)
+		s += d * d
+	}
+	return s
+}
+
+// NelderMead minimizes f over dim dimensions starting from x0 with the
+// given initial step sizes. It returns the best point found after iters
+// iterations — plenty for the well-conditioned calibration fits.
+func NelderMead(f func([]float64) float64, x0, step []float64, iters int) []float64 {
+	dim := len(x0)
+	type vertex struct {
+		x []float64
+		v float64
+	}
+	simplex := make([]vertex, dim+1)
+	for i := range simplex {
+		x := append([]float64{}, x0...)
+		if i > 0 {
+			x[i-1] += step[i-1]
+		}
+		simplex[i] = vertex{x: x, v: f(x)}
+	}
+	const alpha, gamma, rho, sigma = 1.0, 2.0, 0.5, 0.5
+	for it := 0; it < iters; it++ {
+		sort.Slice(simplex, func(i, j int) bool { return simplex[i].v < simplex[j].v })
+		best, worst := simplex[0], simplex[dim]
+		centroid := make([]float64, dim)
+		for _, vtx := range simplex[:dim] {
+			for j := range centroid {
+				centroid[j] += vtx.x[j] / float64(dim)
+			}
+		}
+		mix := func(a float64) []float64 {
+			x := make([]float64, dim)
+			for j := range x {
+				x[j] = centroid[j] + a*(worst.x[j]-centroid[j])
+			}
+			return x
+		}
+		refl := mix(-alpha)
+		fr := f(refl)
+		switch {
+		case fr < best.v:
+			exp := mix(-gamma)
+			if fe := f(exp); fe < fr {
+				simplex[dim] = vertex{exp, fe}
+			} else {
+				simplex[dim] = vertex{refl, fr}
+			}
+		case fr < simplex[dim-1].v:
+			simplex[dim] = vertex{refl, fr}
+		default:
+			con := mix(rho)
+			if fc := f(con); fc < worst.v {
+				simplex[dim] = vertex{con, fc}
+			} else {
+				for i := 1; i <= dim; i++ {
+					for j := range simplex[i].x {
+						simplex[i].x[j] = best.x[j] + sigma*(simplex[i].x[j]-best.x[j])
+					}
+					simplex[i].v = f(simplex[i].x)
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(i, j int) bool { return simplex[i].v < simplex[j].v })
+	return simplex[0].x
+}
+
+// Exponential fits y = A·exp(-x/Tau) + C.
+type Exponential struct {
+	A, Tau, C float64
+}
+
+// FitExponential fits a decay curve; xs must span a meaningful fraction of
+// the decay for Tau to be identifiable.
+func FitExponential(xs, ys []float64) (Exponential, error) {
+	if len(xs) < 4 || len(xs) != len(ys) {
+		return Exponential{}, errors.New("fit: need >= 4 points")
+	}
+	minY, maxY := ys[0], ys[0]
+	for _, y := range ys {
+		minY = math.Min(minY, y)
+		maxY = math.Max(maxY, y)
+	}
+	span := xs[len(xs)-1] - xs[0]
+	m := func(x float64, p []float64) float64 { return p[0]*math.Exp(-x/math.Abs(p[1])) + p[2] }
+	p := NelderMead(func(p []float64) float64 { return SSE(xs, ys, m, p) },
+		[]float64{maxY - minY, span / 3, minY},
+		[]float64{(maxY - minY) / 4, span / 6, (maxY-minY)/4 + 1e-6}, 600)
+	return Exponential{A: p[0], Tau: math.Abs(p[1]), C: p[2]}, nil
+}
+
+// Lorentzian fits y = A / (1 + ((x-X0)/Gamma)^2) + C.
+type Lorentzian struct {
+	A, X0, Gamma, C float64
+}
+
+// FitLorentzian fits a resonance peak (or dip, with negative A).
+func FitLorentzian(xs, ys []float64) (Lorentzian, error) {
+	if len(xs) < 5 || len(xs) != len(ys) {
+		return Lorentzian{}, errors.New("fit: need >= 5 points")
+	}
+	// Heuristic start: extremum location.
+	minY, maxY := ys[0], ys[0]
+	peakX, base := xs[0], 0.0
+	for i, y := range ys {
+		if y > maxY {
+			maxY = y
+			peakX = xs[i]
+		}
+		minY = math.Min(minY, y)
+	}
+	base = minY
+	span := math.Abs(xs[len(xs)-1]-xs[0]) + 1e-12
+	m := func(x float64, p []float64) float64 {
+		d := (x - p[1]) / math.Abs(p[2])
+		return p[0]/(1+d*d) + p[3]
+	}
+	p := NelderMead(func(p []float64) float64 { return SSE(xs, ys, m, p) },
+		[]float64{maxY - base, peakX, span / 10, base},
+		[]float64{(maxY - base) / 4, span / 20, span / 20, (maxY-base)/4 + 1e-9}, 800)
+	return Lorentzian{A: p[0], X0: p[1], Gamma: math.Abs(p[2]), C: p[3]}, nil
+}
+
+// Rabi fits y = A·(1 - cos(Omega·x))/2 + C — excited-state population under
+// a varying drive amplitude or duration.
+type Rabi struct {
+	A, Omega, C float64
+}
+
+// FitRabi fits the oscillation; Omega is found by a frequency scan before
+// refinement, so multiple periods in the data are handled.
+func FitRabi(xs, ys []float64) (Rabi, error) {
+	if len(xs) < 6 || len(xs) != len(ys) {
+		return Rabi{}, errors.New("fit: need >= 6 points")
+	}
+	span := xs[len(xs)-1] - xs[0]
+	m := func(x float64, p []float64) float64 {
+		return p[0]*(1-math.Cos(p[1]*x))/2 + p[2]
+	}
+	// Coarse frequency scan, capped at the Nyquist band of the sampling so
+	// noise cannot alias the oscillation to an absurd frequency.
+	spacing := span / float64(len(xs)-1)
+	wMax := math.Pi / spacing
+	bestW, bestSSE := 0.0, math.Inf(1)
+	for k := 1; k <= 400; k++ {
+		w := float64(k) / 400 * wMax
+		if s := SSE(xs, ys, m, []float64{1, w, 0}); s < bestSSE {
+			bestSSE = s
+			bestW = w
+		}
+	}
+	p := NelderMead(func(p []float64) float64 { return SSE(xs, ys, m, p) },
+		[]float64{1, bestW, 0},
+		[]float64{0.2, bestW / 20, 0.1}, 800)
+	return Rabi{A: p[0], Omega: math.Abs(p[1]), C: p[2]}, nil
+}
+
+// PiAmplitude returns the drive value producing a pi rotation under the
+// fitted oscillation.
+func (r Rabi) PiAmplitude() float64 {
+	if r.Omega == 0 {
+		return math.Inf(1)
+	}
+	return math.Pi / r.Omega
+}
+
+// Circle is a fitted circle in the IQ plane.
+type Circle struct {
+	X0, Y0, R float64
+}
+
+// FitCircle performs the Kåsa algebraic fit: linear least squares on
+// x² + y² = 2ax + 2by + c.
+func FitCircle(xs, ys []float64) (Circle, error) {
+	n := len(xs)
+	if n < 3 || n != len(ys) {
+		return Circle{}, errors.New("fit: need >= 3 points")
+	}
+	// Normal equations for [a b c].
+	var sxx, sxy, syy, sx, sy, sxz, syz, sz float64
+	for i := 0; i < n; i++ {
+		x, y := xs[i], ys[i]
+		z := x*x + y*y
+		sxx += x * x
+		sxy += x * y
+		syy += y * y
+		sx += x
+		sy += y
+		sxz += x * z
+		syz += y * z
+		sz += z
+	}
+	fn := float64(n)
+	// Solve the 3x3 system via Cramer's rule.
+	a11, a12, a13 := 2*sxx, 2*sxy, sx
+	a21, a22, a23 := 2*sxy, 2*syy, sy
+	a31, a32, a33 := 2*sx, 2*sy, fn
+	b1, b2, b3 := sxz, syz, sz
+	det := a11*(a22*a33-a23*a32) - a12*(a21*a33-a23*a31) + a13*(a21*a32-a22*a31)
+	if math.Abs(det) < 1e-12 {
+		return Circle{}, errors.New("fit: degenerate circle")
+	}
+	da := b1*(a22*a33-a23*a32) - a12*(b2*a33-a23*b3) + a13*(b2*a32-a22*b3)
+	db := a11*(b2*a33-a23*b3) - b1*(a21*a33-a23*a31) + a13*(a21*b3-b2*a31)
+	dc := a11*(a22*b3-b2*a32) - a12*(a21*b3-b2*a31) + b1*(a21*a32-a22*a31)
+	a, b, cc := da/det, db/det, dc/det
+	return Circle{X0: a, Y0: b, R: math.Sqrt(cc + a*a + b*b)}, nil
+}
+
+// RMSE returns the root-mean-square residual of points to the circle.
+func (c Circle) RMSE(xs, ys []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range xs {
+		d := math.Hypot(xs[i]-c.X0, ys[i]-c.Y0) - c.R
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}

@@ -1,0 +1,121 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitExponentialRecovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 40)
+	ys := make([]float64, 40)
+	for i := range xs {
+		xs[i] = float64(i) * 1.5
+		ys[i] = 0.95*math.Exp(-xs[i]/9.9) + 0.02 + rng.NormFloat64()*0.01
+	}
+	f, err := FitExponential(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Tau-9.9) > 0.8 {
+		t.Fatalf("tau = %.2f, want ~9.9", f.Tau)
+	}
+	if math.Abs(f.A-0.95) > 0.1 {
+		t.Fatalf("A = %.2f", f.A)
+	}
+}
+
+func TestFitLorentzianRecovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 60)
+	ys := make([]float64, 60)
+	for i := range xs {
+		xs[i] = 4.5 + 0.004*float64(i)
+		d := (xs[i] - 4.62) / 0.02
+		ys[i] = 0.8/(1+d*d) + 0.05 + rng.NormFloat64()*0.02
+	}
+	f, err := FitLorentzian(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.X0-4.62) > 0.005 {
+		t.Fatalf("x0 = %.4f, want 4.62", f.X0)
+	}
+	if math.Abs(f.Gamma-0.02) > 0.01 {
+		t.Fatalf("gamma = %.4f", f.Gamma)
+	}
+}
+
+func TestFitRabiRecovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const omega = 125.6
+	xs := make([]float64, 40)
+	ys := make([]float64, 40)
+	for i := range xs {
+		xs[i] = 0.003 * float64(i)
+		ys[i] = (1-math.Cos(omega*xs[i]))/2 + rng.NormFloat64()*0.03
+	}
+	f, err := FitRabi(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Omega-omega)/omega > 0.05 {
+		t.Fatalf("omega = %.1f, want ~%.1f", f.Omega, omega)
+	}
+	if pi := f.PiAmplitude(); math.Abs(pi-math.Pi/omega)/(math.Pi/omega) > 0.05 {
+		t.Fatalf("pi amplitude = %.4f", pi)
+	}
+}
+
+func TestFitCircleRecovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 50)
+	ys := make([]float64, 50)
+	for i := range xs {
+		th := 2 * math.Pi * float64(i) / 50
+		xs[i] = 0.3 + 1.7*math.Cos(th) + rng.NormFloat64()*0.01
+		ys[i] = -0.2 + 1.7*math.Sin(th) + rng.NormFloat64()*0.01
+	}
+	c, err := FitCircle(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.R-1.7) > 0.05 || math.Abs(c.X0-0.3) > 0.05 || math.Abs(c.Y0+0.2) > 0.05 {
+		t.Fatalf("circle = %+v", c)
+	}
+	if rmse := c.RMSE(xs, ys); rmse > 0.05 {
+		t.Fatalf("rmse = %.4f", rmse)
+	}
+}
+
+func TestFitCircleDegenerate(t *testing.T) {
+	if _, err := FitCircle([]float64{1, 1, 1}, []float64{2, 2, 2}); err == nil {
+		t.Fatal("expected degenerate-circle error")
+	}
+	if _, err := FitCircle([]float64{1}, []float64{2}); err == nil {
+		t.Fatal("expected too-few-points error")
+	}
+}
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	f := func(p []float64) float64 {
+		return (p[0]-3)*(p[0]-3) + (p[1]+2)*(p[1]+2)
+	}
+	p := NelderMead(f, []float64{0, 0}, []float64{1, 1}, 300)
+	if math.Abs(p[0]-3) > 1e-3 || math.Abs(p[1]+2) > 1e-3 {
+		t.Fatalf("minimum at %v", p)
+	}
+}
+
+func TestFitErrorsOnShortData(t *testing.T) {
+	if _, err := FitExponential([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := FitLorentzian([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := FitRabi([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error")
+	}
+}

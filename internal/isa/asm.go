@@ -1,0 +1,461 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates HISQ assembly text into a Program. The accepted syntax
+// is the one used in the paper's Figure 12 listings, extended with labels:
+//
+//	# comment            (also // and ;)
+//	loop:                label
+//	addi $1,$1,40        registers as $n, xn, or ABI names
+//	cw.i.i 21,2          immediate port, immediate codeword
+//	lw $3,8($2)          load/store with displacement
+//	bne $1,$2,-28        branch to byte offset ...
+//	bne $1,$2,loop       ... or to a label
+//	jal $0,-44
+//	li $2,120            pseudo: expands to addi / lui+addi
+//	nop / mv / j / halt  pseudo-instructions
+//
+// Numeric branch/jump operands are byte offsets relative to the branch
+// instruction itself (RISC-V semantics); instructions are 4 bytes.
+func Assemble(src string) (*Program, error) {
+	type line struct {
+		num    int
+		fields []string // mnemonic + operands
+	}
+	labels := map[string]int{}
+	var lines []line
+	idx := 0
+	for n, raw := range strings.Split(src, "\n") {
+		s := stripComment(raw)
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		// Peel off any leading labels ("a: b: instr" is legal).
+		for {
+			c := strings.IndexByte(s, ':')
+			if c < 0 {
+				break
+			}
+			name := strings.TrimSpace(s[:c])
+			if !isIdent(name) {
+				break
+			}
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("isa: line %d: duplicate label %q", n+1, name)
+			}
+			labels[name] = idx
+			s = strings.TrimSpace(s[c+1:])
+		}
+		if s == "" {
+			continue
+		}
+		mnem, rest, _ := strings.Cut(s, " ")
+		fields := []string{strings.ToLower(strings.TrimSpace(mnem))}
+		rest = strings.TrimSpace(rest)
+		if rest != "" {
+			for _, f := range strings.Split(rest, ",") {
+				fields = append(fields, strings.TrimSpace(f))
+			}
+		}
+		lines = append(lines, line{num: n + 1, fields: fields})
+		idx += pseudoSize(fields)
+	}
+
+	p := &Program{Symbols: labels}
+	for _, ln := range lines {
+		ins, err := parseInstr(ln.fields, len(p.Instrs), labels)
+		if err != nil {
+			return nil, fmt.Errorf("isa: line %d: %w", ln.num, err)
+		}
+		p.Instrs = append(p.Instrs, ins...)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble for known-good sources (tests, examples); it
+// panics on error.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func stripComment(s string) string {
+	for _, sep := range []string{"#", "//", ";"} {
+		if i := strings.Index(s, sep); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// pseudoSize returns how many machine instructions a source line expands to.
+func pseudoSize(fields []string) int {
+	if fields[0] == "li" && len(fields) == 3 {
+		if v, err := strconv.ParseInt(fields[2], 0, 64); err == nil {
+			if v < -2048 || v > 2047 {
+				return 2 // lui+addi
+			}
+		}
+	}
+	return 1
+}
+
+func parseReg(s string) (uint8, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	if n, ok := abiNames[t]; ok {
+		return n, nil
+	}
+	if len(t) >= 2 && (t[0] == '$' || t[0] == 'x') {
+		v, err := strconv.Atoi(t[1:])
+		if err == nil && v >= 0 && v <= 31 {
+			return uint8(v), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseImm(s string) (int32, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if v < -(1<<31) || v > (1<<31)-1 {
+		return 0, fmt.Errorf("immediate %q out of 32-bit range", s)
+	}
+	return int32(v), nil
+}
+
+// parseTarget resolves a branch/jump operand: a label or a byte offset.
+func parseTarget(s string, at int, labels map[string]int) (int32, error) {
+	if tgt, ok := labels[s]; ok {
+		return int32((tgt - at) * 4), nil
+	}
+	return parseImm(s)
+}
+
+// parseMem parses "imm(reg)" operands of loads and stores.
+func parseMem(s string) (int32, uint8, error) {
+	open := strings.IndexByte(s, '(')
+	close := strings.LastIndexByte(s, ')')
+	if open < 0 || close < open {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	offStr := strings.TrimSpace(s[:open])
+	var off int32
+	if offStr != "" {
+		v, err := parseImm(offStr)
+		if err != nil {
+			return 0, 0, err
+		}
+		off = v
+	}
+	reg, err := parseReg(s[open+1 : close])
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, reg, nil
+}
+
+func parseInstr(f []string, at int, labels map[string]int) ([]Instr, error) {
+	need := func(n int) error {
+		if len(f)-1 != n {
+			return fmt.Errorf("%s: want %d operands, got %d", f[0], n, len(f)-1)
+		}
+		return nil
+	}
+	one := func(in Instr, err error) ([]Instr, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []Instr{in}, nil
+	}
+
+	switch f[0] {
+	// ---- pseudo-instructions ----
+	case "nop":
+		return one(Instr{Op: OpADDI}, need(0))
+	case "halt":
+		return one(Instr{Op: OpHALT}, need(0))
+	case "mv":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(f[1])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := parseReg(f[2])
+		if err != nil {
+			return nil, err
+		}
+		return []Instr{{Op: OpADDI, Rd: rd, Rs1: rs}}, nil
+	case "j":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		off, err := parseTarget(f[1], at, labels)
+		if err != nil {
+			return nil, err
+		}
+		return []Instr{{Op: OpJAL, Rd: 0, Imm: off}}, nil
+	case "li":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(f[1])
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseImm(f[2])
+		if err != nil {
+			return nil, err
+		}
+		if v >= -2048 && v <= 2047 {
+			return []Instr{{Op: OpADDI, Rd: rd, Imm: v}}, nil
+		}
+		// lui rd, hi ; addi rd, rd, lo — standard RISC-V li expansion with
+		// rounding so the sign-extended addi lands on the exact value.
+		lo := v << 20 >> 20
+		hi := (v - lo) >> 12 & 0xFFFFF
+		return []Instr{
+			{Op: OpLUI, Rd: rd, Imm: hi},
+			{Op: OpADDI, Rd: rd, Rs1: rd, Imm: lo},
+		}, nil
+
+	// ---- HISQ extension ----
+	case "waiti":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		v, err := parseImm(f[1])
+		return one(Instr{Op: OpWAITI, Imm: v}, err)
+	case "waitr":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		r, err := parseReg(f[1])
+		return one(Instr{Op: OpWAITR, Rs1: r}, err)
+	case "sync":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		v, err := parseImm(f[1])
+		return one(Instr{Op: OpSYNC, Imm: v}, err)
+	case "fmr":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(f[1])
+		if err != nil {
+			return nil, err
+		}
+		ch, err := parseImm(f[2])
+		return one(Instr{Op: OpFMR, Rd: rd, Imm: ch}, err)
+	case "send":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err := parseReg(f[1])
+		if err != nil {
+			return nil, err
+		}
+		tgt, err := parseImm(f[2])
+		return one(Instr{Op: OpSEND, Rs1: rs, Imm: tgt}, err)
+	case "recv":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(f[1])
+		if err != nil {
+			return nil, err
+		}
+		src, err := parseImm(f[2])
+		return one(Instr{Op: OpRECV, Rd: rd, Imm: src}, err)
+	case "cw.i.i":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		port, err := parseImm(f[1])
+		if err != nil {
+			return nil, err
+		}
+		if port < 0 || port > 31 {
+			return nil, fmt.Errorf("cw.i.i: immediate port %d out of range 0..31 (use cw.r.*)", port)
+		}
+		cw, err := parseImm(f[2])
+		return one(Instr{Op: OpCWII, Rd: uint8(port), Imm: cw}, err)
+	case "cw.i.r":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		port, err := parseImm(f[1])
+		if err != nil {
+			return nil, err
+		}
+		if port < 0 || port > 31 {
+			return nil, fmt.Errorf("cw.i.r: immediate port %d out of range 0..31", port)
+		}
+		r, err := parseReg(f[2])
+		return one(Instr{Op: OpCWIR, Rd: uint8(port), Rs1: r}, err)
+	case "cw.r.i":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		r, err := parseReg(f[1])
+		if err != nil {
+			return nil, err
+		}
+		cw, err := parseImm(f[2])
+		return one(Instr{Op: OpCWRI, Rs1: r, Imm: cw}, err)
+	case "cw.r.r":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		r1, err := parseReg(f[1])
+		if err != nil {
+			return nil, err
+		}
+		r2, err := parseReg(f[2])
+		return one(Instr{Op: OpCWRR, Rs1: r1, Rs2: r2}, err)
+	}
+
+	// ---- RV32I ----
+	var op Op
+	for o := OpLUI; o < opCount; o++ {
+		if opNames[o] == f[0] {
+			op = o
+			break
+		}
+	}
+	if op == OpInvalid {
+		return nil, fmt.Errorf("unknown mnemonic %q", f[0])
+	}
+	switch op {
+	case OpLUI, OpAUIPC:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(f[1])
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseImm(f[2])
+		return one(Instr{Op: op, Rd: rd, Imm: v}, err)
+	case OpJAL:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(f[1])
+		if err != nil {
+			return nil, err
+		}
+		off, err := parseTarget(f[2], at, labels)
+		return one(Instr{Op: op, Rd: rd, Imm: off}, err)
+	case OpJALR:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(f[1])
+		if err != nil {
+			return nil, err
+		}
+		rs1, err := parseReg(f[2])
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseImm(f[3])
+		return one(Instr{Op: op, Rd: rd, Rs1: rs1, Imm: v}, err)
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs1, err := parseReg(f[1])
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := parseReg(f[2])
+		if err != nil {
+			return nil, err
+		}
+		off, err := parseTarget(f[3], at, labels)
+		return one(Instr{Op: op, Rs1: rs1, Rs2: rs2, Imm: off}, err)
+	case OpLB, OpLH, OpLW, OpLBU, OpLHU:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(f[1])
+		if err != nil {
+			return nil, err
+		}
+		off, rs1, err := parseMem(f[2])
+		return one(Instr{Op: op, Rd: rd, Rs1: rs1, Imm: off}, err)
+	case OpSB, OpSH, OpSW:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs2, err := parseReg(f[1])
+		if err != nil {
+			return nil, err
+		}
+		off, rs1, err := parseMem(f[2])
+		return one(Instr{Op: op, Rs1: rs1, Rs2: rs2, Imm: off}, err)
+	case OpADDI, OpSLTI, OpSLTIU, OpXORI, OpORI, OpANDI, OpSLLI, OpSRLI, OpSRAI:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(f[1])
+		if err != nil {
+			return nil, err
+		}
+		rs1, err := parseReg(f[2])
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseImm(f[3])
+		return one(Instr{Op: op, Rd: rd, Rs1: rs1, Imm: v}, err)
+	default: // R-type ALU
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(f[1])
+		if err != nil {
+			return nil, err
+		}
+		rs1, err := parseReg(f[2])
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := parseReg(f[3])
+		return one(Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}, err)
+	}
+}

@@ -1,0 +1,260 @@
+// Package isa defines HISQ, the Hardware Instruction Set for Quantum
+// computing of the Distributed-HISQ paper (§3.1).
+//
+// HISQ is an extension of RISC-V RV32I: the classical subset provides
+// real-time register computation and program flow (§3.1.1, interrupts and
+// fences disabled), and the extension adds the four quantum-control
+// capabilities the paper identifies:
+//
+//   - timing control:      waiti/waitr (queue-based timing, §3.1.2)
+//   - triggering:          cw.x.x <port>, <codeword> (§3.1.2)
+//   - synchronization:     sync <tgt> (§3.1.3, resolved by the BISP protocol)
+//   - classical messaging: send/recv and fmr (§3.1.4)
+//
+// The paper does not publish binary encodings; we allocate the RISC-V
+// custom-0 (0x0B) and custom-1 (0x2B) major opcodes, documented on each Op
+// constant. Package isa also provides a two-pass assembler for the textual
+// syntax used in the paper's Figure 12 listings ("addi $2,$0,120",
+// "cw.i.i 21,2", "waitr $1", ...).
+package isa
+
+import "fmt"
+
+// Op identifies an instruction operation.
+type Op uint8
+
+// RV32I base integer instructions (standard encodings), followed by the HISQ
+// extension. FENCE/ECALL and CSR/interrupt instructions are deliberately
+// absent: §3.1.1 disables them to keep timing behaviour deterministic.
+const (
+	OpInvalid Op = iota
+
+	// U-type
+	OpLUI   // lui rd, imm20
+	OpAUIPC // auipc rd, imm20
+
+	// Jumps
+	OpJAL  // jal rd, offset
+	OpJALR // jalr rd, rs1, offset
+
+	// Branches (B-type)
+	OpBEQ
+	OpBNE
+	OpBLT
+	OpBGE
+	OpBLTU
+	OpBGEU
+
+	// Loads (I-type)
+	OpLB
+	OpLH
+	OpLW
+	OpLBU
+	OpLHU
+
+	// Stores (S-type)
+	OpSB
+	OpSH
+	OpSW
+
+	// ALU immediate (I-type)
+	OpADDI
+	OpSLTI
+	OpSLTIU
+	OpXORI
+	OpORI
+	OpANDI
+	OpSLLI
+	OpSRLI
+	OpSRAI
+
+	// ALU register (R-type)
+	OpADD
+	OpSUB
+	OpSLL
+	OpSLT
+	OpSLTU
+	OpXOR
+	OpSRL
+	OpSRA
+	OpOR
+	OpAND
+
+	// HISQ extension, custom-0 major opcode 0x0B.
+	OpWAITI // waiti imm          — advance timing point by imm cycles (funct3=000)
+	OpWAITR // waitr rs1          — advance timing point by reg cycles (funct3=001)
+	OpSYNC  // sync tgt           — BISP synchronization with controller/router tgt (funct3=010)
+	OpFMR   // fmr rd, ch         — fetch measurement result from channel ch (funct3=011)
+	OpSEND  // send rs1, tgt      — send GPR value to controller tgt (funct3=100)
+	OpRECV  // recv rd, src       — blocking receive from controller src (funct3=101)
+	OpHALT  // halt               — stop this core (funct3=110)
+
+	// HISQ extension, custom-1 major opcode 0x2B: the codeword-trigger family
+	// "cw.x.x <port>, <codeword>" (§3.1.2). x selects immediate or register
+	// operands for port and codeword respectively.
+	OpCWII // cw.i.i port, cw    (funct3=000; port in rd field, cw in imm12)
+	OpCWIR // cw.i.r port, rs1   (funct3=001)
+	OpCWRI // cw.r.i rs1, cw     (funct3=010)
+	OpCWRR // cw.r.r rs1, rs2    (funct3=011)
+
+	opCount
+)
+
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	OpLUI:     "lui", OpAUIPC: "auipc",
+	OpJAL: "jal", OpJALR: "jalr",
+	OpBEQ: "beq", OpBNE: "bne", OpBLT: "blt", OpBGE: "bge", OpBLTU: "bltu", OpBGEU: "bgeu",
+	OpLB: "lb", OpLH: "lh", OpLW: "lw", OpLBU: "lbu", OpLHU: "lhu",
+	OpSB: "sb", OpSH: "sh", OpSW: "sw",
+	OpADDI: "addi", OpSLTI: "slti", OpSLTIU: "sltiu", OpXORI: "xori", OpORI: "ori", OpANDI: "andi",
+	OpSLLI: "slli", OpSRLI: "srli", OpSRAI: "srai",
+	OpADD: "add", OpSUB: "sub", OpSLL: "sll", OpSLT: "slt", OpSLTU: "sltu",
+	OpXOR: "xor", OpSRL: "srl", OpSRA: "sra", OpOR: "or", OpAND: "and",
+	OpWAITI: "waiti", OpWAITR: "waitr", OpSYNC: "sync", OpFMR: "fmr",
+	OpSEND: "send", OpRECV: "recv", OpHALT: "halt",
+	OpCWII: "cw.i.i", OpCWIR: "cw.i.r", OpCWRI: "cw.r.i", OpCWRR: "cw.r.r",
+}
+
+// String returns the assembler mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsQuantum reports whether the instruction is dispatched to the timing
+// control unit rather than retired purely in the classical pipeline.
+func (o Op) IsQuantum() bool {
+	switch o {
+	case OpWAITI, OpWAITR, OpSYNC, OpCWII, OpCWIR, OpCWRI, OpCWRR:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether the op is a conditional branch.
+func (o Op) IsBranch() bool {
+	switch o {
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU:
+		return true
+	}
+	return false
+}
+
+// Instr is one decoded HISQ instruction. Field usage mirrors RV32I: Rd is the
+// destination, Rs1/Rs2 sources, Imm the sign-extended immediate. The cw
+// family reuses Rd as the immediate port number (cw.i.*) and Imm as the
+// immediate codeword (cw.*.i); sync/send/recv/fmr carry their controller,
+// channel or router address in Imm.
+type Instr struct {
+	Op  Op
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Imm int32
+}
+
+// String renders the instruction in the paper's assembly syntax.
+func (in Instr) String() string {
+	r := func(n uint8) string { return fmt.Sprintf("$%d", n) }
+	switch in.Op {
+	case OpLUI, OpAUIPC:
+		return fmt.Sprintf("%s %s,%d", in.Op, r(in.Rd), in.Imm)
+	case OpJAL:
+		return fmt.Sprintf("%s %s,%d", in.Op, r(in.Rd), in.Imm)
+	case OpJALR:
+		return fmt.Sprintf("%s %s,%s,%d", in.Op, r(in.Rd), r(in.Rs1), in.Imm)
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU:
+		return fmt.Sprintf("%s %s,%s,%d", in.Op, r(in.Rs1), r(in.Rs2), in.Imm)
+	case OpLB, OpLH, OpLW, OpLBU, OpLHU:
+		return fmt.Sprintf("%s %s,%d(%s)", in.Op, r(in.Rd), in.Imm, r(in.Rs1))
+	case OpSB, OpSH, OpSW:
+		return fmt.Sprintf("%s %s,%d(%s)", in.Op, r(in.Rs2), in.Imm, r(in.Rs1))
+	case OpADDI, OpSLTI, OpSLTIU, OpXORI, OpORI, OpANDI, OpSLLI, OpSRLI, OpSRAI:
+		return fmt.Sprintf("%s %s,%s,%d", in.Op, r(in.Rd), r(in.Rs1), in.Imm)
+	case OpADD, OpSUB, OpSLL, OpSLT, OpSLTU, OpXOR, OpSRL, OpSRA, OpOR, OpAND:
+		return fmt.Sprintf("%s %s,%s,%s", in.Op, r(in.Rd), r(in.Rs1), r(in.Rs2))
+	case OpWAITI:
+		return fmt.Sprintf("waiti %d", in.Imm)
+	case OpWAITR:
+		return fmt.Sprintf("waitr %s", r(in.Rs1))
+	case OpSYNC:
+		return fmt.Sprintf("sync %d", in.Imm)
+	case OpFMR:
+		return fmt.Sprintf("fmr %s,%d", r(in.Rd), in.Imm)
+	case OpSEND:
+		return fmt.Sprintf("send %s,%d", r(in.Rs1), in.Imm)
+	case OpRECV:
+		return fmt.Sprintf("recv %s,%d", r(in.Rd), in.Imm)
+	case OpHALT:
+		return "halt"
+	case OpCWII:
+		return fmt.Sprintf("cw.i.i %d,%d", in.Rd, in.Imm)
+	case OpCWIR:
+		return fmt.Sprintf("cw.i.r %d,%s", in.Rd, r(in.Rs1))
+	case OpCWRI:
+		return fmt.Sprintf("cw.r.i %s,%d", r(in.Rs1), in.Imm)
+	case OpCWRR:
+		return fmt.Sprintf("cw.r.r %s,%s", r(in.Rs1), r(in.Rs2))
+	}
+	return in.Op.String()
+}
+
+// Program is an assembled HISQ binary: a sequence of instructions plus the
+// symbol table produced by the assembler (label → instruction index).
+type Program struct {
+	Instrs  []Instr
+	Symbols map[string]int
+}
+
+// Len returns the number of instructions.
+func (p *Program) Len() int { return len(p.Instrs) }
+
+// Text renders the whole program as assembly, one instruction per line.
+func (p *Program) Text() string {
+	out := make([]byte, 0, len(p.Instrs)*16)
+	for _, in := range p.Instrs {
+		out = append(out, in.String()...)
+		out = append(out, '\n')
+	}
+	return string(out)
+}
+
+// Validate checks structural well-formedness: register indices < 32, branch
+// and jump targets inside the program, and wait immediates non-negative.
+func (p *Program) Validate() error {
+	n := len(p.Instrs)
+	for i, in := range p.Instrs {
+		if in.Rd > 31 || in.Rs1 > 31 || in.Rs2 > 31 {
+			return fmt.Errorf("isa: instr %d (%s): register index out of range", i, in)
+		}
+		switch {
+		case in.Op.IsBranch() || in.Op == OpJAL:
+			if in.Imm%4 != 0 {
+				return fmt.Errorf("isa: instr %d (%s): misaligned offset %d", i, in, in.Imm)
+			}
+			tgt := i + int(in.Imm/4)
+			if tgt < 0 || tgt >= n {
+				return fmt.Errorf("isa: instr %d (%s): target %d outside program of %d instrs", i, in, tgt, n)
+			}
+		case in.Op == OpWAITI:
+			if in.Imm < 0 {
+				return fmt.Errorf("isa: instr %d (%s): negative wait", i, in)
+			}
+		}
+	}
+	return nil
+}
+
+// Register name tables for the assembler/disassembler.
+var abiNames = map[string]uint8{
+	"zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+	"t0": 5, "t1": 6, "t2": 7,
+	"s0": 8, "fp": 8, "s1": 9,
+	"a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15, "a6": 16, "a7": 17,
+	"s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23, "s8": 24, "s9": 25,
+	"s10": 26, "s11": 27,
+	"t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}

@@ -1,0 +1,266 @@
+// Package machine assembles a complete Distributed-HISQ system: the
+// simulation engine, the hybrid-topology fabric with its routers, one HISQ
+// core per mesh position, and the quantum chip model — then loads compiled
+// programs and runs them to completion. It is the top of the simulation
+// stack that the experiments and the public API drive.
+package machine
+
+import (
+	"fmt"
+
+	"dhisq/internal/chip"
+	"dhisq/internal/circuit"
+	"dhisq/internal/compiler"
+	"dhisq/internal/core"
+	"dhisq/internal/network"
+	"dhisq/internal/sim"
+	"dhisq/internal/telf"
+)
+
+// BackendKind selects the quantum-state substrate.
+type BackendKind int
+
+const (
+	// BackendAuto picks StateVec for small circuits, Stabilizer for Clifford
+	// circuits, and Seeded otherwise.
+	BackendAuto BackendKind = iota
+	BackendStateVec
+	BackendStabilizer
+	BackendSeeded
+)
+
+// Config parameterizes a machine.
+type Config struct {
+	Net         network.Config
+	Durations   circuit.Durations
+	MeasLatency sim.Time
+	Backend     BackendKind
+	Seed        int64
+	// LogEvents stores individual TELF events (disable for large runs;
+	// counters are kept either way).
+	LogEvents bool
+	// Deadline bounds the run in cycles (0 = 4 billion cycles ≈ 17 s of
+	// device time, effectively unbounded for our workloads).
+	Deadline sim.Time
+}
+
+// DefaultConfig sizes a machine for n qubits with the paper's constants.
+func DefaultConfig(n int) Config {
+	d := circuit.PaperDurations()
+	return Config{
+		Net:         network.DefaultConfig(n),
+		Durations:   d,
+		MeasLatency: d.Measure + 5,
+		Backend:     BackendAuto,
+		Seed:        1,
+		LogEvents:   false,
+	}
+}
+
+// Machine is an assembled system.
+type Machine struct {
+	Cfg   Config
+	Eng   *sim.Engine
+	Topo  *network.Topology
+	Fab   *network.Fabric
+	Ctrls []*core.Controller
+	Chip  *chip.Model
+	Log   *telf.Log
+
+	numQubits int
+}
+
+// New builds the fabric and controllers for the given qubit count.
+func New(cfg Config, numQubits int) (*Machine, error) {
+	topo, err := network.NewTopology(cfg.Net)
+	if err != nil {
+		return nil, err
+	}
+	if topo.N < 1 {
+		return nil, fmt.Errorf("machine: empty mesh")
+	}
+	eng := sim.NewEngine()
+	log := telf.NewLog()
+	log.SetEnabled(cfg.LogEvents)
+	fab := network.NewFabric(eng, topo, log)
+
+	var backend chip.Backend
+	switch cfg.Backend {
+	case BackendStateVec:
+		backend = chip.NewStateVec(numQubits, cfg.Seed)
+	case BackendStabilizer:
+		backend = chip.NewStabilizer(numQubits, cfg.Seed)
+	case BackendSeeded, BackendAuto:
+		backend = chip.NewSeeded(cfg.Seed)
+	}
+	chipModel := chip.New(eng, backend, cfg.Durations, cfg.MeasLatency)
+
+	m := &Machine{
+		Cfg: cfg, Eng: eng, Topo: topo, Fab: fab,
+		Chip: chipModel, Log: log, numQubits: numQubits,
+	}
+	m.Ctrls = make([]*core.Controller, topo.N)
+	for i := range m.Ctrls {
+		cc := core.Config{ID: i, Ports: 4, QueueDepth: 1024, MemSize: 64 << 10, BurstBudget: 4096}
+		m.Ctrls[i] = core.NewController(eng, cc, fab, chipModel, log)
+		fab.Attach(i, m.Ctrls[i])
+	}
+	chipModel.SetDelivery(func(node, ch int, val uint32, at sim.Time) {
+		t := at
+		if now := eng.Now(); t < now {
+			t = now
+		}
+		ctrl := m.Ctrls[node]
+		eng.At(t, sim.PriDeliver, func() { ctrl.PushResult(ch, val, at) })
+	})
+	return m, nil
+}
+
+// NewForCircuit builds a machine sized for a circuit with an explicit mesh
+// shape, picking a backend per BackendAuto rules.
+func NewForCircuit(c *circuit.Circuit, meshW, meshH int, cfg Config) (*Machine, error) {
+	cfg.Net.MeshW, cfg.Net.MeshH = meshW, meshH
+	if cfg.Backend == BackendAuto {
+		switch {
+		case c.NumQubits <= 14:
+			cfg.Backend = BackendStateVec
+		case c.IsClifford():
+			cfg.Backend = BackendStabilizer
+		default:
+			cfg.Backend = BackendSeeded
+		}
+	}
+	return New(cfg, c.NumQubits)
+}
+
+// CompileOptions derives compiler options consistent with this machine.
+func (m *Machine) CompileOptions() compiler.Options {
+	opt := compiler.DefaultOptions(m.Topo.Root, m.Topo.N)
+	opt.Durations = m.Cfg.Durations
+	opt.MeasLatency = m.Cfg.MeasLatency
+	return opt
+}
+
+// Compile lowers a circuit for this machine.
+func (m *Machine) Compile(c *circuit.Circuit, mapping []int) (*compiler.Compiled, error) {
+	return compiler.Compile(c, mapping, m.Fab, m.CompileOptions())
+}
+
+// CompileWith lowers a circuit with explicit compiler options (ablations).
+func (m *Machine) CompileWith(c *circuit.Circuit, mapping []int, opt compiler.Options) (*compiler.Compiled, error) {
+	return compiler.Compile(c, mapping, m.Fab, opt)
+}
+
+// Load installs compiled programs and tables on every controller.
+func (m *Machine) Load(cp *compiler.Compiled) error {
+	if len(cp.Programs) != len(m.Ctrls) {
+		return fmt.Errorf("machine: %d programs for %d controllers", len(cp.Programs), len(m.Ctrls))
+	}
+	for i, p := range cp.Programs {
+		if cp.MemBytes > m.Ctrls[i].Cfg.MemSize {
+			m.Ctrls[i] = core.NewController(m.Eng, core.Config{
+				ID: i, Ports: 4, QueueDepth: 1024,
+				MemSize: cp.MemBytes, BurstBudget: 4096,
+			}, m.Fab, m.Chip, m.Log)
+			m.Fab.Attach(i, m.Ctrls[i])
+		}
+		m.Ctrls[i].Load(p)
+		m.Chip.SetTable(i, cp.Tables[i])
+	}
+	return nil
+}
+
+// Result summarizes a run.
+type Result struct {
+	Makespan      sim.Time // latest controller end time (cycles)
+	Halted        bool     // every controller reached halt
+	Violations    uint64   // TCU timing violations across controllers
+	Misalignments int      // two-qubit co-commitment failures (chip)
+	Overlaps      int      // per-qubit occupancy overlaps (chip)
+	Inversions    int      // out-of-timestamp-order backend applications (chip)
+	SyncStall     sim.Time // total cycles spent paused at sync gates
+	RecvStall     sim.Time
+	Instructions  uint64
+	Commits       uint64
+	Gates         uint64
+	Measurements  uint64
+}
+
+// Run starts every controller and drives the engine until all halt (or the
+// deadline passes). It returns the aggregate result and a descriptive error
+// if the system wedged.
+func (m *Machine) Run() (Result, error) {
+	for _, c := range m.Ctrls {
+		c.Start()
+	}
+	deadline := m.Cfg.Deadline
+	if deadline <= 0 {
+		deadline = 4_000_000_000
+	}
+	m.Eng.RunUntil(deadline)
+
+	res := Result{Halted: true}
+	for _, c := range m.Ctrls {
+		if err := c.Err(); err != nil {
+			return res, err
+		}
+		if !c.Halted() {
+			res.Halted = false
+		}
+		if t := c.EndTime(); t > res.Makespan {
+			res.Makespan = t
+		}
+		st := c.Stats
+		res.Violations += st.Violations
+		res.SyncStall += st.StallSync
+		res.RecvStall += st.StallRecv
+		res.Instructions += st.Instrs
+		res.Commits += st.Commits
+	}
+	res.Misalignments = len(m.Chip.Violations)
+	res.Overlaps = m.Chip.Overlaps
+	res.Inversions = m.Chip.OrderInversions
+	res.Gates = m.Chip.Gates
+	res.Measurements = m.Chip.Measurements
+	if len(m.Chip.Errs) > 0 {
+		return res, m.Chip.Errs[0]
+	}
+	if !res.Halted {
+		for _, c := range m.Ctrls {
+			if !c.Halted() {
+				return res, fmt.Errorf("machine: controller %d wedged (%s at pc=%d)", c.Cfg.ID, c.Blocked(), c.PC())
+			}
+		}
+	}
+	return res, nil
+}
+
+// RunCircuit is the one-call path: compile, load, run.
+func RunCircuit(c *circuit.Circuit, meshW, meshH int, mapping []int, cfg Config) (Result, *Machine, error) {
+	m, err := NewForCircuit(c, meshW, meshH, cfg)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	cp, err := m.Compile(c, mapping)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	if err := m.Load(cp); err != nil {
+		return Result{}, nil, err
+	}
+	res, err := m.Run()
+	return res, m, err
+}
+
+// ReadBit reads classical bit b from its owner's data memory after a run.
+func (m *Machine) ReadBit(cp *compiler.Compiled, b int) (int, error) {
+	owner := cp.BitOwner[b]
+	if owner < 0 {
+		return 0, fmt.Errorf("machine: bit %d was never measured", b)
+	}
+	mem := m.Ctrls[owner].ReadMem(4*b, 4)
+	if mem == nil {
+		return 0, fmt.Errorf("machine: bit %d address out of range", b)
+	}
+	return int(mem[0]) & 1, nil
+}

@@ -1,0 +1,221 @@
+package network
+
+import (
+	"fmt"
+
+	"dhisq/internal/core"
+	"dhisq/internal/sim"
+	"dhisq/internal/telf"
+)
+
+// Endpoint is the fabric's view of a leaf controller — implemented by
+// *core.Controller. Keeping it an interface lets tests drive the fabric with
+// scripted endpoints.
+type Endpoint interface {
+	DeliverMessage(src int, val uint32, arrival sim.Time)
+	DeliverSyncSignal(src int, arrival sim.Time)
+	DeliverRegionResume(router int, tm, arrival sim.Time)
+}
+
+var _ Endpoint = (*core.Controller)(nil)
+
+// Fabric implements core.Fabric over a Topology: nearby sync signals travel
+// mesh links, region sync bookings climb the router tree per Figure 8, and
+// classical messages use mesh links between neighbors or the tree otherwise.
+type Fabric struct {
+	Topo *Topology
+	eng  *sim.Engine
+	log  *telf.Log
+
+	endpoints []Endpoint
+	routers   []*Router
+}
+
+// NewFabric builds the fabric and its routers. Endpoints are attached later
+// with Attach (controllers need the fabric at construction time).
+func NewFabric(eng *sim.Engine, topo *Topology, log *telf.Log) *Fabric {
+	if log == nil {
+		log = telf.NewLog()
+	}
+	f := &Fabric{Topo: topo, eng: eng, log: log, endpoints: make([]Endpoint, topo.N)}
+	f.routers = make([]*Router, topo.NumRouters)
+	for i := range f.routers {
+		f.routers[i] = newRouter(f, topo.N+i)
+	}
+	return f
+}
+
+// Attach registers the endpoint serving controller address id.
+func (f *Fabric) Attach(id int, ep Endpoint) {
+	f.endpoints[id] = ep
+}
+
+// Router returns the router object at the given address.
+func (f *Fabric) Router(addr int) *Router { return f.routers[addr-f.Topo.N] }
+
+// IsRouter implements core.Fabric.
+func (f *Fabric) IsRouter(addr int) bool { return f.Topo.IsRouter(addr) }
+
+// NearbyWindow implements core.Fabric: the calibrated SyncU countdown for a
+// neighbor pair. Non-adjacent pairs get distance-scaled latency — the
+// compiler only emits nearest-neighbor syncs, but hand-written programs
+// remain well-defined.
+func (f *Fabric) NearbyWindow(src, dst int) sim.Time {
+	d := f.Topo.MeshDistance(src, dst)
+	if d == 0 {
+		d = 1
+	}
+	return sim.Time(d) * f.Topo.Cfg.NeighborLatency
+}
+
+// RegionWindow implements core.Fabric: booking lead time for (controller,
+// router) = exact uplink latency plus the worst-case downlink latency in the
+// router's subtree, making the time-point broadcast always arrive by Tm
+// (DESIGN.md §2.4).
+func (f *Fabric) RegionWindow(src, router int) sim.Time {
+	up := f.Topo.HopsUp(src, router)
+	if up < 0 {
+		return f.Topo.Cfg.TreeHopLatency // not an ancestor; caller will error out
+	}
+	down := f.Topo.MaxHopsDown(router)
+	perHop := f.Topo.Cfg.TreeHopLatency + f.Topo.Cfg.RouterProc
+	return sim.Time(up)*perHop + sim.Time(down)*perHop
+}
+
+// SendSyncSignal implements core.Fabric: the 1-bit nearby sync signal.
+func (f *Fabric) SendSyncSignal(src, dst int, at sim.Time) {
+	if dst < 0 || dst >= f.Topo.N {
+		panic(fmt.Sprintf("network: sync signal to invalid controller %d", dst))
+	}
+	arrival := at + f.NearbyWindow(src, dst)
+	f.schedule(arrival, func() { f.endpoints[dst].DeliverSyncSignal(src, arrival) })
+}
+
+// BookRegion implements core.Fabric: starts a Figure 8 region sync booking
+// climbing from controller src toward the destination router.
+func (f *Fabric) BookRegion(src, router int, ti, at sim.Time) {
+	if !f.Topo.IsRouter(router) || !f.Topo.IsAncestor(router, src) {
+		// §3.1.3: region sync targets must be an ancestor router.
+		panic(fmt.Sprintf("network: sync target %d is not an ancestor router of %d", router, src))
+	}
+	parent := f.Topo.Parent(src)
+	arrival := at + f.Topo.Cfg.TreeHopLatency
+	f.schedule(arrival, func() { f.Router(parent).receiveBooking(src, router, ti, arrival) })
+}
+
+// MessageLatency returns the classical message latency between two
+// controllers: one mesh link for neighbors, the router tree otherwise.
+func (f *Fabric) MessageLatency(src, dst int) sim.Time {
+	if src == dst {
+		return 1
+	}
+	if f.Topo.Adjacent(src, dst) {
+		return f.Topo.Cfg.NeighborLatency
+	}
+	hops := f.Topo.TreePathHops(src, dst)
+	return sim.Time(hops)*f.Topo.Cfg.TreeHopLatency + sim.Time(hops-1)*f.Topo.Cfg.RouterProc
+}
+
+// SendMessage implements core.Fabric.
+func (f *Fabric) SendMessage(src, dst int, value uint32, at sim.Time) {
+	if dst < 0 || dst >= f.Topo.N {
+		panic(fmt.Sprintf("network: message to invalid controller %d", dst))
+	}
+	arrival := at + f.MessageLatency(src, dst)
+	f.schedule(arrival, func() { f.endpoints[dst].DeliverMessage(src, value, arrival) })
+}
+
+// schedule clamps event times to the engine's present; logical timestamps in
+// payloads remain exact (see DESIGN.md §2).
+func (f *Fabric) schedule(at sim.Time, fn func()) {
+	if now := f.eng.Now(); at < now {
+		at = now
+	}
+	f.eng.At(at, sim.PriDeliver, fn)
+}
+
+// ---------------------------------------------------------------------------
+// Router — the Figure 8 mechanism
+// ---------------------------------------------------------------------------
+
+// Router aggregates region-sync bookings. For each destination router it
+// buffers time-points per child; once every child in the subtree has booked,
+// it forwards the maximum to its parent, or — when it is itself the
+// destination — broadcasts the common time-point to all children.
+type Router struct {
+	fab  *Fabric
+	addr int
+	// pending[dest][child] = FIFO of booked time-points. FIFOs keep repeated
+	// sync rounds (e.g., per-repetition global syncs) correctly paired.
+	pending map[int]map[int][]sim.Time
+	// Stats
+	Rounds   int
+	Messages int
+}
+
+func newRouter(f *Fabric, addr int) *Router {
+	return &Router{fab: f, addr: addr, pending: map[int]map[int][]sim.Time{}}
+}
+
+// receiveBooking handles an upward booking message from a child (Figure 8:
+// "buffer the time-point; all received? → calculate max; destination? →
+// broadcast, else send to parent").
+func (r *Router) receiveBooking(child, dest int, t, arrival sim.Time) {
+	r.Messages++
+	byChild := r.pending[dest]
+	if byChild == nil {
+		byChild = map[int][]sim.Time{}
+		r.pending[dest] = byChild
+	}
+	byChild[child] = append(byChild[child], t)
+
+	children := r.fab.Topo.Children(r.addr)
+	for _, c := range children {
+		if len(byChild[c]) == 0 {
+			return // still waiting for a sibling
+		}
+	}
+	// All children booked: pop one round and reduce.
+	max := sim.Time(0)
+	for _, c := range children {
+		q := byChild[c]
+		if q[0] > max {
+			max = q[0]
+		}
+		byChild[c] = q[1:]
+	}
+	r.Rounds++
+	depart := arrival + r.fab.Topo.Cfg.RouterProc
+	if dest == r.addr {
+		r.broadcast(dest, max, depart)
+		return
+	}
+	parent := r.fab.Topo.Parent(r.addr)
+	if parent < 0 {
+		panic(fmt.Sprintf("network: booking for %d climbed past the root", dest))
+	}
+	hop := depart + r.fab.Topo.Cfg.TreeHopLatency
+	r.fab.schedule(hop, func() { r.fab.Router(parent).receiveBooking(r.addr, dest, max, hop) })
+}
+
+// broadcast pushes the resolved common time-point tm down to every child
+// (Figure 8: a message from the parent is broadcast to all children).
+func (r *Router) broadcast(dest int, tm, depart sim.Time) {
+	r.Messages++
+	for _, c := range r.fab.Topo.Children(r.addr) {
+		arrival := depart + r.fab.Topo.Cfg.TreeHopLatency
+		child := c
+		if r.fab.Topo.IsRouter(child) {
+			r.fab.schedule(arrival, func() {
+				cr := r.fab.Router(child)
+				cr.broadcast(dest, tm, arrival+r.fab.Topo.Cfg.RouterProc)
+			})
+		} else {
+			r.fab.schedule(arrival, func() {
+				r.fab.endpoints[child].DeliverRegionResume(dest, tm, arrival)
+			})
+		}
+	}
+}
+
+var _ core.Fabric = (*Fabric)(nil)

@@ -1,0 +1,234 @@
+// Package network implements the distributed fabric of Distributed-HISQ
+// (§5): the hybrid topology — a mesh-like intra-layer connecting leaf
+// controllers (mirroring the qubit device topology) plus a tree-like
+// inter-layer of routers — the Figure 8 routing mechanism for region-level
+// synchronization, and classical message routing for feedback.
+package network
+
+import (
+	"fmt"
+
+	"dhisq/internal/sim"
+)
+
+// Config parameterizes the fabric. All latencies are in cycles (4 ns).
+type Config struct {
+	// MeshW, MeshH give the leaf controller grid; controller i sits at
+	// (i%MeshW, i/MeshW), matching a qubit-per-controller device layout.
+	MeshW, MeshH int
+	// RouterFanout is the number of children per router in the balanced
+	// inter-layer tree (§5.1 adopts a balanced tree of minimal height).
+	RouterFanout int
+	// NeighborLatency is the one-way latency of a mesh link between adjacent
+	// controllers — the calibrated N of nearby BISP sync (§4.1).
+	NeighborLatency sim.Time
+	// TreeHopLatency is the one-way latency of one tree edge.
+	TreeHopLatency sim.Time
+	// RouterProc is the processing delay a router adds per forwarded message.
+	RouterProc sim.Time
+}
+
+// DefaultConfig returns a fabric sized for n controllers with the latency
+// constants used throughout the evaluation: 2-cycle (8 ns) mesh links,
+// 4-cycle (16 ns) tree hops, 1-cycle router processing.
+func DefaultConfig(n int) Config {
+	w := 1
+	for w*w < n {
+		w++
+	}
+	h := (n + w - 1) / w
+	return Config{
+		MeshW:           w,
+		MeshH:           h,
+		RouterFanout:    4,
+		NeighborLatency: 2,
+		TreeHopLatency:  4,
+		RouterProc:      1,
+	}
+}
+
+// Topology is the static structure: controller addresses are 0..N-1 in
+// row-major mesh order; router addresses follow, level by level, ending at
+// the root.
+type Topology struct {
+	Cfg        Config
+	N          int // number of leaf controllers
+	NumRouters int
+	parent     []int   // node -> parent router (root's parent = -1)
+	children   [][]int // router-local (indexed by router-N): child node addrs
+	depth      []int   // node -> depth (root = 0)
+	Root       int
+}
+
+// NewTopology builds the hybrid topology for the given config.
+func NewTopology(cfg Config) (*Topology, error) {
+	n := cfg.MeshW * cfg.MeshH
+	if n <= 0 {
+		return nil, fmt.Errorf("network: empty mesh %dx%d", cfg.MeshW, cfg.MeshH)
+	}
+	if cfg.RouterFanout < 2 {
+		return nil, fmt.Errorf("network: router fanout %d < 2", cfg.RouterFanout)
+	}
+	t := &Topology{Cfg: cfg, N: n}
+
+	// Build the balanced tree bottom-up: group the current level into
+	// parents of RouterFanout children until one node remains. A single
+	// controller still gets one root router so region sync is well-defined.
+	level := make([]int, n)
+	for i := range level {
+		level[i] = i
+	}
+	next := n // next router address
+	parent := map[int]int{}
+	children := map[int][]int{}
+	for len(level) > 1 || next == n {
+		var up []int
+		for i := 0; i < len(level); i += cfg.RouterFanout {
+			j := i + cfg.RouterFanout
+			if j > len(level) {
+				j = len(level)
+			}
+			r := next
+			next++
+			for _, c := range level[i:j] {
+				parent[c] = r
+			}
+			children[r] = append([]int{}, level[i:j]...)
+			up = append(up, r)
+		}
+		level = up
+	}
+	t.Root = level[0]
+	t.NumRouters = next - n
+	parent[t.Root] = -1
+
+	t.parent = make([]int, next)
+	t.children = make([][]int, t.NumRouters)
+	t.depth = make([]int, next)
+	for node := 0; node < next; node++ {
+		p, ok := parent[node]
+		if !ok {
+			p = -1
+		}
+		t.parent[node] = p
+	}
+	for r, cs := range children {
+		t.children[r-n] = cs
+	}
+	// Depth by walking up.
+	for node := 0; node < next; node++ {
+		d := 0
+		for p := t.parent[node]; p >= 0; p = t.parent[p] {
+			d++
+		}
+		t.depth[node] = d
+	}
+	return t, nil
+}
+
+// IsRouter reports whether addr names a router.
+func (t *Topology) IsRouter(addr int) bool { return addr >= t.N && addr < t.N+t.NumRouters }
+
+// Parent returns the parent router of a node (-1 for the root).
+func (t *Topology) Parent(addr int) int { return t.parent[addr] }
+
+// Children returns the child nodes of a router.
+func (t *Topology) Children(router int) []int { return t.children[router-t.N] }
+
+// Coord returns the mesh coordinates of a controller.
+func (t *Topology) Coord(ctrl int) (x, y int) { return ctrl % t.Cfg.MeshW, ctrl / t.Cfg.MeshW }
+
+// MeshDistance is the Manhattan distance between two controllers.
+func (t *Topology) MeshDistance(a, b int) int {
+	ax, ay := t.Coord(a)
+	bx, by := t.Coord(b)
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Adjacent reports whether two controllers share a mesh link.
+func (t *Topology) Adjacent(a, b int) bool {
+	return a != b && a < t.N && b < t.N && MeshDistanceOne(t, a, b)
+}
+
+// MeshDistanceOne reports Manhattan distance exactly 1.
+func MeshDistanceOne(t *Topology, a, b int) bool { return t.MeshDistance(a, b) == 1 }
+
+// IsAncestor reports whether router r is an ancestor of node (controllers'
+// region sync targets must be ancestors, §3.1.3).
+func (t *Topology) IsAncestor(r, node int) bool {
+	for p := t.parent[node]; p >= 0; p = t.parent[p] {
+		if p == r {
+			return true
+		}
+	}
+	return false
+}
+
+// HopsUp counts tree edges from node up to ancestor router r.
+func (t *Topology) HopsUp(node, r int) int {
+	h := 0
+	for p := node; p != r; p = t.parent[p] {
+		if p < 0 {
+			return -1
+		}
+		h++
+	}
+	return h
+}
+
+// MaxHopsDown returns the maximum number of tree edges from router r down to
+// any leaf controller in its subtree.
+func (t *Topology) MaxHopsDown(r int) int {
+	if !t.IsRouter(r) {
+		return 0
+	}
+	m := 0
+	for _, c := range t.Children(r) {
+		d := 1 + t.MaxHopsDown(c)
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Leaves returns all leaf controllers in router r's subtree.
+func (t *Topology) Leaves(r int) []int {
+	if !t.IsRouter(r) {
+		return []int{r}
+	}
+	var out []int
+	for _, c := range t.Children(r) {
+		out = append(out, t.Leaves(c)...)
+	}
+	return out
+}
+
+// TreePathHops counts tree edges on the path between two nodes via their
+// lowest common ancestor.
+func (t *Topology) TreePathHops(a, b int) int {
+	h := 0
+	da, db := t.depth[a], t.depth[b]
+	for da > db {
+		a = t.parent[a]
+		da--
+		h++
+	}
+	for db > da {
+		b = t.parent[b]
+		db--
+		h++
+	}
+	for a != b {
+		a, b = t.parent[a], t.parent[b]
+		h += 2
+	}
+	return h
+}

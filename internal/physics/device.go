@@ -1,0 +1,85 @@
+package physics
+
+import (
+	"fmt"
+
+	"dhisq/internal/sim"
+)
+
+// PulseKind classifies the analog action a codeword triggers on this device.
+type PulseKind uint8
+
+const (
+	PulseInvalid PulseKind = iota
+	PulseDrive             // microwave drive: Freq, Rabi, Phase, Dur
+	PulseReadout           // measurement excitation + acquisition: Phase, Dur
+	PulseReset             // active qubit reset to |0>
+)
+
+// Pulse is one waveform-table entry of the calibration device — the analog
+// half of the codeword binding (cf. §3.1.2: "a codeword can correspond to
+// triggering a Gaussian pulse, setting the frequency of the NCO, or any
+// hardware action").
+type Pulse struct {
+	Kind  PulseKind
+	Freq  float64  // GHz (drive)
+	Rabi  float64  // GHz Rabi rate at this amplitude (drive)
+	Phase float64  // radians
+	Dur   sim.Time // cycles
+}
+
+// Device is the pulse-level analog model of one AWG+readout chain driving a
+// single qubit. It implements core.CWSink: codeword k (1-based) triggers
+// Table[k-1]. Discriminated readout bits go back to the controller through
+// deliver (wired to PushResult), and raw IQ samples accumulate for the host.
+type Device struct {
+	Qubit   *Qubit
+	Table   []Pulse
+	deliver func(node, ch int, val uint32, at sim.Time)
+
+	// MeasLatency is trigger-to-result availability in cycles.
+	MeasLatency sim.Time
+
+	IQ   []IQPoint
+	Bits []int
+	Errs []error
+}
+
+// NewDevice wraps a qubit with an empty waveform table.
+func NewDevice(q *Qubit, measLatency sim.Time) *Device {
+	return &Device{Qubit: q, MeasLatency: measLatency}
+}
+
+// SetDelivery installs the result path back to the controller.
+func (d *Device) SetDelivery(f func(node, ch int, val uint32, at sim.Time)) { d.deliver = f }
+
+// AddPulse appends a waveform-table entry and returns its codeword value.
+func (d *Device) AddPulse(p Pulse) uint32 {
+	d.Table = append(d.Table, p)
+	return uint32(len(d.Table))
+}
+
+// Commit implements core.CWSink.
+func (d *Device) Commit(node, port int, cw uint32, at sim.Time) {
+	idx := int(cw) - 1
+	if idx < 0 || idx >= len(d.Table) {
+		d.Errs = append(d.Errs, fmt.Errorf("physics: codeword %d outside waveform table", cw))
+		return
+	}
+	p := d.Table[idx]
+	switch p.Kind {
+	case PulseDrive:
+		d.Qubit.Drive(at, p.Freq, p.Rabi, p.Phase, p.Dur)
+	case PulseReset:
+		d.Qubit.Reset(at)
+	case PulseReadout:
+		bit, iq := d.Qubit.Readout(at, p.Phase, p.Dur)
+		d.IQ = append(d.IQ, iq)
+		d.Bits = append(d.Bits, bit)
+		if d.deliver != nil {
+			d.deliver(node, 0, uint32(bit), at+d.MeasLatency)
+		}
+	default:
+		d.Errs = append(d.Errs, fmt.Errorf("physics: invalid pulse kind for codeword %d", cw))
+	}
+}

@@ -1,0 +1,137 @@
+// Package physics models one superconducting qubit at the pulse level: a
+// two-level system with Bloch-vector dynamics under detuned Rabi drive and
+// T1/T2 decay, plus an IQ readout chain with feedline interference. It backs
+// the calibration experiments of Figure 11: the same HISQ core that drives
+// the benchmark chip model drives this device through codeword tables, which
+// is exactly the adaptability argument of §6.1 — identical digital hardware,
+// different analog binding.
+package physics
+
+import (
+	"math"
+	"math/rand"
+
+	"dhisq/internal/sim"
+)
+
+// Qubit is the modeled device-under-calibration.
+type Qubit struct {
+	FreqGHz    float64 // qubit transition frequency
+	T1ns       float64 // relaxation time
+	T2ns       float64 // dephasing time
+	ReadoutAmp float64 // IQ signal radius
+	Noise      float64 // IQ additive noise sigma
+
+	// Interference models the "small but non-negligible interference from
+	// adjacent qubits coupled to the same feedline" that distorts the
+	// Fig. 11(a) circle: a 3rd-harmonic ripple of this relative amplitude.
+	Interference float64
+
+	// Bloch vector (x, y, z); |0> is z=+1.
+	X, Y, Z float64
+
+	lastTouch sim.Time
+	rng       *rand.Rand
+}
+
+// NewQubit returns a rested qubit in |0> with the paper's Fig. 11 values:
+// 4.62 GHz transition, T1 = 9.9 µs.
+func NewQubit(seed int64) *Qubit {
+	return &Qubit{
+		FreqGHz:      4.62,
+		T1ns:         9900,
+		T2ns:         7000,
+		ReadoutAmp:   1.0,
+		Noise:        0.01,
+		Interference: 0.06,
+		Z:            1,
+		rng:          rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Reset returns the qubit to |0> at time t.
+func (q *Qubit) Reset(t sim.Time) {
+	q.X, q.Y, q.Z = 0, 0, 1
+	q.lastTouch = t
+}
+
+// P1 is the excited-state population.
+func (q *Qubit) P1() float64 { return (1 - q.Z) / 2 }
+
+// decayTo applies T1/T2 damping for the idle period up to time t.
+func (q *Qubit) decayTo(t sim.Time) {
+	dt := float64(sim.Nanoseconds(t - q.lastTouch))
+	if dt > 0 {
+		e1 := math.Exp(-dt / q.T1ns)
+		e2 := math.Exp(-dt / q.T2ns)
+		q.X *= e2
+		q.Y *= e2
+		q.Z = 1 - (1-q.Z)*e1
+	}
+	q.lastTouch = t
+}
+
+// Drive applies a resonant-frame pulse at time t: drive frequency fGHz,
+// Rabi rate rabiGHz (proportional to amplitude), phase phi, and the given
+// duration in cycles. The Bloch vector rotates about the axis
+// (Ω cos φ, Ω sin φ, Δ) by angle √(Ω²+Δ²)·duration — the textbook detuned
+// Rabi evolution producing the Fig. 11(b) spectroscopy line and the
+// Fig. 11(c) oscillation.
+func (q *Qubit) Drive(t sim.Time, fGHz, rabiGHz, phi float64, durCycles sim.Time) {
+	q.decayTo(t)
+	durNs := float64(sim.Nanoseconds(durCycles))
+	delta := 2 * math.Pi * (fGHz - q.FreqGHz)
+	omega := 2 * math.Pi * rabiGHz
+	ax, ay, az := omega*math.Cos(phi), omega*math.Sin(phi), delta
+	norm := math.Sqrt(ax*ax + ay*ay + az*az)
+	if norm > 1e-15 {
+		q.rotate(ax/norm, ay/norm, az/norm, norm*durNs)
+	}
+	q.lastTouch = t + durCycles
+}
+
+// rotate applies a Bloch rotation about unit axis (ux,uy,uz) by angle theta
+// (Rodrigues' formula).
+func (q *Qubit) rotate(ux, uy, uz, theta float64) {
+	c, s := math.Cos(theta), math.Sin(theta)
+	x, y, z := q.X, q.Y, q.Z
+	dot := ux*x + uy*y + uz*z
+	q.X = x*c + (uy*z-uz*y)*s + ux*dot*(1-c)
+	q.Y = y*c + (uz*x-ux*z)*s + uy*dot*(1-c)
+	q.Z = z*c + (ux*y-uy*x)*s + uz*dot*(1-c)
+}
+
+// IQPoint is one demodulated, integrated readout sample.
+type IQPoint struct {
+	I, Q float64
+}
+
+// Readout measures the qubit at time t with a readout pulse of the given
+// phase: it returns the discriminated bit (projective) and the IQ sample.
+// The IQ response rotates with the excitation pulse phase — sweeping it
+// draws the Fig. 11(a) circle — and carries the feedline interference
+// ripple plus Gaussian noise.
+func (q *Qubit) Readout(t sim.Time, phase float64, durCycles sim.Time) (int, IQPoint) {
+	q.decayTo(t)
+	outcome := 0
+	if q.rng.Float64() < q.P1() {
+		outcome = 1
+	}
+	// Projective collapse.
+	q.X, q.Y = 0, 0
+	if outcome == 1 {
+		q.Z = -1
+	} else {
+		q.Z = 1
+	}
+	q.lastTouch = t + durCycles
+	r := q.ReadoutAmp * (1 + q.Interference*math.Cos(3*phase+0.7))
+	if outcome == 1 {
+		r *= 0.55 // dispersive shift moves the |1> blob inward
+	}
+	pt := IQPoint{
+		I: r*math.Cos(phase) + q.rng.NormFloat64()*q.Noise,
+		Q: r*math.Sin(phase) + q.rng.NormFloat64()*q.Noise,
+	}
+	return outcome, pt
+}

@@ -1,0 +1,126 @@
+package physics
+
+import (
+	"math"
+	"testing"
+
+	"dhisq/internal/sim"
+)
+
+func TestResonantPiPulseFlips(t *testing.T) {
+	q := NewQubit(1)
+	q.T1ns, q.T2ns = 1e12, 1e12 // disable decay for the algebra check
+	// Rabi rate such that 2*pi*rabi*t = pi over 20 ns.
+	rabi := 1.0 / (2 * 20.0)
+	q.Drive(0, q.FreqGHz, rabi, 0, sim.Cycles(20))
+	if math.Abs(q.P1()-1) > 1e-9 {
+		t.Fatalf("P1 after pi pulse = %g", q.P1())
+	}
+	// A second pi pulse returns to |0>.
+	q.Drive(100, q.FreqGHz, rabi, 0, sim.Cycles(20))
+	if math.Abs(q.P1()) > 1e-9 {
+		t.Fatalf("P1 after 2pi = %g", q.P1())
+	}
+}
+
+func TestDetunedDriveSuppressed(t *testing.T) {
+	q := NewQubit(2)
+	q.T1ns, q.T2ns = 1e12, 1e12
+	rabi := 1.0 / (2 * 20.0)
+	q.Drive(0, q.FreqGHz+0.5, rabi, 0, sim.Cycles(20)) // 500 MHz detuned
+	if q.P1() > 0.05 {
+		t.Fatalf("far-detuned drive excited P1 = %g", q.P1())
+	}
+}
+
+func TestSpectroscopyLineShape(t *testing.T) {
+	// P1 peaks at resonance and falls off symmetrically.
+	probe := func(f float64) float64 {
+		q := NewQubit(3)
+		q.T1ns, q.T2ns = 1e12, 1e12
+		q.Drive(0, f, 0.02, 0, sim.Cycles(20))
+		return q.P1()
+	}
+	center := probe(4.62)
+	off := probe(4.70)
+	if center < 0.5 || off > center/2 {
+		t.Fatalf("line shape wrong: center %g, off %g", center, off)
+	}
+}
+
+func TestT1DecayBetweenOps(t *testing.T) {
+	q := NewQubit(4)
+	q.X, q.Y, q.Z = 0, 0, -1 // |1>
+	q.lastTouch = 0
+	q.decayTo(sim.Cycles(9900)) // one T1
+	want := 1 / math.E
+	if math.Abs(q.P1()-want) > 1e-6 {
+		t.Fatalf("P1 after T1 = %g, want %g", q.P1(), want)
+	}
+}
+
+func TestReadoutCollapsesAndDiscriminates(t *testing.T) {
+	ones := 0
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		q := NewQubit(int64(i))
+		q.T1ns, q.T2ns = 1e12, 1e12
+		rabi := 1.0 / (2 * 20.0)
+		q.Drive(0, q.FreqGHz, rabi/2, 0, sim.Cycles(20)) // pi/2: P1 = 0.5
+		bit, _ := q.Readout(50, 0, 75)
+		ones += bit
+		// Post-measurement state is the eigenstate.
+		if bit == 1 && math.Abs(q.P1()-1) > 1e-9 {
+			t.Fatal("collapse to |1> failed")
+		}
+		if bit == 0 && math.Abs(q.P1()) > 1e-9 {
+			t.Fatal("collapse to |0> failed")
+		}
+	}
+	frac := float64(ones) / trials
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("pi/2 readout bias: %g", frac)
+	}
+}
+
+func TestReadoutIQGeometry(t *testing.T) {
+	q := NewQubit(7)
+	q.Noise = 0
+	q.Interference = 0
+	_, p0 := q.Readout(0, 0, 75)
+	q.Reset(1000)
+	_, p90 := q.Readout(2000, math.Pi/2, 75)
+	if math.Abs(p0.I-1) > 1e-6 || math.Abs(p0.Q) > 1e-6 {
+		t.Fatalf("phase 0 point: %+v", p0)
+	}
+	if math.Abs(p90.Q-1) > 1e-6 || math.Abs(p90.I) > 1e-6 {
+		t.Fatalf("phase 90 point: %+v", p90)
+	}
+}
+
+func TestDeviceTableBinding(t *testing.T) {
+	q := NewQubit(9)
+	dev := NewDevice(q, 80)
+	rabi := 1.0 / (2 * 20.0)
+	piCW := dev.AddPulse(Pulse{Kind: PulseDrive, Freq: q.FreqGHz, Rabi: rabi, Dur: sim.Cycles(20)})
+	roCW := dev.AddPulse(Pulse{Kind: PulseReadout, Dur: 75})
+	var got []uint32
+	dev.SetDelivery(func(node, ch int, val uint32, at sim.Time) { got = append(got, val) })
+
+	dev.Commit(0, 0, piCW, 0)
+	dev.Commit(0, 2, roCW, 100)
+	if len(dev.Errs) != 0 {
+		t.Fatalf("device errors: %v", dev.Errs)
+	}
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("discriminated bits = %v, want [1]", got)
+	}
+	if len(dev.IQ) != 1 {
+		t.Fatalf("IQ samples = %d", len(dev.IQ))
+	}
+	// Unknown codeword is an error, not a panic.
+	dev.Commit(0, 0, 99, 200)
+	if len(dev.Errs) == 0 {
+		t.Fatal("expected table-range error")
+	}
+}

@@ -1,0 +1,244 @@
+// Package quantum implements a dense state-vector simulator. It is the
+// semantic ground truth for small circuits: integration tests compare the
+// measurement statistics of programs executed through the full
+// Distributed-HISQ stack (compiler → HISQ binaries → controllers → chip
+// model) against direct simulation here.
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// MaxQubits bounds dense simulation; 2^26 amplitudes is ~1 GiB.
+const MaxQubits = 26
+
+// State is an n-qubit pure state. Qubit 0 is the least significant bit of
+// the basis index.
+type State struct {
+	n   int
+	amp []complex128
+}
+
+// NewState returns |0...0> on n qubits.
+func NewState(n int) *State {
+	if n < 1 || n > MaxQubits {
+		panic(fmt.Sprintf("quantum: unsupported qubit count %d", n))
+	}
+	s := &State{n: n, amp: make([]complex128, 1<<uint(n))}
+	s.amp[0] = 1
+	return s
+}
+
+// NumQubits returns n.
+func (s *State) NumQubits() int { return s.n }
+
+// Amplitude returns the amplitude of basis state idx.
+func (s *State) Amplitude(idx int) complex128 { return s.amp[idx] }
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	c := &State{n: s.n, amp: make([]complex128, len(s.amp))}
+	copy(c.amp, s.amp)
+	return c
+}
+
+func (s *State) check(q int) {
+	if q < 0 || q >= s.n {
+		panic(fmt.Sprintf("quantum: qubit %d out of range (n=%d)", q, s.n))
+	}
+}
+
+// Apply1 applies the 2x2 unitary {{a,b},{c,d}} to qubit q.
+func (s *State) Apply1(q int, a, b, c, d complex128) {
+	s.check(q)
+	bit := 1 << uint(q)
+	for i := 0; i < len(s.amp); i++ {
+		if i&bit == 0 {
+			j := i | bit
+			a0, a1 := s.amp[i], s.amp[j]
+			s.amp[i] = a*a0 + b*a1
+			s.amp[j] = c*a0 + d*a1
+		}
+	}
+}
+
+var invSqrt2 = complex(1/math.Sqrt2, 0)
+
+// H applies a Hadamard.
+func (s *State) H(q int) { s.Apply1(q, invSqrt2, invSqrt2, invSqrt2, -invSqrt2) }
+
+// X applies a Pauli X.
+func (s *State) X(q int) { s.Apply1(q, 0, 1, 1, 0) }
+
+// Y applies a Pauli Y.
+func (s *State) Y(q int) { s.Apply1(q, 0, -1i, 1i, 0) }
+
+// Z applies a Pauli Z.
+func (s *State) Z(q int) { s.Apply1(q, 1, 0, 0, -1) }
+
+// S applies the phase gate diag(1, i).
+func (s *State) S(q int) { s.Apply1(q, 1, 0, 0, 1i) }
+
+// Sdg applies S†.
+func (s *State) Sdg(q int) { s.Apply1(q, 1, 0, 0, -1i) }
+
+// T applies diag(1, e^{iπ/4}).
+func (s *State) T(q int) { s.Apply1(q, 1, 0, 0, cmplx.Exp(1i*math.Pi/4)) }
+
+// Tdg applies T†.
+func (s *State) Tdg(q int) { s.Apply1(q, 1, 0, 0, cmplx.Exp(-1i*math.Pi/4)) }
+
+// RX rotates about X by theta.
+func (s *State) RX(q int, theta float64) {
+	c, sn := complex(math.Cos(theta/2), 0), complex(0, -math.Sin(theta/2))
+	s.Apply1(q, c, sn, sn, c)
+}
+
+// RY rotates about Y by theta.
+func (s *State) RY(q int, theta float64) {
+	c, sn := math.Cos(theta/2), math.Sin(theta/2)
+	s.Apply1(q, complex(c, 0), complex(-sn, 0), complex(sn, 0), complex(c, 0))
+}
+
+// RZ rotates about Z by theta.
+func (s *State) RZ(q int, theta float64) {
+	s.Apply1(q, cmplx.Exp(complex(0, -theta/2)), 0, 0, cmplx.Exp(complex(0, theta/2)))
+}
+
+// Phase applies diag(1, e^{iθ}) — the controlled-phase building block of QFT.
+func (s *State) Phase(q int, theta float64) {
+	s.Apply1(q, 1, 0, 0, cmplx.Exp(complex(0, theta)))
+}
+
+// CNOT applies a controlled-X with the given control and target.
+func (s *State) CNOT(ctrl, tgt int) {
+	s.check(ctrl)
+	s.check(tgt)
+	if ctrl == tgt {
+		panic("quantum: cnot with ctrl == tgt")
+	}
+	cb, tb := 1<<uint(ctrl), 1<<uint(tgt)
+	for i := range s.amp {
+		if i&cb != 0 && i&tb == 0 {
+			j := i | tb
+			s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
+		}
+	}
+}
+
+// CZ applies a controlled-Z (symmetric).
+func (s *State) CZ(a, b int) {
+	s.check(a)
+	s.check(b)
+	if a == b {
+		panic("quantum: cz with a == b")
+	}
+	ab, bb := 1<<uint(a), 1<<uint(b)
+	for i := range s.amp {
+		if i&ab != 0 && i&bb != 0 {
+			s.amp[i] = -s.amp[i]
+		}
+	}
+}
+
+// CPhase applies a controlled phase rotation (QFT's primitive).
+func (s *State) CPhase(a, b int, theta float64) {
+	s.check(a)
+	s.check(b)
+	ph := cmplx.Exp(complex(0, theta))
+	ab, bb := 1<<uint(a), 1<<uint(b)
+	for i := range s.amp {
+		if i&ab != 0 && i&bb != 0 {
+			s.amp[i] *= ph
+		}
+	}
+}
+
+// SWAP exchanges two qubits.
+func (s *State) SWAP(a, b int) {
+	s.CNOT(a, b)
+	s.CNOT(b, a)
+	s.CNOT(a, b)
+}
+
+// Prob returns the probability of measuring qubit q as 1.
+func (s *State) Prob(q int) float64 {
+	s.check(q)
+	bit := 1 << uint(q)
+	p := 0.0
+	for i, a := range s.amp {
+		if i&bit != 0 {
+			p += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	return p
+}
+
+// Measure performs a projective Z measurement of qubit q using rng for the
+// outcome draw, collapsing the state. It returns 0 or 1.
+func (s *State) Measure(q int, rng *rand.Rand) int {
+	p1 := s.Prob(q)
+	outcome := 0
+	if rng.Float64() < p1 {
+		outcome = 1
+	}
+	s.Project(q, outcome)
+	return outcome
+}
+
+// Project collapses qubit q to the given outcome and renormalizes. A
+// zero-probability projection panics: it means the caller's outcome record
+// diverged from the state, which is always a bug.
+func (s *State) Project(q int, outcome int) {
+	s.check(q)
+	bit := 1 << uint(q)
+	norm := 0.0
+	for i, a := range s.amp {
+		keep := (i&bit != 0) == (outcome == 1)
+		if keep {
+			norm += real(a)*real(a) + imag(a)*imag(a)
+		} else {
+			s.amp[i] = 0
+		}
+	}
+	if norm < 1e-12 {
+		panic(fmt.Sprintf("quantum: projecting qubit %d to impossible outcome %d", q, outcome))
+	}
+	inv := complex(1/math.Sqrt(norm), 0)
+	for i := range s.amp {
+		s.amp[i] *= inv
+	}
+}
+
+// Fidelity returns |<s|o>|^2.
+func (s *State) Fidelity(o *State) float64 {
+	if s.n != o.n {
+		panic("quantum: fidelity of different-sized states")
+	}
+	var ip complex128
+	for i := range s.amp {
+		ip += cmplx.Conj(s.amp[i]) * o.amp[i]
+	}
+	return real(ip)*real(ip) + imag(ip)*imag(ip)
+}
+
+// Probabilities returns the full basis distribution (for small-n tests).
+func (s *State) Probabilities() []float64 {
+	out := make([]float64, len(s.amp))
+	for i, a := range s.amp {
+		out[i] = real(a)*real(a) + imag(a)*imag(a)
+	}
+	return out
+}
+
+// Norm returns the state norm (should always be ~1).
+func (s *State) Norm() float64 {
+	p := 0.0
+	for _, a := range s.amp {
+		p += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(p)
+}

@@ -1,0 +1,206 @@
+package quantum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestBellState(t *testing.T) {
+	s := NewState(2)
+	s.H(0)
+	s.CNOT(0, 1)
+	p := s.Probabilities()
+	if !approx(p[0], 0.5) || !approx(p[3], 0.5) || !approx(p[1], 0) || !approx(p[2], 0) {
+		t.Fatalf("bell probabilities: %v", p)
+	}
+	// Measurement outcomes are perfectly correlated.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		c := s.Clone()
+		m0 := c.Measure(0, rng)
+		m1 := c.Measure(1, rng)
+		if m0 != m1 {
+			t.Fatalf("bell correlation broken: %d vs %d", m0, m1)
+		}
+	}
+}
+
+func TestPauliAlgebra(t *testing.T) {
+	s := NewState(1)
+	s.X(0)
+	if !approx(s.Prob(0), 1) {
+		t.Fatal("X|0> != |1>")
+	}
+	s.X(0)
+	if !approx(s.Prob(0), 0) {
+		t.Fatal("XX != I")
+	}
+	// HZH = X
+	s2 := NewState(1)
+	s2.H(0)
+	s2.Z(0)
+	s2.H(0)
+	if !approx(s2.Prob(0), 1) {
+		t.Fatal("HZH|0> != |1>")
+	}
+	// S^2 = Z
+	a := NewState(1)
+	a.H(0)
+	a.S(0)
+	a.S(0)
+	b := NewState(1)
+	b.H(0)
+	b.Z(0)
+	if !approx(a.Fidelity(b), 1) {
+		t.Fatal("SS != Z")
+	}
+	// T^2 = S
+	c := NewState(1)
+	c.H(0)
+	c.T(0)
+	c.T(0)
+	d := NewState(1)
+	d.H(0)
+	d.S(0)
+	if !approx(c.Fidelity(d), 1) {
+		t.Fatal("TT != S")
+	}
+}
+
+func TestRotations(t *testing.T) {
+	s := NewState(1)
+	s.RY(0, math.Pi) // |0> -> |1>
+	if !approx(s.Prob(0), 1) {
+		t.Fatalf("RY(pi) prob = %g", s.Prob(0))
+	}
+	s2 := NewState(1)
+	s2.RX(0, math.Pi/2)
+	if !approx(s2.Prob(0), 0.5) {
+		t.Fatalf("RX(pi/2) prob = %g", s2.Prob(0))
+	}
+	// Rabi-style sweep: P1(theta) = sin^2(theta/2).
+	for _, th := range []float64{0.1, 0.7, 1.9, 3.0} {
+		s3 := NewState(1)
+		s3.RX(0, th)
+		want := math.Sin(th/2) * math.Sin(th/2)
+		if !approx(s3.Prob(0), want) {
+			t.Fatalf("RX(%g): prob %g, want %g", th, s3.Prob(0), want)
+		}
+	}
+}
+
+func TestCZSymmetric(t *testing.T) {
+	a := NewState(2)
+	a.H(0)
+	a.H(1)
+	a.CZ(0, 1)
+	b := NewState(2)
+	b.H(0)
+	b.H(1)
+	b.CZ(1, 0)
+	if !approx(a.Fidelity(b), 1) {
+		t.Fatal("CZ not symmetric")
+	}
+	// CZ = H(t) CNOT H(t)
+	c := NewState(2)
+	c.H(0)
+	c.H(1)
+	c.H(1)
+	c.CNOT(0, 1)
+	c.H(1)
+	if !approx(a.Fidelity(c), 1) {
+		t.Fatal("CZ != H CNOT H")
+	}
+}
+
+func TestSwap(t *testing.T) {
+	s := NewState(2)
+	s.X(0)
+	s.SWAP(0, 1)
+	if !approx(s.Prob(0), 0) || !approx(s.Prob(1), 1) {
+		t.Fatalf("swap failed: p0=%g p1=%g", s.Prob(0), s.Prob(1))
+	}
+}
+
+func TestProjectRenormalizes(t *testing.T) {
+	s := NewState(2)
+	s.H(0)
+	s.CNOT(0, 1)
+	s.Project(0, 1)
+	if !approx(s.Norm(), 1) {
+		t.Fatalf("norm = %g", s.Norm())
+	}
+	if !approx(s.Prob(1), 1) {
+		t.Fatalf("correlated qubit prob = %g", s.Prob(1))
+	}
+}
+
+func TestProjectImpossiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := NewState(1) // |0>
+	s.Project(0, 1)
+}
+
+func TestMeasureStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ones := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		s := NewState(1)
+		s.H(0)
+		ones += s.Measure(0, rng)
+	}
+	frac := float64(ones) / trials
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("H measurement bias: %g", frac)
+	}
+}
+
+func TestNormPreservedUnderRandomCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		s := NewState(4)
+		for g := 0; g < 50; g++ {
+			q := rng.Intn(4)
+			switch rng.Intn(7) {
+			case 0:
+				s.H(q)
+			case 1:
+				s.T(q)
+			case 2:
+				s.S(q)
+			case 3:
+				s.RX(q, rng.Float64()*2*math.Pi)
+			case 4:
+				s.RZ(q, rng.Float64()*2*math.Pi)
+			case 5:
+				s.CNOT(q, (q+1)%4)
+			case 6:
+				s.CZ(q, (q+1)%4)
+			}
+		}
+		if !approx(s.Norm(), 1) {
+			t.Fatalf("trial %d: norm drifted to %g", trial, s.Norm())
+		}
+	}
+}
+
+func TestGHZ(t *testing.T) {
+	const n = 5
+	s := NewState(n)
+	s.H(0)
+	for q := 0; q < n-1; q++ {
+		s.CNOT(q, q+1)
+	}
+	p := s.Probabilities()
+	if !approx(p[0], 0.5) || !approx(p[(1<<n)-1], 0.5) {
+		t.Fatalf("GHZ probabilities wrong: p0=%g pN=%g", p[0], p[(1<<n)-1])
+	}
+}

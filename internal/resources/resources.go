@@ -1,0 +1,93 @@
+// Package resources models the FPGA footprint of the HISQ microarchitecture
+// (Table 1). We cannot re-synthesize the commercial DQCtrl bitstream, so
+// this is a calibrated linear cost model — and the published numbers are in
+// fact exactly linear in the channel count: both board rows decompose into a
+// shared core base plus one event queue per channel:
+//
+//	base:        1747 LUTs, 1912 FFs, 33 BRAM blocks
+//	event queue:   86 LUTs,  160 FFs, 1.5 BRAM blocks   (38 bit × 1024)
+//
+//	control board (28 ch): 1747+28·86 = 4155 LUTs, 1912+28·160 = 6392 FFs,
+//	                        33+28·1.5 = 75 blocks
+//	readout board  (8 ch): 1747+8·86 = 2435 LUTs, 1912+8·160 = 3192 FFs,
+//	                        33+8·1.5 = 45 blocks
+//
+// which reproduces Table 1 row for row. The SyncU contributes 13 LUTs (§4.1)
+// and is included in the base.
+package resources
+
+import "fmt"
+
+// BRAMBlockKbit is the block size Table 1 reports (32 Kb per block).
+const BRAMBlockKbit = 32
+
+// Estimate is an FPGA resource footprint.
+type Estimate struct {
+	LUTs       int
+	FFs        int
+	BRAMBlocks float64
+}
+
+// Add sums two estimates.
+func (e Estimate) Add(o Estimate) Estimate {
+	return Estimate{e.LUTs + o.LUTs, e.FFs + o.FFs, e.BRAMBlocks + o.BRAMBlocks}
+}
+
+// Scale multiplies an estimate by n.
+func (e Estimate) Scale(n int) Estimate {
+	return Estimate{e.LUTs * n, e.FFs * n, e.BRAMBlocks * float64(n)}
+}
+
+// BRAMKbit returns the Block-RAM footprint in kilobits.
+func (e Estimate) BRAMKbit() float64 { return e.BRAMBlocks * BRAMBlockKbit }
+
+func (e Estimate) String() string {
+	return fmt.Sprintf("%d LUTs, %d FFs, %.1f BRAM blocks (%.2f Mb)",
+		e.LUTs, e.FFs, e.BRAMBlocks, e.BRAMKbit()/1024)
+}
+
+// SyncULUTs is the synchronization unit's footprint (§4.1: "SyncU consumes
+// only 13 LUTs").
+const SyncULUTs = 13
+
+// CoreBase is the per-core cost excluding event queues: classical pipeline,
+// decoder, timing manager, SyncU, MsgU, instruction/data memory.
+func CoreBase() Estimate { return Estimate{LUTs: 1747, FFs: 1912, BRAMBlocks: 33} }
+
+// refQueue is the Table 1 event queue: 38 bit × 1024 entries.
+const (
+	refQueueBits  = 38
+	refQueueDepth = 1024
+)
+
+// EventQueue estimates one codeword event queue of the given width (bits)
+// and depth (entries), scaling the calibrated 38×1024 reference: BRAM scales
+// with capacity; LUTs/FFs scale with width (the datapath) and weakly with
+// depth (the pointers).
+func EventQueue(bits, depth int) Estimate {
+	if bits <= 0 {
+		bits = refQueueBits
+	}
+	if depth <= 0 {
+		depth = refQueueDepth
+	}
+	widthScale := float64(bits) / refQueueBits
+	capScale := float64(bits*depth) / (refQueueBits * refQueueDepth)
+	return Estimate{
+		LUTs:       int(86*widthScale + 0.5),
+		FFs:        int(160*widthScale + 0.5),
+		BRAMBlocks: 1.5 * capScale,
+	}
+}
+
+// Board estimates a HISQ board with the given number of codeword channels
+// and Table 1 queue geometry.
+func Board(channels int) Estimate {
+	return CoreBase().Add(EventQueue(refQueueBits, refQueueDepth).Scale(channels))
+}
+
+// ControlBoard is the §6.1 28-channel AWG board (8 XY + 20 Z).
+func ControlBoard() Estimate { return Board(28) }
+
+// ReadoutBoard is the §6.1 8-channel readout board (4 in + 4 out).
+func ReadoutBoard() Estimate { return Board(8) }

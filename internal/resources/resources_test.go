@@ -1,0 +1,63 @@
+package resources
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1Rows(t *testing.T) {
+	cb := ControlBoard()
+	if cb.LUTs != 4155 || cb.FFs != 6392 || cb.BRAMBlocks != 75 {
+		t.Fatalf("control board = %+v", cb)
+	}
+	rb := ReadoutBoard()
+	if rb.LUTs != 2435 || rb.FFs != 3192 || rb.BRAMBlocks != 45 {
+		t.Fatalf("readout board = %+v", rb)
+	}
+	q := EventQueue(38, 1024)
+	if q.LUTs != 86 || q.FFs != 160 || q.BRAMBlocks != 1.5 {
+		t.Fatalf("event queue = %+v", q)
+	}
+}
+
+func TestBRAMMegabits(t *testing.T) {
+	// §6.1: "2.46 Mb of Block RAM" for the control board, 1.47 Mb readout
+	// (with 32 Kb blocks: 75*32/1024 = 2.34, 45*32/1024 = 1.41 — the paper's
+	// figures use a slightly larger effective block; we stay within 10%).
+	cb := ControlBoard().BRAMKbit() / 1024
+	if cb < 2.2 || cb > 2.6 {
+		t.Fatalf("control board Mb = %g", cb)
+	}
+}
+
+func TestQueueScaling(t *testing.T) {
+	half := EventQueue(38, 512)
+	if half.BRAMBlocks != 0.75 {
+		t.Fatalf("half-depth queue BRAM = %g", half.BRAMBlocks)
+	}
+	wide := EventQueue(76, 1024)
+	if wide.LUTs != 172 || wide.BRAMBlocks != 3 {
+		t.Fatalf("double-width queue = %+v", wide)
+	}
+	def := EventQueue(0, 0)
+	if def != EventQueue(38, 1024) {
+		t.Fatal("zero geometry should default to the Table 1 queue")
+	}
+}
+
+func TestArithmeticHelpers(t *testing.T) {
+	a := Estimate{LUTs: 10, FFs: 20, BRAMBlocks: 1}
+	b := a.Add(a).Scale(2)
+	if b.LUTs != 40 || b.FFs != 80 || b.BRAMBlocks != 4 {
+		t.Fatalf("arith = %+v", b)
+	}
+	if !strings.Contains(a.String(), "10 LUTs") {
+		t.Fatalf("string = %q", a.String())
+	}
+}
+
+func TestSyncUFootnote(t *testing.T) {
+	if SyncULUTs != 13 {
+		t.Fatal("§4.1: SyncU consumes only 13 LUTs")
+	}
+}

@@ -1,0 +1,156 @@
+// Package sim provides the deterministic discrete-event simulation kernel that
+// drives every component of the Distributed-HISQ model: controllers, routers,
+// links, and the quantum chip model all schedule work on a single Engine.
+//
+// The kernel is transaction-level in the sense of the paper's CACTUS-Light
+// simulator (§6.4.1): components advance in units of controller clock cycles
+// (4 ns at the 250 MHz TCU clock) and interact through timestamped events.
+// Determinism is guaranteed by a total order on events: (time, priority,
+// insertion sequence).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is an absolute simulation time in TCU clock cycles (4 ns each).
+type Time = int64
+
+// CyclesPerSecond is the TCU clock rate from §6.1 (250 MHz, 4 ns grid).
+const CyclesPerSecond = 250_000_000
+
+// NsPerCycle is the duration of one cycle in nanoseconds.
+const NsPerCycle = 4
+
+// Nanoseconds converts a cycle count to nanoseconds.
+func Nanoseconds(t Time) int64 { return int64(t) * NsPerCycle }
+
+// Cycles converts a duration in nanoseconds to cycles, rounding up to the
+// 4 ns grid (the hardware cannot act between grid points).
+func Cycles(ns int64) Time {
+	if ns <= 0 {
+		return 0
+	}
+	return Time((ns + NsPerCycle - 1) / NsPerCycle)
+}
+
+// Priority orders events that share a timestamp. Lower runs first. Deliveries
+// run before process resumptions so that a controller unblocked by a message
+// observes it in the same cycle.
+type Priority int
+
+const (
+	PriDeliver Priority = iota // link/router deliveries
+	PriResume                  // process resumptions
+	PriCleanup                 // end-of-cycle bookkeeping
+)
+
+type event struct {
+	at   Time
+	pri  Priority
+	seq  uint64
+	call func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].pri != h[j].pri {
+		return h[i].pri < h[j].pri
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event scheduler. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	nRun   uint64
+}
+
+// NewEngine returns an empty engine at time 0.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed reports how many events have been executed.
+func (e *Engine) Processed() uint64 { return e.nRun }
+
+// Pending reports how many events are queued.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn at absolute time t. Scheduling in the past is a programming
+// error and panics: it would silently violate causality.
+func (e *Engine) At(t Time, pri Priority, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at t=%d before now=%d", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, pri: pri, seq: e.seq, call: fn})
+}
+
+// After schedules fn delay cycles from now.
+func (e *Engine) After(delay Time, pri Priority, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	e.At(e.now+delay, pri, fn)
+}
+
+// Step executes the single next event, returning false when none remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	e.nRun++
+	ev.call()
+	return true
+}
+
+// Run executes events until the queue drains or limit events have run
+// (limit <= 0 means unlimited). It returns the number executed in this call.
+func (e *Engine) Run(limit uint64) uint64 {
+	var n uint64
+	for limit <= 0 || n < limit {
+		if !e.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// RunUntil executes events with timestamps <= deadline. Events beyond the
+// deadline remain queued; the clock advances to deadline if it ran dry early.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
