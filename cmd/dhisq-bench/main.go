@@ -2,23 +2,38 @@
 // experiment prints the measured values next to the published ones where
 // applicable; EXPERIMENTS.md records the comparison.
 //
+// Experiments with a performance dimension also emit machine-readable
+// BENCH_<exp>.json files (benchmark name, shots/sec, makespan) into -out,
+// giving later changes a perf trajectory to compare against.
+//
 // Usage:
 //
-//	dhisq-bench -exp table1|fig11|fig13|fig14|fig15|fig16|all [-scale N] [-seed S]
+//	dhisq-bench -exp table1|fig11|fig13|fig14|fig15|fig16|ablation|shots|all
+//	            [-scale N] [-seed S] [-shots N] [-workers W] [-out DIR]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"time"
 
 	"dhisq/internal/exp"
+	"dhisq/internal/machine"
+	"dhisq/internal/runner"
+	"dhisq/internal/workloads"
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table1, fig11, fig13, fig14, fig15, fig16, ablation, all")
+	which := flag.String("exp", "all", "experiment: table1, fig11, fig13, fig14, fig15, fig16, ablation, shots, all")
 	scale := flag.Int("scale", 1, "divide Fig. 15 benchmark sizes by this factor")
 	seed := flag.Int64("seed", 1, "measurement outcome seed")
+	shots := flag.Int("shots", 200, "repetitions for the shots experiment")
+	workers := flag.Int("workers", 4, "worker replicas for the shots experiment")
+	outDir := flag.String("out", ".", "directory for BENCH_*.json files")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -84,7 +99,13 @@ func main() {
 		}
 		fmt.Print(res.Render())
 		fmt.Printf("paper: mean normalized runtime 0.772 (22.8%% reduction)\n")
-		return nil
+		rows := make([]benchRecord, 0, len(res.Rows))
+		for _, row := range res.Rows {
+			rows = append(rows, benchRecord{
+				Name: row.Name, Makespan: int64(row.BISP), Normalized: row.Normalized,
+			})
+		}
+		return writeBenchJSON(*outDir, "fig15", rows)
 	})
 	run("ablation", func() error {
 		rows, err := exp.AblationSyncAdvance(nil, *scale, *seed)
@@ -104,4 +125,101 @@ func main() {
 		fmt.Printf("paper: ~5x infidelity reduction across the T1 sweep\n")
 		return nil
 	})
+	run("shots", func() error {
+		return benchShots(*outDir, *scale, *seed, *shots, *workers)
+	})
+}
+
+// benchRecord is one BENCH_*.json entry. ShotsPerSec is 0 for rows that
+// only record a makespan (e.g. fig15 single runs).
+type benchRecord struct {
+	Name             string  `json:"name"`
+	Shots            int     `json:"shots,omitempty"`
+	Workers          int     `json:"workers,omitempty"`
+	ShotsPerSec      float64 `json:"shots_per_sec,omitempty"`
+	Makespan         int64   `json:"makespan_cycles"`
+	Normalized       float64 `json:"normalized,omitempty"`
+	SpeedupVsRebuild float64 `json:"speedup_vs_rebuild,omitempty"`
+}
+
+// writeBenchJSON writes records to BENCH_<name>.json under dir.
+func writeBenchJSON(dir, name string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+name+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// benchShots measures multi-shot throughput on one benchmark under the
+// three strategies — legacy rebuild-per-shot, compile-once/reset at one
+// worker, and the worker pool — verifying the merged outputs agree before
+// reporting, and emits BENCH_shots.json.
+func benchShots(outDir string, scale int, seed int64, shots, workers int) error {
+	if shots < 1 {
+		shots = 1
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	b, err := workloads.BuildScaled("bv_n400", scale*8)
+	if err != nil {
+		return err
+	}
+	cfg := machine.DefaultConfig(b.Qubits)
+	cfg.Backend = machine.BackendSeeded
+	cfg.Seed = seed
+	spec := runner.Spec{
+		Circuit: b.Circuit, MeshW: b.MeshW, MeshH: b.MeshH,
+		Mapping: b.Mapping, Cfg: cfg,
+	}
+
+	measure := func(fn func() (*runner.ShotSet, error)) (*runner.ShotSet, float64, error) {
+		start := time.Now()
+		set, err := fn()
+		if err != nil {
+			return nil, 0, err
+		}
+		return set, float64(shots) / time.Since(start).Seconds(), nil
+	}
+	rebuildSet, rebuildRate, err := measure(func() (*runner.ShotSet, error) { return runner.RunRebuild(spec, shots) })
+	if err != nil {
+		return err
+	}
+	w1Set, w1Rate, err := measure(func() (*runner.ShotSet, error) { return runner.Run(spec, shots, 1) })
+	if err != nil {
+		return err
+	}
+	if w1Set.Histogram().String() != rebuildSet.Histogram().String() {
+		return fmt.Errorf("shot strategies disagree — determinism invariant broken")
+	}
+
+	makespan := int64(w1Set.Shots[0].Result.Makespan)
+	name := b.Name
+	records := []benchRecord{
+		{Name: name + "/rebuild", Shots: shots, Workers: 1, ShotsPerSec: rebuildRate, Makespan: makespan, SpeedupVsRebuild: 1},
+		{Name: name + "/reset-w1", Shots: shots, Workers: 1, ShotsPerSec: w1Rate, Makespan: makespan, SpeedupVsRebuild: w1Rate / rebuildRate},
+	}
+	if workers > 1 {
+		wnSet, wnRate, err := measure(func() (*runner.ShotSet, error) { return runner.Run(spec, shots, workers) })
+		if err != nil {
+			return err
+		}
+		if wnSet.Histogram().String() != rebuildSet.Histogram().String() {
+			return fmt.Errorf("shot strategies disagree — determinism invariant broken")
+		}
+		records = append(records, benchRecord{
+			Name: fmt.Sprintf("%s/reset-w%d", name, workers), Shots: shots, Workers: workers,
+			ShotsPerSec: wnRate, Makespan: makespan, SpeedupVsRebuild: wnRate / rebuildRate,
+		})
+	}
+	for _, r := range records {
+		fmt.Printf("%-24s %8.1f shots/s  %5.2fx vs rebuild\n", r.Name, r.ShotsPerSec, r.SpeedupVsRebuild)
+	}
+	return writeBenchJSON(outDir, "shots", records)
 }

@@ -1,11 +1,15 @@
 // Command dhisq-sim compiles an OpenQASM dynamic circuit (or a named
 // benchmark) through the full Distributed-HISQ stack and executes it on the
-// simulated control fabric, reporting makespan and invariant checks.
+// simulated control fabric, reporting makespan and invariant checks. With
+// -shots > 1 the compiled program is run repeatedly through the shot
+// subsystem (internal/runner): compiled once, reset per shot, fanned out
+// across -workers machine replicas, with a deterministic merged histogram.
 //
 // Usage:
 //
 //	dhisq-sim -qasm file.qasm            run a circuit from OpenQASM
 //	dhisq-sim -bench qft_n30 [-scale N]  run a Figure 15 benchmark
+//	dhisq-sim -shots 100 -workers 4 ...  multi-shot execution
 //	dhisq-sim -list                      list benchmark names
 package main
 
@@ -13,9 +17,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"dhisq/internal/circuit"
 	"dhisq/internal/machine"
+	"dhisq/internal/network"
+	"dhisq/internal/runner"
 	"dhisq/internal/sim"
 	"dhisq/internal/workloads"
 )
@@ -24,7 +31,9 @@ func main() {
 	qasm := flag.String("qasm", "", "OpenQASM 2.0 file to run")
 	bench := flag.String("bench", "", "Figure 15 benchmark name")
 	scale := flag.Int("scale", 1, "benchmark size divisor")
-	seed := flag.Int64("seed", 1, "measurement outcome seed")
+	seed := flag.Int64("seed", 1, "measurement outcome base seed")
+	shots := flag.Int("shots", 1, "number of repetitions (compile once, reset per shot)")
+	workers := flag.Int("workers", 0, "machine replicas running shots in parallel (0 = GOMAXPROCS)")
 	list := flag.Bool("list", false, "list benchmark names")
 	flag.Parse()
 
@@ -55,26 +64,57 @@ func main() {
 		must(err)
 		c, meshW, meshH, mapping = b.Circuit, b.MeshW, b.MeshH, b.Mapping
 	default:
-		fmt.Fprintln(os.Stderr, "usage: dhisq-sim -qasm file | -bench name [-scale N] | -list")
+		fmt.Fprintln(os.Stderr, "usage: dhisq-sim -qasm file | -bench name [-scale N] [-shots N -workers W] | -list")
 		os.Exit(2)
+	}
+	if *shots < 1 {
+		*shots = 1
 	}
 
 	cfg := machine.DefaultConfig(c.NumQubits)
 	cfg.Seed = *seed
-	res, m, err := machine.RunCircuit(c, meshW, meshH, mapping, cfg)
+	cfg.Net.MeshW, cfg.Net.MeshH = meshW, meshH
+	topo, err := network.NewTopology(cfg.Net)
 	must(err)
 
+	start := time.Now()
+	set, err := runner.Run(runner.Spec{
+		Circuit: c, MeshW: meshW, MeshH: meshH, Mapping: mapping, Cfg: cfg,
+	}, *shots, *workers)
+	must(err)
+	elapsed := time.Since(start)
+
+	res := set.Shots[0].Result
 	st := c.CountStats()
-	fmt.Printf("qubits:        %d (mesh %dx%d, %d routers)\n", c.NumQubits, meshW, meshH, m.Topo.NumRouters)
+	fmt.Printf("qubits:        %d (mesh %dx%d, %d routers)\n", c.NumQubits, meshW, meshH, topo.NumRouters)
 	fmt.Printf("circuit:       %d 1q, %d 2q, %d measurements, %d feed-forward ops\n",
 		st.OneQubit, st.TwoQubit, st.Measurements, st.Feedforward)
 	fmt.Printf("makespan:      %d cycles (%d ns)\n", res.Makespan, sim.Nanoseconds(res.Makespan))
 	fmt.Printf("instructions:  %d executed, %d codeword commits\n", res.Instructions, res.Commits)
 	fmt.Printf("chip:          %d gates, %d measurements applied\n", res.Gates, res.Measurements)
 	fmt.Printf("sync stalls:   %d cycles total\n", res.SyncStall)
+
+	var violations, misalignments, overlaps uint64
+	for _, s := range set.Shots {
+		violations += s.Result.Violations
+		misalignments += uint64(s.Result.Misalignments)
+		overlaps += uint64(s.Result.Overlaps)
+	}
 	fmt.Printf("invariants:    %d timing violations, %d co-commitment misalignments, %d overlaps\n",
-		res.Violations, res.Misalignments, res.Overlaps)
-	if res.Violations != 0 || res.Misalignments != 0 {
+		violations, misalignments, overlaps)
+
+	if *shots > 1 {
+		fmt.Printf("shots:         %d in %v (%.1f shots/s)\n",
+			*shots, elapsed.Round(time.Millisecond), float64(*shots)/elapsed.Seconds())
+		if set.NumBits > 0 {
+			fmt.Printf("histogram (%d bits, bit 0 leftmost):\n", set.NumBits)
+			h := set.Histogram()
+			for _, k := range h.Keys() {
+				fmt.Printf("  %s %d\n", k, h[k])
+			}
+		}
+	}
+	if violations != 0 || misalignments != 0 {
 		os.Exit(1)
 	}
 }

@@ -12,6 +12,10 @@
 //   - execute them cycle-accurately on a simulated fleet of HISQ cores
 //     connected by the hybrid mesh+tree fabric, with a quantum chip model
 //     enforcing the two-qubit co-commitment invariant;
+//   - run repeated shots efficiently (RunShots, Sample): the circuit is
+//     compiled once, machines are reset in place between shots, and shots
+//     fan out across parallel machine replicas with deterministic,
+//     shot-indexed merging (internal/runner);
 //   - reproduce the paper's evaluation (Table1, Fig11*, Fig13, Fig14,
 //     Fig15, Fig16).
 //
@@ -29,6 +33,7 @@ import (
 	"dhisq/internal/isa"
 	"dhisq/internal/machine"
 	"dhisq/internal/network"
+	"dhisq/internal/runner"
 	"dhisq/internal/sim"
 	"dhisq/internal/telf"
 	"dhisq/internal/workloads"
@@ -131,6 +136,53 @@ func NewMachine(c *Circuit, meshW, meshH int, cfg MachineConfig) (*Machine, erro
 // machine for inspection (TELF log, chip state, controller memories).
 func Run(c *Circuit, meshW, meshH int, mapping []int, cfg MachineConfig) (RunResult, *Machine, error) {
 	return machine.RunCircuit(c, meshW, meshH, mapping, cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Shot execution (the internal/runner subsystem)
+// ---------------------------------------------------------------------------
+
+// Shot is the outcome of one repetition: its index in the shot stream, the
+// derived backend seed it ran with, the aggregate run result and the
+// measured classical bits.
+type Shot = runner.Shot
+
+// ShotSet is the merged outcome of a multi-shot run, ordered by shot index
+// regardless of which worker finished first.
+type ShotSet = runner.ShotSet
+
+// Histogram counts shots per classical-bitstring outcome (bit 0 leftmost).
+type Histogram = runner.Histogram
+
+// RunShots compiles the circuit once and executes it `shots` times,
+// resetting machines in place between shots and fanning the work out
+// across `workers` independent machine replicas (workers <= 0 picks
+// GOMAXPROCS). Shot k runs with a seed derived from cfg.Seed via a
+// SplitMix64 stream (shot 0 uses cfg.Seed itself), so results are
+// byte-identical for every worker count and each shot is reproducible in
+// isolation.
+func RunShots(c *Circuit, meshW, meshH int, mapping []int, cfg MachineConfig, shots, workers int) (*ShotSet, error) {
+	return runner.Run(runner.Spec{
+		Circuit: c, MeshW: meshW, MeshH: meshH, Mapping: mapping, Cfg: cfg,
+	}, shots, workers)
+}
+
+// Sample is the one-call sampling path: it places the circuit on a
+// near-square mesh with the default configuration, runs `shots`
+// repetitions in parallel, and returns the outcome histogram.
+func Sample(c *Circuit, shots int, seed int64) (Histogram, error) {
+	meshW := 1
+	for meshW*meshW < c.NumQubits {
+		meshW++
+	}
+	meshH := (c.NumQubits + meshW - 1) / meshW
+	cfg := machine.DefaultConfig(c.NumQubits)
+	cfg.Seed = seed
+	set, err := RunShots(c, meshW, meshH, nil, cfg, shots, 0)
+	if err != nil {
+		return nil, err
+	}
+	return set.Histogram(), nil
 }
 
 // Lockstep executes a circuit under the paper's lock-step baseline

@@ -140,3 +140,43 @@ func TestPublicExperimentEntryPoints(t *testing.T) {
 		t.Fatalf("resonance %f", spec.Fit.X0)
 	}
 }
+
+func TestPublicRunShotsAndSample(t *testing.T) {
+	c := NewCircuit(3)
+	c.H(0).CNOT(0, 1).CNOT(1, 2)
+	for q := 0; q < 3; q++ {
+		c.MeasureInto(q, q)
+	}
+	cfg := DefaultMachineConfig(3)
+	cfg.Seed = 7
+	seq, err := RunShots(c, 2, 2, nil, cfg, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunShots(c, 2, 2, nil, cfg, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Histogram().String() != par.Histogram().String() {
+		t.Fatal("parallel shots diverged from sequential through the public API")
+	}
+	for k, s := range seq.Shots {
+		if s.Index != k || len(s.Bits) != 3 {
+			t.Fatalf("shot %d malformed: %+v", k, s)
+		}
+		if key := s.Key(); !strings.HasPrefix(key, "000") && !strings.HasPrefix(key, "111") {
+			t.Fatalf("non-GHZ outcome %q", key)
+		}
+	}
+	h, err := Sample(c, 24, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range h {
+		total += n
+	}
+	if total != 24 {
+		t.Fatalf("histogram counts %d shots, want 24", total)
+	}
+}

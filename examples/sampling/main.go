@@ -1,0 +1,46 @@
+// Sampling: run a circuit for many shots through the shot-execution
+// subsystem — compiled once, machines reset in place between shots, shots
+// fanned out across parallel replicas — and read back the deterministic
+// outcome histogram.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dhisq"
+)
+
+func main() {
+	// A 5-qubit GHZ state measured into 5 classical bits.
+	c := dhisq.NewCircuit(5)
+	c.H(0)
+	for q := 0; q < 4; q++ {
+		c.CNOT(q, q+1)
+	}
+	for q := 0; q < 5; q++ {
+		c.MeasureInto(q, q)
+	}
+
+	// One-call sampling: near-square mesh, default config, parallel shots.
+	hist, err := dhisq.Sample(c, 200, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("outcome  count")
+	for _, key := range hist.Keys() {
+		fmt.Printf("%s    %d\n", key, hist[key])
+	}
+
+	// The explicit path exposes per-shot results and placement control.
+	cfg := dhisq.DefaultMachineConfig(5)
+	cfg.Seed = 7
+	set, err := dhisq.RunShots(c, 3, 2, nil, cfg, 8, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, shot := range set.Shots {
+		fmt.Printf("shot %d (seed %#x): %s in %d cycles\n",
+			shot.Index, uint64(shot.Seed), shot.Key(), shot.Result.Makespan)
+	}
+}

@@ -1,0 +1,3 @@
+module dhisq
+
+go 1.24

@@ -75,6 +75,12 @@ func (b *StateVecBackend) Apply2(kind circuit.Kind, param float64, x, y int) {
 // Measure implements Backend.
 func (b *StateVecBackend) Measure(q int) int { return b.State.Measure(q, b.Rng) }
 
+// Reset implements Backend: |0...0> in place, RNG reseeded.
+func (b *StateVecBackend) Reset(seed int64) {
+	b.State.Reset()
+	b.Rng = rand.New(rand.NewSource(seed))
+}
+
 // StabilizerBackend applies Clifford gates to a tableau — exact semantics at
 // thousands of qubits.
 type StabilizerBackend struct {
@@ -130,6 +136,12 @@ func (b *StabilizerBackend) Apply2(kind circuit.Kind, param float64, x, y int) {
 // Measure implements Backend.
 func (b *StabilizerBackend) Measure(q int) int { return b.Tab.MeasureZ(q, b.Rng) }
 
+// Reset implements Backend: identity tableau in place, RNG reseeded.
+func (b *StabilizerBackend) Reset(seed int64) {
+	b.Tab.Reset()
+	b.Rng = rand.New(rand.NewSource(seed))
+}
+
 // SeededBackend tracks no quantum state: gates are no-ops and each
 // measurement outcome is a deterministic hash of (seed, qubit, repetition).
 // Because outcomes do not depend on the order in which other qubits are
@@ -150,6 +162,12 @@ func (b *SeededBackend) Apply1(circuit.Kind, float64, int) {}
 
 // Apply2 implements Backend.
 func (b *SeededBackend) Apply2(circuit.Kind, float64, int, int) {}
+
+// Reset implements Backend: repetition counters clear, seed replaced.
+func (b *SeededBackend) Reset(seed int64) {
+	b.Seed = seed
+	clear(b.count)
+}
 
 // Measure implements Backend.
 func (b *SeededBackend) Measure(q int) int {

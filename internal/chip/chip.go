@@ -65,10 +65,15 @@ func (e TableEntry) Port() int {
 // Implementations: StateVecBackend (exact, small n), StabilizerBackend
 // (Clifford, large n), SeededBackend (no state; reproducible outcomes for
 // timing-only studies of non-Clifford circuits).
+//
+// Reset restores the backend to its post-construction state (|0...0>, RNG
+// reseeded with the given seed) without reallocating, so a loaded machine
+// can be re-run in place shot after shot.
 type Backend interface {
 	Apply1(kind circuit.Kind, param float64, q int)
 	Apply2(kind circuit.Kind, param float64, a, b int)
 	Measure(q int) int
+	Reset(seed int64)
 }
 
 // ResultDelivery pushes a measurement result back to a controller; the
@@ -143,6 +148,25 @@ func New(eng *sim.Engine, backend Backend, durations circuit.Durations, measLate
 
 // SetTable installs the codeword table for one controller.
 func (m *Model) SetTable(node int, table []TableEntry) { m.tables[node] = table }
+
+// Reset restores the chip to its post-construction state — pending
+// two-qubit halves, occupancy tracking, counters and error lists clear, and
+// the backend is reset with the given seed. Codeword tables, the delivery
+// callback and the calibrated durations survive, so a reset chip re-runs
+// the loaded program with fresh quantum state.
+func (m *Model) Reset(seed int64) {
+	m.backend.Reset(seed)
+	clear(m.pending)
+	clear(m.busyUntil)
+	clear(m.lastApplied)
+	m.Gates = 0
+	m.Measurements = 0
+	m.Violations = nil
+	m.Overlaps = 0
+	m.OverlapInfo = nil
+	m.OrderInversions = 0
+	m.Errs = nil
+}
 
 // SetDelivery installs the result-delivery callback.
 func (m *Model) SetDelivery(d ResultDelivery) { m.deliver = d }

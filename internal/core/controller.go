@@ -171,6 +171,16 @@ func NewController(eng *sim.Engine, cfg Config, fab Fabric, sink CWSink, log *te
 // clocks, queues are cleared).
 func (c *Controller) Load(p *isa.Program) {
 	c.prog = p
+	c.Reset()
+}
+
+// Reset restores the core to its just-loaded state — registers, data
+// memory, clocks, mailboxes, result FIFOs, stall state and counters clear,
+// while the installed program stays in place. Memory and queue maps are
+// reused, not reallocated, so resetting a loaded core is cheap; together
+// with Engine.Reset it is what lets a machine re-run the same compiled
+// program shot after shot.
+func (c *Controller) Reset() {
 	c.regs = [32]uint32{}
 	for i := range c.mem {
 		c.mem[i] = 0
@@ -178,10 +188,13 @@ func (c *Controller) Load(p *isa.Program) {
 	c.pc = 0
 	c.tc = 0
 	c.tl = timeline{}
-	c.mail = map[int][]delivered{}
-	c.results = map[int][]delivered{}
-	c.syncSig = map[int][]sim.Time{}
+	clear(c.mail)
+	clear(c.results)
+	clear(c.syncSig)
 	c.block = NotBlocked
+	c.blockOn = 0
+	c.blockAt = 0
+	c.pendCondI = 0
 	c.halted = false
 	c.err = nil
 	c.Stats = Stats{}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dhisq/internal/machine"
+	"dhisq/internal/runner"
 	"dhisq/internal/sim"
 	"dhisq/internal/workloads"
 )
@@ -41,23 +42,22 @@ func AblationSyncAdvance(names []string, scaleDiv int, seed int64) ([]AblationRo
 			cfg := machine.DefaultConfig(b.Qubits)
 			cfg.Backend = machine.BackendSeeded
 			cfg.Seed = seed
+			// The compiler-option override rides on the runner spec; one
+			// shot at the base seed matches the pre-runner behaviour.
 			m, err := machine.NewForCircuit(b.Circuit, b.MeshW, b.MeshH, cfg)
 			if err != nil {
 				return machine.Result{}, err
 			}
 			opt := m.CompileOptions()
 			opt.AdvanceBooking = advance
-			cp, err := m.CompileWith(b.Circuit, b.Mapping, opt)
+			set, err := runner.Run(runner.Spec{
+				Circuit: b.Circuit, MeshW: b.MeshW, MeshH: b.MeshH,
+				Mapping: b.Mapping, Cfg: cfg, Options: &opt,
+			}, 1, 1)
 			if err != nil {
 				return machine.Result{}, err
 			}
-			if err := m.Load(cp); err != nil {
-				return machine.Result{}, err
-			}
-			res, err := m.Run()
-			if err != nil {
-				return machine.Result{}, err
-			}
+			res := set.Shots[0].Result
 			if res.Misalignments != 0 || res.Violations != 0 {
 				return machine.Result{}, fmt.Errorf("%s advance=%v: invariants broken", name, advance)
 			}

@@ -43,6 +43,32 @@ func newCalRig(seed int64) *calRig {
 // run assembles and executes a program to completion.
 func (r *calRig) run(src string) error {
 	r.ctrl.Load(isa.MustAssemble(src))
+	return r.exec()
+}
+
+// runShots assembles src once and executes it `shots` times, resetting the
+// engine and controller between repetitions — the calibration-rig instance
+// of the compile-once/reset-per-shot pattern (see internal/runner for the
+// machine-level subsystem). Device state deliberately survives the resets:
+// the waveform table is part of the compiled artifact, the qubit RNG keeps
+// advancing so shots stay statistically independent, and the IQ/bit
+// accumulators are the sweep's measurement record. Every shot body begins
+// with an active reset pulse, which re-anchors the qubit's Bloch vector and
+// decay clock, so rewinding the engine clock does not perturb the physics.
+func (r *calRig) runShots(src string, shots int) error {
+	r.ctrl.Load(isa.MustAssemble(src))
+	for s := 0; s < shots; s++ {
+		r.eng.Reset()
+		r.ctrl.Reset()
+		if err := r.exec(); err != nil {
+			return fmt.Errorf("shot %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// exec drives the loaded program to completion.
+func (r *calRig) exec() error {
 	r.ctrl.Start()
 	r.eng.RunUntil(r.eng.Now() + 500_000_000)
 	if err := r.ctrl.Err(); err != nil {
@@ -105,22 +131,19 @@ func Fig11DrawCircle(points int, seed int64) (Fig11CircleResult, error) {
 
 // sweepP1 runs, for every sweep value, `shots` repetitions of
 // [reset][prep...][readout] and returns the measured P1 per value. The
-// per-shot program body is produced by body(cw builder helpers).
+// per-shot program body is produced by body(cw builder helpers). Each sweep
+// value's shot program is assembled once and re-run under the reset path,
+// instead of unrolling points x shots bodies into one giant binary.
 func sweepP1(rig *calRig, values []float64, shots int, body func(v float64) string) ([]float64, error) {
-	src := ""
 	resetCW := rig.dev.AddPulse(physics.Pulse{Kind: physics.PulseReset})
 	readCW := rig.dev.AddPulse(physics.Pulse{Kind: physics.PulseReadout, Dur: readoutPulseCy})
 	for _, v := range values {
-		b := body(v)
-		for s := 0; s < shots; s++ {
-			src += fmt.Sprintf("cw.i.i 1,%d\nwaiti 2\n", resetCW)
-			src += b
-			src += fmt.Sprintf("cw.i.i 2,%d\nwaiti %d\n", readCW, readoutPulseCy+10)
+		src := fmt.Sprintf("cw.i.i 1,%d\nwaiti 2\n", resetCW)
+		src += body(v)
+		src += fmt.Sprintf("cw.i.i 2,%d\nwaiti %d\nhalt\n", readCW, readoutPulseCy+10)
+		if err := rig.runShots(src, shots); err != nil {
+			return nil, err
 		}
-	}
-	src += "halt\n"
-	if err := rig.run(src); err != nil {
-		return nil, err
 	}
 	if want := len(values) * shots; len(rig.dev.Bits) != want {
 		return nil, fmt.Errorf("fig11: %d outcomes, want %d", len(rig.dev.Bits), want)

@@ -6,6 +6,7 @@ import (
 	"dhisq/internal/baseline"
 	"dhisq/internal/chip"
 	"dhisq/internal/machine"
+	"dhisq/internal/runner"
 	"dhisq/internal/sim"
 	"dhisq/internal/workloads"
 )
@@ -82,10 +83,16 @@ func fig15One(b workloads.Benchmark, seed int64) (Fig15Row, error) {
 	cfg := machine.DefaultConfig(b.Qubits)
 	cfg.Backend = machine.BackendSeeded
 	cfg.Seed = seed
-	res, _, err := machine.RunCircuit(b.Circuit, b.MeshW, b.MeshH, b.Mapping, cfg)
+	// One shot through the shot-execution subsystem; shot 0 runs with the
+	// base seed, so the lock-step replay below takes identical branches.
+	set, err := runner.Run(runner.Spec{
+		Circuit: b.Circuit, MeshW: b.MeshW, MeshH: b.MeshH,
+		Mapping: b.Mapping, Cfg: cfg,
+	}, 1, 1)
 	if err != nil {
 		return Fig15Row{}, err
 	}
+	res := set.Shots[0].Result
 	if res.Misalignments != 0 || res.Violations != 0 {
 		return Fig15Row{}, fmt.Errorf("invariant broken: %d misalignments, %d violations",
 			res.Misalignments, res.Violations)

@@ -8,6 +8,7 @@ import (
 	"dhisq/internal/circuit"
 	"dhisq/internal/fidelity"
 	"dhisq/internal/machine"
+	"dhisq/internal/runner"
 	"dhisq/internal/sim"
 )
 
@@ -73,10 +74,13 @@ func Fig16Fidelity(distance, repetitions int, t1us []float64, seed int64) (Fig16
 	cfg.Backend = machine.BackendSeeded
 	cfg.Seed = seed
 	w := (phys.NumQubits + 1) / 2
-	res, _, err := machine.RunCircuit(phys, w, 2, nil, cfg)
+	// Shot 0 through the runner runs with the base seed, keeping the
+	// lock-step replay below on identical branches.
+	set, err := runner.Run(runner.Spec{Circuit: phys, MeshW: w, MeshH: 2, Cfg: cfg}, 1, 1)
 	if err != nil {
 		return Fig16Result{}, err
 	}
+	res := set.Shots[0].Result
 	bres, err := baseline.Run(phys, baseline.DefaultConfig(chip.NewSeeded(seed)))
 	if err != nil {
 		return Fig16Result{}, err

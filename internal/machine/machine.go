@@ -68,9 +68,16 @@ type Machine struct {
 	Log   *telf.Log
 
 	numQubits int
+	loaded    *compiler.Compiled
 }
 
 // New builds the fabric and controllers for the given qubit count.
+//
+// BackendAuto resolves to BackendSeeded here: the Auto rules need the
+// circuit (qubit count for StateVec, the Clifford check for Stabilizer),
+// which New does not have. Use NewForCircuit to get circuit-aware backend
+// selection; direct callers of New get the timing-only seeded substrate
+// unless they pass a concrete kind.
 func New(cfg Config, numQubits int) (*Machine, error) {
 	topo, err := network.NewTopology(cfg.Net)
 	if err != nil {
@@ -78,6 +85,9 @@ func New(cfg Config, numQubits int) (*Machine, error) {
 	}
 	if topo.N < 1 {
 		return nil, fmt.Errorf("machine: empty mesh")
+	}
+	if cfg.Backend == BackendAuto {
+		cfg.Backend = BackendSeeded
 	}
 	eng := sim.NewEngine()
 	log := telf.NewLog()
@@ -90,7 +100,7 @@ func New(cfg Config, numQubits int) (*Machine, error) {
 		backend = chip.NewStateVec(numQubits, cfg.Seed)
 	case BackendStabilizer:
 		backend = chip.NewStabilizer(numQubits, cfg.Seed)
-	case BackendSeeded, BackendAuto:
+	default:
 		backend = chip.NewSeeded(cfg.Seed)
 	}
 	chipModel := chip.New(eng, backend, cfg.Durations, cfg.MeasLatency)
@@ -167,7 +177,46 @@ func (m *Machine) Load(cp *compiler.Compiled) error {
 		m.Ctrls[i].Load(p)
 		m.Chip.SetTable(i, cp.Tables[i])
 	}
+	m.loaded = cp
 	return nil
+}
+
+// Loaded returns the artifact installed by the last Load (nil before any).
+func (m *Machine) Loaded() *compiler.Compiled { return m.loaded }
+
+// Reset rewinds a loaded machine to its just-loaded state so the same
+// compiled program can run again without rebuilding anything: the engine
+// drains and its clock rewinds, every controller clears back to pc 0 with
+// its program in place, the routers drop pending bookings, the TELF log
+// empties, and the chip resets its quantum state with the given seed. No
+// component is reallocated — this is the cheap per-shot path that
+// RunShots and internal/runner are built on.
+func (m *Machine) Reset(seed int64) {
+	m.Eng.Reset()
+	m.Log.Reset()
+	m.Fab.Reset()
+	m.Chip.Reset(seed)
+	for _, c := range m.Ctrls {
+		c.Reset()
+	}
+}
+
+// DeriveSeed returns the backend seed for shot number `shot` of a run whose
+// base seed is `base`. Shot 0 uses the base seed itself, so a one-shot run
+// is bit-identical to the legacy build-run path; later shots draw from a
+// SplitMix64 stream over (base, shot), so shot k is reproducible in
+// isolation without replaying shots 0..k-1.
+func DeriveSeed(base int64, shot int) int64 {
+	if shot == 0 {
+		return base
+	}
+	x := uint64(base) + uint64(shot)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x)
 }
 
 // Result summarizes a run.
@@ -252,6 +301,28 @@ func RunCircuit(c *circuit.Circuit, meshW, meshH int, mapping []int, cfg Config)
 	return res, m, err
 }
 
+// RunShots executes the loaded program n times on this machine — reset,
+// run, repeat — deriving the shot-k backend seed from Cfg.Seed via
+// DeriveSeed. The machine is reset before every shot including the first,
+// so RunShots(n) is independent of whatever ran before it; shot results
+// are returned in shot order. On error the shots completed so far are
+// returned alongside it.
+func (m *Machine) RunShots(n int) ([]Result, error) {
+	if m.loaded == nil {
+		return nil, fmt.Errorf("machine: RunShots before Load")
+	}
+	out := make([]Result, 0, n)
+	for k := 0; k < n; k++ {
+		m.Reset(DeriveSeed(m.Cfg.Seed, k))
+		res, err := m.Run()
+		if err != nil {
+			return out, fmt.Errorf("machine: shot %d: %w", k, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
 // ReadBit reads classical bit b from its owner's data memory after a run.
 func (m *Machine) ReadBit(cp *compiler.Compiled, b int) (int, error) {
 	owner := cp.BitOwner[b]
@@ -263,4 +334,24 @@ func (m *Machine) ReadBit(cp *compiler.Compiled, b int) (int, error) {
 		return 0, fmt.Errorf("machine: bit %d address out of range", b)
 	}
 	return int(mem[0]) & 1, nil
+}
+
+// ReadBits reads every classical bit of the loaded program after a run.
+// Bits that were never measured (owner < 0) read as 0.
+func (m *Machine) ReadBits() ([]int, error) {
+	if m.loaded == nil {
+		return nil, fmt.Errorf("machine: ReadBits before Load")
+	}
+	bits := make([]int, len(m.loaded.BitOwner))
+	for b, owner := range m.loaded.BitOwner {
+		if owner < 0 {
+			continue
+		}
+		mem := m.Ctrls[owner].ReadMem(4*b, 4)
+		if mem == nil {
+			return nil, fmt.Errorf("machine: bit %d address out of range", b)
+		}
+		bits[b] = int(mem[0]) & 1
+	}
+	return bits, nil
 }

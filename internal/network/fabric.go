@@ -50,6 +50,19 @@ func (f *Fabric) Attach(id int, ep Endpoint) {
 	f.endpoints[id] = ep
 }
 
+// Reset restores every router to its post-construction state: pending
+// booking FIFOs and statistics clear, while the topology, attached
+// endpoints and calibrated latencies survive. In-flight traffic lives on
+// the engine's event heap, so the owning machine must reset the engine in
+// the same breath.
+func (f *Fabric) Reset() {
+	for _, r := range f.routers {
+		clear(r.pending)
+		r.Rounds = 0
+		r.Messages = 0
+	}
+}
+
 // Router returns the router object at the given address.
 func (f *Fabric) Router(addr int) *Router { return f.routers[addr-f.Topo.N] }
 

@@ -35,6 +35,14 @@ func NewState(n int) *State {
 // NumQubits returns n.
 func (s *State) NumQubits() int { return s.n }
 
+// Reset returns the state to |0...0> in place, reusing the amplitude array.
+func (s *State) Reset() {
+	for i := range s.amp {
+		s.amp[i] = 0
+	}
+	s.amp[0] = 1
+}
+
 // Amplitude returns the amplitude of basis state idx.
 func (s *State) Amplitude(idx int) complex128 { return s.amp[idx] }
 

@@ -1,0 +1,42 @@
+package runner
+
+import (
+	"fmt"
+	"testing"
+
+	"dhisq/internal/machine"
+	"dhisq/internal/workloads"
+)
+
+// benchSpec is a mid-size Clifford benchmark: big enough that a shot does
+// real work, small enough that b.N shots stay benchmark-friendly.
+func benchSpec(tb testing.TB) Spec {
+	b, err := workloads.BuildScaled("bv_n400", 8)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg := machine.DefaultConfig(b.Qubits)
+	cfg.Backend = machine.BackendSeeded
+	cfg.Seed = 1
+	return Spec{Circuit: b.Circuit, MeshW: b.MeshW, MeshH: b.MeshH, Mapping: b.Mapping, Cfg: cfg}
+}
+
+// BenchmarkShotRunner compares the three shot-execution strategies on the
+// same workload: the legacy rebuild-per-shot path, the compile-once/reset
+// path at one worker, and the worker pool at four. The acceptance bar is
+// reset-w1 beating rebuild and reset-w4 at >= 2x rebuild throughput.
+func BenchmarkShotRunner(b *testing.B) {
+	spec := benchSpec(b)
+	b.Run("rebuild", func(b *testing.B) {
+		if _, err := RunRebuild(spec, b.N); err != nil {
+			b.Fatal(err)
+		}
+	})
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("reset-w%d", w), func(b *testing.B) {
+			if _, err := Run(spec, b.N, w); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

@@ -95,6 +95,21 @@ func NewEngine() *Engine {
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
 
+// Reset restores the engine to its post-construction state: the event heap
+// is drained, the clock rewinds to 0 and the sequence/processed counters
+// clear. The backing heap storage is retained, so a reset engine re-runs a
+// workload without reallocating. It is the bottom of the machine-wide
+// Reset path that makes multi-shot execution cheap.
+func (e *Engine) Reset() {
+	for i := range e.events {
+		e.events[i] = nil
+	}
+	e.events = e.events[:0]
+	e.now = 0
+	e.seq = 0
+	e.nRun = 0
+}
+
 // Processed reports how many events have been executed.
 func (e *Engine) Processed() uint64 { return e.nRun }
 

@@ -48,6 +48,22 @@ func New(n int) *Tableau {
 // NumQubits returns n.
 func (t *Tableau) NumQubits() int { return t.n }
 
+// Reset returns the tableau to |0...0> in place — destabilizers X_i,
+// stabilizers Z_i — reusing the allocated bit-matrices.
+func (t *Tableau) Reset() {
+	for i := range t.x {
+		for w := range t.x[i] {
+			t.x[i][w] = 0
+			t.z[i][w] = 0
+		}
+		t.r[i] = 0
+	}
+	for q := 0; q < t.n; q++ {
+		t.x[q][q/64] |= 1 << uint(q%64)
+		t.z[t.n+q][q/64] |= 1 << uint(q%64)
+	}
+}
+
 // Clone deep-copies the tableau.
 func (t *Tableau) Clone() *Tableau {
 	c := &Tableau{n: t.n, words: t.words, r: append([]uint8{}, t.r...)}

@@ -84,6 +84,13 @@ func NewLog() *Log {
 // benchmark runs can disable event storage but keep violation statistics.
 func (l *Log) SetEnabled(on bool) { l.enabled = on }
 
+// Reset clears recorded events and counts while keeping the enabled flag
+// and the event storage capacity, so a multi-shot run reuses one log.
+func (l *Log) Reset() {
+	l.Events = l.Events[:0]
+	clear(l.counts)
+}
+
 // Add records an event.
 func (l *Log) Add(e Event) {
 	l.counts[e.Kind]++
