@@ -12,6 +12,7 @@ import (
 	"dhisq/internal/exp"
 	"dhisq/internal/isa"
 	"dhisq/internal/machine"
+	"dhisq/internal/service"
 	"dhisq/internal/sim"
 	"dhisq/internal/stabilizer"
 	"dhisq/internal/workloads"
@@ -181,6 +182,90 @@ func BenchmarkCompileQFT(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkArtifactCache measures what the content-addressed cache buys
+// on a repeat-circuit compile: "fresh" pays the full lowering every
+// iteration, "cached" is a fingerprint hash plus an LRU lookup. The gap
+// between the two is the compile cost a repeat submission skips.
+func BenchmarkArtifactCache(b *testing.B) {
+	bench, err := workloads.BuildScaled("qft_n100", 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := machine.DefaultConfig(bench.Qubits)
+	cfg.Backend = machine.BackendSeeded
+	m, err := machine.NewForCircuit(bench.Circuit, bench.MeshW, bench.MeshH, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := m.CompileFresh(bench.Circuit, bench.Mapping, m.CompileOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		if _, err := m.Compile(bench.Circuit, bench.Mapping); err != nil {
+			b.Fatal(err) // warm the shared cache
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Compile(bench.Circuit, bench.Mapping); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkServiceRepeatJobs is the repeat-circuit serving workload the
+// artifact cache and replica pool exist for: every iteration submits the
+// same benchmark as a fresh job. "cold" is the pre-serving world — a
+// fresh service and a FreshCompile job per iteration, so each submission
+// pays compile + machine build; "warm" keeps one service hot, so a job
+// is admission + reset-and-run only.
+func BenchmarkServiceRepeatJobs(b *testing.B) {
+	bench, err := workloads.BuildScaled("qft_n30", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := machine.DefaultConfig(bench.Qubits)
+	cfg.Backend = machine.BackendSeeded
+	const shotsPerJob = 1
+
+	submit := func(b *testing.B, svc *service.Service, fresh bool) {
+		b.Helper()
+		id, err := svc.Submit(service.Request{
+			Circuit: bench.Circuit, MeshW: bench.MeshW, MeshH: bench.MeshH,
+			Mapping: bench.Mapping, Cfg: &cfg, Shots: shotsPerJob, Seed: 3,
+			FreshCompile: fresh,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, ok := svc.Wait(id)
+		if !ok || st.State != service.StateDone {
+			b.Fatalf("job: ok=%v state=%s err=%q", ok, st.State, st.Err)
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			svc := service.New(service.Config{Workers: 1})
+			submit(b, svc, true)
+			svc.Close()
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		svc := service.New(service.Config{Workers: 1})
+		defer svc.Close()
+		submit(b, svc, false) // warm the cache and the replica pool
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			submit(b, svc, false)
+		}
+	})
 }
 
 func BenchmarkAblationSyncAdvance(b *testing.B) {

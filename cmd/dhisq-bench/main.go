@@ -8,8 +8,8 @@
 //
 // Usage:
 //
-//	dhisq-bench -exp table1|fig11|fig13|fig14|fig15|fig16|ablation|shots|all
-//	            [-scale N] [-seed S] [-shots N] [-workers W] [-out DIR]
+//	dhisq-bench -exp table1|fig11|fig13|fig14|fig15|fig16|ablation|shots|cache|all
+//	            [-scale N] [-seed S] [-shots N] [-workers W] [-jobs N] [-out DIR]
 package main
 
 import (
@@ -21,18 +21,21 @@ import (
 	"runtime"
 	"time"
 
+	"dhisq/internal/artifact"
 	"dhisq/internal/exp"
 	"dhisq/internal/machine"
 	"dhisq/internal/runner"
+	"dhisq/internal/service"
 	"dhisq/internal/workloads"
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table1, fig11, fig13, fig14, fig15, fig16, ablation, shots, all")
+	which := flag.String("exp", "all", "experiment: table1, fig11, fig13, fig14, fig15, fig16, ablation, shots, cache, all")
 	scale := flag.Int("scale", 1, "divide Fig. 15 benchmark sizes by this factor")
 	seed := flag.Int64("seed", 1, "measurement outcome seed")
 	shots := flag.Int("shots", 200, "repetitions for the shots experiment")
 	workers := flag.Int("workers", 4, "worker replicas for the shots experiment")
+	jobs := flag.Int("jobs", 40, "repeat submissions for the cache experiment")
 	outDir := flag.String("out", ".", "directory for BENCH_*.json files")
 	flag.Parse()
 
@@ -128,6 +131,9 @@ func main() {
 	run("shots", func() error {
 		return benchShots(*outDir, *scale, *seed, *shots, *workers)
 	})
+	run("cache", func() error {
+		return benchCache(*outDir, *seed, *jobs)
+	})
 }
 
 // benchRecord is one BENCH_*.json entry. ShotsPerSec is 0 for rows that
@@ -136,10 +142,15 @@ type benchRecord struct {
 	Name             string  `json:"name"`
 	Shots            int     `json:"shots,omitempty"`
 	Workers          int     `json:"workers,omitempty"`
+	Jobs             int     `json:"jobs,omitempty"`
 	ShotsPerSec      float64 `json:"shots_per_sec,omitempty"`
+	JobsPerSec       float64 `json:"jobs_per_sec,omitempty"`
 	Makespan         int64   `json:"makespan_cycles"`
 	Normalized       float64 `json:"normalized,omitempty"`
 	SpeedupVsRebuild float64 `json:"speedup_vs_rebuild,omitempty"`
+	SpeedupVsCold    float64 `json:"speedup_vs_cold,omitempty"`
+	CacheHits        uint64  `json:"cache_hits,omitempty"`
+	CacheMisses      uint64  `json:"cache_misses,omitempty"`
 }
 
 // writeBenchJSON writes records to BENCH_<name>.json under dir.
@@ -222,4 +233,126 @@ func benchShots(outDir string, scale int, seed int64, shots, workers int) error 
 		fmt.Printf("%-24s %8.1f shots/s  %5.2fx vs rebuild\n", r.Name, r.ShotsPerSec, r.SpeedupVsRebuild)
 	}
 	return writeBenchJSON(outDir, "shots", records)
+}
+
+// benchCache measures the repeat-circuit serving workload the artifact
+// cache and replica pool exist for: many single-shot jobs for the same
+// circuit. Cold pays compile + machine build per job (fresh service,
+// cleared cache — the pre-cache behavior); warm submits through one
+// long-lived service, which compiles exactly once and batches every
+// later job onto pooled replicas. Results must be byte-identical; emits
+// BENCH_cache.json.
+func benchCache(outDir string, seed int64, jobs int) error {
+	if jobs < 2 {
+		jobs = 2
+	}
+	b, err := workloads.BuildScaled("qft_n30", 1)
+	if err != nil {
+		return err
+	}
+	cfg := machine.DefaultConfig(b.Qubits)
+	cfg.Backend = machine.BackendSeeded
+	submit := func(svc *service.Service, fresh bool) (service.JobStatus, error) {
+		id, err := svc.Submit(service.Request{
+			Circuit: b.Circuit, MeshW: b.MeshW, MeshH: b.MeshH,
+			Mapping: b.Mapping, Cfg: &cfg, Shots: 1, Seed: seed,
+			FreshCompile: fresh,
+		})
+		if err != nil {
+			return service.JobStatus{}, err
+		}
+		st, ok := svc.Wait(id)
+		if !ok {
+			return st, fmt.Errorf("job %s vanished", id)
+		}
+		if st.State != service.StateDone {
+			return st, fmt.Errorf("job %s: %s (%s)", id, st.State, st.Err)
+		}
+		return st, nil
+	}
+
+	// Cold is the pre-serving world: nothing outlives a submission, so
+	// each job gets a fresh service and a FreshCompile execution —
+	// machine build + full compile per job, no cache, no pooled
+	// replicas (and no interference with the warm service's cached
+	// artifact). Warm is the PR's serving stack: one long-lived
+	// service, one compile, pooled replicas. Rounds are interleaved and
+	// each strategy keeps its best rate, so a slow scheduler patch on a
+	// shared host cannot sink one side.
+	const rounds = 3
+	perRound := jobs / rounds
+	if perRound < 1 {
+		perRound = 1
+	}
+	before := artifact.Shared.Stats()
+	svc := service.New(service.Config{Workers: 1})
+	defer svc.Close()
+	var coldRate, warmRate float64
+	var coldRef, warmRef service.JobStatus
+	if _, err := submit(svc, false); err != nil { // warm the cache + replica pool
+		return err
+	}
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		for i := 0; i < perRound; i++ {
+			cold := service.New(service.Config{Workers: 1})
+			st, err := submit(cold, true)
+			cold.Close()
+			if err != nil {
+				return err
+			}
+			coldRef = st
+		}
+		if rate := float64(perRound) / time.Since(start).Seconds(); rate > coldRate {
+			coldRate = rate
+		}
+		start = time.Now()
+		for i := 0; i < perRound; i++ {
+			st, err := submit(svc, false)
+			if err != nil {
+				return err
+			}
+			warmRef = st
+		}
+		if rate := float64(perRound) / time.Since(start).Seconds(); rate > warmRate {
+			warmRate = rate
+		}
+	}
+	after := artifact.Shared.Stats()
+	cacheStats := artifact.Stats{
+		Hits:   after.Hits - before.Hits,
+		Misses: after.Misses - before.Misses,
+	}
+	warmJobs := rounds*perRound + 1
+
+	if warmRef.Histogram.String() != coldRef.Histogram.String() {
+		return fmt.Errorf("cache broke determinism: warm %v vs cold %v",
+			warmRef.Histogram, coldRef.Histogram)
+	}
+	// Compile-once invariant: at most one compile across all warm jobs —
+	// zero when an earlier experiment in the same run (e.g. -exp all's
+	// fig15) already cached this artifact — and every other job a hit.
+	if cacheStats.Misses > 1 {
+		return fmt.Errorf("warm service compiled %d times for %d identical jobs, want at most 1",
+			cacheStats.Misses, warmJobs)
+	}
+	if cacheStats.Hits < uint64(warmJobs)-1 {
+		return fmt.Errorf("warm service recorded %d cache hits for %d identical jobs, want >= %d",
+			cacheStats.Hits, warmJobs, warmJobs-1)
+	}
+
+	records := []benchRecord{
+		{Name: b.Name + "/cold-rebuild-per-job", Jobs: rounds * perRound, Shots: 1,
+			JobsPerSec: coldRate, Makespan: warmRef.Makespan, SpeedupVsCold: 1},
+		{Name: b.Name + "/warm-artifact-cache", Jobs: rounds * perRound, Shots: 1,
+			JobsPerSec: warmRate, Makespan: warmRef.Makespan,
+			SpeedupVsCold: warmRate / coldRate,
+			CacheHits:     cacheStats.Hits, CacheMisses: cacheStats.Misses},
+	}
+	for _, r := range records {
+		fmt.Printf("%-32s %8.1f jobs/s  %5.2fx vs cold\n", r.Name, r.JobsPerSec, r.SpeedupVsCold)
+	}
+	fmt.Printf("warm service: %d jobs, %d compile(s), %d cache hit(s) — identical histograms cold vs warm\n",
+		warmJobs, cacheStats.Misses, cacheStats.Hits)
+	return writeBenchJSON(outDir, "cache", records)
 }

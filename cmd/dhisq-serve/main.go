@@ -1,0 +1,229 @@
+// Command dhisq-serve is the long-lived batch-execution daemon: it keeps
+// one job service (internal/service) and the shared compiled-artifact
+// cache (internal/artifact) warm across requests, so repeat submissions
+// of the same circuit skip compilation and machine construction entirely
+// and go straight to reset-and-run shots.
+//
+// JSON endpoints:
+//
+//	POST /v1/jobs        submit {"qasm": "..."} or {"bench": "name", "scale": N}
+//	                     plus "shots" (required) and optional "seed", "mapping"
+//	                     -> {"id": "job-000042", "state": "queued"}
+//	GET  /v1/jobs/{id}   poll a job; ?wait=1 long-polls until it finishes
+//	GET  /v1/stats       queue depth, job counters, artifact-cache hit/miss
+//	GET  /healthz        liveness
+//
+// Submit a GHZ circuit and read its histogram:
+//
+//	dhisq-serve -addr :8080 &
+//	dhisq-sim -serve http://localhost:8080 -qasm ghz.qasm -shots 200
+//
+// Usage:
+//
+//	dhisq-serve [-addr :8080] [-workers N] [-queue N] [-shot-workers W]
+//	            [-seed S] [-cache N]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dhisq/internal/artifact"
+	"dhisq/internal/circuit"
+	"dhisq/internal/service"
+	"dhisq/internal/workloads"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS/2)")
+	queue := flag.Int("queue", 64, "bounded job-queue depth")
+	shotWorkers := flag.Int("shot-workers", 1, "machine replicas per job's shot fan-out")
+	seed := flag.Int64("seed", 1, "service base seed for jobs without one")
+	cacheCap := flag.Int("cache", artifact.DefaultCapacity, "artifact cache capacity (entries)")
+	flag.Parse()
+
+	artifact.Shared.Resize(*cacheCap)
+	svc := service.New(service.Config{
+		Workers: *workers, QueueDepth: *queue,
+		ShotWorkers: *shotWorkers, Seed: *seed,
+	})
+	srv := &http.Server{Addr: *addr, Handler: newHandler(svc)}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	drained := make(chan struct{})
+	go func() {
+		<-stop
+		fmt.Fprintln(os.Stderr, "dhisq-serve: shutting down")
+		// Graceful: stop accepting, but let in-flight requests — long
+		// polls included — read their results before the deadline; only
+		// then sever whatever is left.
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close()
+		}
+		close(drained)
+	}()
+
+	fmt.Printf("dhisq-serve: listening on %s (queue %d, cache %d artifacts)\n",
+		*addr, *queue, *cacheCap)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "dhisq-serve:", err)
+		os.Exit(1)
+	}
+	<-drained
+	svc.Close()
+}
+
+// submitRequest is the POST /v1/jobs body. Exactly one of QASM or Bench
+// names the circuit.
+type submitRequest struct {
+	QASM    string `json:"qasm,omitempty"`
+	Bench   string `json:"bench,omitempty"`
+	Scale   int    `json:"scale,omitempty"` // benchmark size divisor
+	Shots   int    `json:"shots"`
+	Seed    int64  `json:"seed,omitempty"`
+	Mapping []int  `json:"mapping,omitempty"`
+}
+
+// jobResponse is the wire form of a job snapshot.
+type jobResponse struct {
+	ID          string         `json:"id"`
+	State       string         `json:"state"`
+	Shots       int            `json:"shots"`
+	Seed        int64          `json:"seed"`
+	Fingerprint string         `json:"fingerprint,omitempty"`
+	CacheHit    bool           `json:"cache_hit"`
+	Batched     bool           `json:"batched"`
+	Makespan    int64          `json:"makespan_cycles,omitempty"`
+	Histogram   map[string]int `json:"histogram,omitempty"`
+	Error       string         `json:"error,omitempty"`
+}
+
+func toResponse(st service.JobStatus) jobResponse {
+	return jobResponse{
+		ID: st.ID, State: string(st.State), Shots: st.Shots, Seed: st.Seed,
+		Fingerprint: st.Fingerprint, CacheHit: st.CacheHit, Batched: st.Batched,
+		Makespan: st.Makespan, Histogram: st.Histogram, Error: st.Err,
+	}
+}
+
+// newHandler builds the JSON API over a running service (separate from
+// main so tests drive it through httptest).
+func newHandler(svc *service.Service) http.Handler {
+	mux := http.NewServeMux()
+
+	writeJSON := func(w http.ResponseWriter, code int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(v)
+	}
+	writeErr := func(w http.ResponseWriter, code int, err error) {
+		writeJSON(w, code, map[string]string{"error": err.Error()})
+	}
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Stats())
+	})
+
+	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+			return
+		}
+		var req submitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+			return
+		}
+		sreq, err := buildRequest(req)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		id, err := svc.Submit(sreq)
+		switch {
+		case errors.Is(err, service.ErrQueueFull):
+			writeErr(w, http.StatusTooManyRequests, err)
+			return
+		case errors.Is(err, service.ErrClosed):
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		case err != nil:
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]string{
+			"id": id, "state": string(service.StateQueued),
+		})
+	})
+
+	mux.HandleFunc("/v1/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+			return
+		}
+		id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+		var st service.JobStatus
+		var ok bool
+		if r.URL.Query().Get("wait") != "" {
+			st, ok = svc.Wait(id)
+		} else {
+			st, ok = svc.Get(id)
+		}
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, toResponse(st))
+	})
+
+	return mux
+}
+
+// buildRequest turns a wire submission into a service request, building
+// the circuit from QASM text or a named Fig. 15 benchmark.
+func buildRequest(req submitRequest) (service.Request, error) {
+	switch {
+	case req.QASM != "" && req.Bench != "":
+		return service.Request{}, fmt.Errorf("give qasm or bench, not both")
+	case req.QASM != "":
+		c, err := circuit.ParseQASM(req.QASM)
+		if err != nil {
+			return service.Request{}, fmt.Errorf("qasm: %w", err)
+		}
+		return service.Request{
+			Circuit: c, Mapping: req.Mapping, Shots: req.Shots, Seed: req.Seed,
+		}, nil
+	case req.Bench != "":
+		scale := req.Scale
+		if scale < 1 {
+			scale = 1
+		}
+		b, err := workloads.BuildScaled(req.Bench, scale)
+		if err != nil {
+			return service.Request{}, err
+		}
+		return service.Request{
+			Circuit: b.Circuit, MeshW: b.MeshW, MeshH: b.MeshH,
+			Mapping: b.Mapping, Shots: req.Shots, Seed: req.Seed,
+		}, nil
+	default:
+		return service.Request{}, fmt.Errorf("submission needs qasm or bench")
+	}
+}

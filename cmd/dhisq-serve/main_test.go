@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dhisq/internal/service"
+)
+
+const ghzQASM = `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+cx q[2],q[3];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+measure q[2] -> c[2];
+measure q[3] -> c[3];
+`
+
+func newTestServer(t *testing.T) (*httptest.Server, *service.Service) {
+	t.Helper()
+	svc := service.New(service.Config{Workers: 2, QueueDepth: 8})
+	ts := httptest.NewServer(newHandler(svc))
+	t.Cleanup(func() { ts.Close(); svc.Close() })
+	return ts, svc
+}
+
+func postJob(t *testing.T, ts *httptest.Server, req submitRequest) (string, *http.Response) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out["id"], resp
+}
+
+func getJob(t *testing.T, ts *httptest.Server, id string, wait bool) jobResponse {
+	t.Helper()
+	url := ts.URL + "/v1/jobs/" + id
+	if wait {
+		url += "?wait=1"
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	var jr jobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		t.Fatal(err)
+	}
+	return jr
+}
+
+// The full request loop: submit a GHZ circuit, wait, check the
+// histogram only holds the two legal outcomes, and confirm a repeat
+// submission is served from cache + warm replicas.
+func TestSubmitGHZEndToEnd(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	id, resp := postJob(t, ts, submitRequest{QASM: ghzQASM, Shots: 50, Seed: 11})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST status %d, want 202", resp.StatusCode)
+	}
+	if id == "" {
+		t.Fatal("no job ID returned")
+	}
+
+	jr := getJob(t, ts, id, true)
+	if jr.State != "done" {
+		t.Fatalf("state %q, error %q", jr.State, jr.Error)
+	}
+	if jr.Seed != 11 {
+		t.Fatalf("seed %d, want 11", jr.Seed)
+	}
+	total := 0
+	for outcome, n := range jr.Histogram {
+		if outcome != "0000" && outcome != "1111" {
+			t.Fatalf("impossible GHZ outcome %q", outcome)
+		}
+		total += n
+	}
+	if total != 50 {
+		t.Fatalf("histogram sums to %d, want 50", total)
+	}
+	if jr.Fingerprint == "" || jr.Makespan == 0 {
+		t.Fatalf("missing fingerprint/makespan: %+v", jr)
+	}
+
+	// Same circuit again: byte-identical results, served warm.
+	id2, _ := postJob(t, ts, submitRequest{QASM: ghzQASM, Shots: 50, Seed: 11})
+	jr2 := getJob(t, ts, id2, true)
+	if jr2.State != "done" || !jr2.CacheHit {
+		t.Fatalf("repeat job: state=%q cache_hit=%v", jr2.State, jr2.CacheHit)
+	}
+	if fmt.Sprint(jr2.Histogram) != fmt.Sprint(jr.Histogram) {
+		t.Fatalf("repeat submission changed the histogram: %v vs %v", jr2.Histogram, jr.Histogram)
+	}
+	if jr2.Fingerprint != jr.Fingerprint {
+		t.Fatal("same circuit fingerprinted differently across requests")
+	}
+}
+
+// Named benchmarks run through the same endpoint.
+func TestSubmitBench(t *testing.T) {
+	ts, _ := newTestServer(t)
+	id, resp := postJob(t, ts, submitRequest{Bench: "bv_n400", Scale: 16, Shots: 5})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST status %d, want 202", resp.StatusCode)
+	}
+	jr := getJob(t, ts, id, true)
+	if jr.State != "done" {
+		t.Fatalf("state %q, error %q", jr.State, jr.Error)
+	}
+}
+
+// Malformed submissions get 400s, unknown jobs 404, bad methods 405.
+func TestErrorPaths(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	_, resp := postJob(t, ts, submitRequest{Shots: 5}) // no circuit
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("no-circuit status %d, want 400", resp.StatusCode)
+	}
+	_, resp = postJob(t, ts, submitRequest{QASM: ghzQASM, Bench: "bv_n400", Shots: 5})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("both-sources status %d, want 400", resp.StatusCode)
+	}
+	_, resp = postJob(t, ts, submitRequest{QASM: "not qasm", Shots: 5})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad-qasm status %d, want 400", resp.StatusCode)
+	}
+	_, resp = postJob(t, ts, submitRequest{QASM: ghzQASM, Shots: 0})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("zero-shots status %d, want 400", resp.StatusCode)
+	}
+
+	r, err := http.Get(ts.URL + "/v1/jobs/job-424242")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status %d, want 404", r.StatusCode)
+	}
+
+	r, err = http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/jobs status %d, want 405", r.StatusCode)
+	}
+}
+
+// /healthz and /v1/stats report liveness and cache/queue counters.
+func TestHealthAndStats(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	r, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", r.StatusCode)
+	}
+
+	id, _ := postJob(t, ts, submitRequest{QASM: ghzQASM, Shots: 10})
+	getJob(t, ts, id, true)
+
+	r, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var st service.Stats
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Submitted < 1 || st.Completed < 1 {
+		t.Fatalf("stats did not count the job: %+v", st)
+	}
+	if st.Cache.Capacity == 0 {
+		t.Fatalf("cache stats missing: %+v", st.Cache)
+	}
+}

@@ -5,18 +5,28 @@
 // subsystem (internal/runner): compiled once, reset per shot, fanned out
 // across -workers machine replicas, with a deterministic merged histogram.
 //
+// With -serve URL the circuit is not run in-process: it is submitted as a
+// job to a running dhisq-serve daemon, which compiles it at most once (the
+// shared artifact cache) and batches it with other jobs for the same
+// circuit; dhisq-sim long-polls the job and prints its histogram.
+//
 // Usage:
 //
 //	dhisq-sim -qasm file.qasm            run a circuit from OpenQASM
 //	dhisq-sim -bench qft_n30 [-scale N]  run a Figure 15 benchmark
 //	dhisq-sim -shots 100 -workers 4 ...  multi-shot execution
+//	dhisq-sim -serve http://host:8080 .. submit to a dhisq-serve daemon
 //	dhisq-sim -list                      list benchmark names
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"sort"
 	"time"
 
 	"dhisq/internal/circuit"
@@ -34,6 +44,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "measurement outcome base seed")
 	shots := flag.Int("shots", 1, "number of repetitions (compile once, reset per shot)")
 	workers := flag.Int("workers", 0, "machine replicas running shots in parallel (0 = GOMAXPROCS)")
+	serve := flag.String("serve", "", "dhisq-serve base URL: submit as a job instead of running in-process")
 	list := flag.Bool("list", false, "list benchmark names")
 	flag.Parse()
 
@@ -41,6 +52,11 @@ func main() {
 		for _, n := range workloads.Fig15Names() {
 			fmt.Println(n)
 		}
+		return
+	}
+
+	if *serve != "" {
+		must(submitRemote(*serve, *qasm, *bench, *scale, *shots, *seed))
 		return
 	}
 
@@ -54,11 +70,7 @@ func main() {
 		cc, err := circuit.ParseQASM(string(data))
 		must(err)
 		c = cc
-		meshW = 1
-		for meshW*meshW < c.NumQubits {
-			meshW++
-		}
-		meshH = (c.NumQubits + meshW - 1) / meshW
+		meshW, meshH = network.NearSquareMesh(c.NumQubits)
 	case *bench != "":
 		b, err := workloads.BuildScaled(*bench, *scale)
 		must(err)
@@ -124,4 +136,90 @@ func must(err error) {
 		fmt.Fprintln(os.Stderr, "dhisq-sim:", err)
 		os.Exit(1)
 	}
+}
+
+// submitRemote is the -serve client mode: POST the circuit to a running
+// dhisq-serve daemon, long-poll the job, and print its histogram. The
+// circuit travels as QASM text or as a benchmark name the daemon rebuilds
+// locally; results are identical to an in-process run with the same seed.
+func submitRemote(base, qasmPath, bench string, scale, shots int, seed int64) error {
+	body := map[string]any{"shots": shots, "seed": seed}
+	switch {
+	case qasmPath != "" && bench != "":
+		return fmt.Errorf("-serve takes -qasm or -bench, not both")
+	case qasmPath != "":
+		data, err := os.ReadFile(qasmPath)
+		if err != nil {
+			return err
+		}
+		body["qasm"] = string(data)
+	case bench != "":
+		body["bench"] = bench
+		body["scale"] = scale
+	default:
+		return fmt.Errorf("-serve needs -qasm or -bench")
+	}
+
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var submitted struct {
+		ID    string `json:"id"`
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		return fmt.Errorf("submit response: %w", err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("submit: %s (%s)", resp.Status, submitted.Error)
+	}
+	fmt.Printf("job:           %s on %s\n", submitted.ID, base)
+
+	poll, err := http.Get(base + "/v1/jobs/" + submitted.ID + "?wait=1")
+	if err != nil {
+		return err
+	}
+	defer poll.Body.Close()
+	var job struct {
+		State     string         `json:"state"`
+		Seed      int64          `json:"seed"`
+		Shots     int            `json:"shots"`
+		CacheHit  bool           `json:"cache_hit"`
+		Batched   bool           `json:"batched"`
+		Makespan  int64          `json:"makespan_cycles"`
+		Histogram map[string]int `json:"histogram"`
+		Error     string         `json:"error"`
+	}
+	if err := json.NewDecoder(poll.Body).Decode(&job); err != nil {
+		return fmt.Errorf("job response: %w", err)
+	}
+	if job.State != "done" {
+		return fmt.Errorf("job %s: %s (%s)", submitted.ID, job.State, job.Error)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("state:         %s (seed %d, cache hit %v, batched %v)\n",
+		job.State, job.Seed, job.CacheHit, job.Batched)
+	fmt.Printf("makespan:      %d cycles (%d ns)\n", job.Makespan, sim.Nanoseconds(sim.Time(job.Makespan)))
+	fmt.Printf("shots:         %d in %v (%.1f shots/s)\n",
+		job.Shots, elapsed.Round(time.Millisecond), float64(job.Shots)/elapsed.Seconds())
+	if len(job.Histogram) > 0 {
+		keys := make([]string, 0, len(job.Histogram))
+		for k := range job.Histogram {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Printf("histogram (bit 0 leftmost):\n")
+		for _, k := range keys {
+			fmt.Printf("  %s %d\n", k, job.Histogram[k])
+		}
+	}
+	return nil
 }

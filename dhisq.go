@@ -16,14 +16,24 @@
 //     compiled once, machines are reset in place between shots, and shots
 //     fan out across parallel machine replicas with deterministic,
 //     shot-indexed merging (internal/runner);
+//   - reuse compiled programs across submissions: every compile goes
+//     through a content-addressed, LRU-bounded artifact cache keyed on
+//     (circuit, mapping, topology, options), so a repeated circuit is
+//     lowered exactly once per process (internal/artifact, CacheStats);
+//   - serve batches of jobs from a long-lived process (NewJobService /
+//     internal/service, and the cmd/dhisq-serve HTTP daemon): submissions
+//     get job IDs and per-job seeds, a bounded queue applies admission
+//     control, and jobs sharing an artifact batch onto the same warm
+//     machine replicas;
 //   - reproduce the paper's evaluation (Table1, Fig11*, Fig13, Fig14,
 //     Fig15, Fig16).
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for
-// paper-versus-measured results.
+// See README.md for the quickstart, DESIGN.md for the system inventory,
+// and EXPERIMENTS.md for paper-versus-measured results.
 package dhisq
 
 import (
+	"dhisq/internal/artifact"
 	"dhisq/internal/baseline"
 	"dhisq/internal/chip"
 	"dhisq/internal/circuit"
@@ -34,6 +44,7 @@ import (
 	"dhisq/internal/machine"
 	"dhisq/internal/network"
 	"dhisq/internal/runner"
+	"dhisq/internal/service"
 	"dhisq/internal/sim"
 	"dhisq/internal/telf"
 	"dhisq/internal/workloads"
@@ -171,11 +182,7 @@ func RunShots(c *Circuit, meshW, meshH int, mapping []int, cfg MachineConfig, sh
 // near-square mesh with the default configuration, runs `shots`
 // repetitions in parallel, and returns the outcome histogram.
 func Sample(c *Circuit, shots int, seed int64) (Histogram, error) {
-	meshW := 1
-	for meshW*meshW < c.NumQubits {
-		meshW++
-	}
-	meshH := (c.NumQubits + meshW - 1) / meshW
+	meshW, meshH := network.NearSquareMesh(c.NumQubits)
 	cfg := machine.DefaultConfig(c.NumQubits)
 	cfg.Seed = seed
 	set, err := RunShots(c, meshW, meshH, nil, cfg, shots, 0)
@@ -184,6 +191,55 @@ func Sample(c *Circuit, shots int, seed int64) (Histogram, error) {
 	}
 	return set.Histogram(), nil
 }
+
+// ---------------------------------------------------------------------------
+// Request serving (internal/artifact + internal/service)
+// ---------------------------------------------------------------------------
+
+// JobService is a long-lived batch-execution service: circuits go in as
+// jobs with shot counts, results come back as deterministic merged shot
+// sets. Compilation is shared through the artifact cache and jobs for the
+// same circuit batch onto the same warm machine replicas. cmd/dhisq-serve
+// wraps one of these in an HTTP daemon.
+type JobService = service.Service
+
+// JobConfig parameterizes a JobService (workers, queue depth, per-job
+// shot fan-out, base seed, replica-pool budget).
+type JobConfig = service.Config
+
+// JobRequest is one submission: circuit, placement, shot count and an
+// optional explicit base seed (0 lets the service derive one per job).
+type JobRequest = service.Request
+
+// JobStatus is a point-in-time snapshot of a submitted job.
+type JobStatus = service.JobStatus
+
+// ServiceStats reports queue depth, job counters, replica pooling and
+// artifact-cache effectiveness for a JobService.
+type ServiceStats = service.Stats
+
+// CacheStats is a snapshot of the shared compiled-artifact cache.
+type CacheStats = artifact.Stats
+
+// Job lifecycle states.
+const (
+	JobQueued  = service.StateQueued
+	JobRunning = service.StateRunning
+	JobDone    = service.StateDone
+	JobFailed  = service.StateFailed
+)
+
+// ErrQueueFull is returned by JobService.Submit when the bounded job
+// queue is at depth (admission control).
+var ErrQueueFull = service.ErrQueueFull
+
+// NewJobService starts a job service with its worker pool running; stop
+// it with Close.
+func NewJobService(cfg JobConfig) *JobService { return service.New(cfg) }
+
+// ArtifactCacheStats snapshots the process-wide compiled-artifact cache
+// that Compile, Run, RunShots, Sample and every JobService share.
+func ArtifactCacheStats() CacheStats { return artifact.Shared.Stats() }
 
 // Lockstep executes a circuit under the paper's lock-step baseline
 // (§6.4.3) with a seeded outcome source and returns its makespan in cycles.

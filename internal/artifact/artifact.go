@@ -1,0 +1,306 @@
+// Package artifact is the compile-once layer of the stack: a
+// content-addressed cache of compiled programs keyed by everything that
+// determines the compiler's output — the circuit, its qubit→controller
+// mapping, the fabric geometry/latencies, and the compiler options.
+//
+// Compilation is deterministic: the same (circuit, mapping, network
+// config, options) tuple always lowers to byte-identical per-controller
+// binaries and codeword tables, because the BISP windows the compiler
+// books against are pure functions of the topology (DESIGN.md §2.3–§2.4).
+// That makes the compiled artifact safe to share: internal/runner already
+// hands one *compiler.Compiled to W replicas read-only; this package
+// extends the sharing across independent submissions, so a service
+// replaying the same circuit for many requests compiles exactly once.
+//
+// The cache is LRU-bounded and safe for concurrent use. GetOrCompile
+// deduplicates concurrent compilations of the same fingerprint
+// (singleflight): one caller compiles, the rest wait and share the
+// result. machine.Compile/CompileWith route through the process-wide
+// Shared cache, which puts every entry point — the facade's Run/RunShots/
+// Sample, internal/runner, internal/service, and the CLIs — behind it.
+package artifact
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sync"
+
+	"dhisq/internal/circuit"
+	"dhisq/internal/compiler"
+	"dhisq/internal/network"
+)
+
+// Fingerprint content-addresses one compiled artifact.
+type Fingerprint [sha256.Size]byte
+
+// String renders the fingerprint as hex (the form job APIs expose).
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// Short is the abbreviated display form (12 hex digits).
+func (f Fingerprint) Short() string { return hex.EncodeToString(f[:6]) }
+
+// keyVersion is bumped whenever the encoding below (or the compiler's
+// input surface) changes shape, so stale fingerprints can never collide
+// across versions of the code.
+const keyVersion = 1
+
+// Key fingerprints a compilation request. Two requests share a key iff
+// the compiler is guaranteed to produce identical output for both: the
+// circuit ops, the mapping, every topology/latency field of the network
+// config (which fixes the BISP windows), and every compiler option are
+// all hashed. A nil mapping hashes differently from an explicit identity
+// mapping — the artifacts would be identical, but treating them as
+// distinct keys costs one extra compile, never a wrong program.
+func Key(c *circuit.Circuit, mapping []int, net network.Config, opt compiler.Options) Fingerprint {
+	// Encode into one buffer and hash once: Key sits on the admission
+	// path of every submission, and per-field hasher writes cost more
+	// than the SHA itself on op-heavy circuits. ~7 words per op is a
+	// comfortable overestimate for typical circuits.
+	buf := make([]byte, 0, 64+len(c.Ops)*7*8+len(mapping)*8)
+	wi := func(v int64) {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	wf := func(v float64) { wi(int64(math.Float64bits(v))) }
+	wb := func(v bool) {
+		if v {
+			wi(1)
+		} else {
+			wi(0)
+		}
+	}
+
+	wi(keyVersion)
+
+	// Circuit: dimensions plus every op field the compiler reads.
+	wi(int64(c.NumQubits))
+	wi(int64(c.NumBits))
+	wi(int64(len(c.Ops)))
+	for _, op := range c.Ops {
+		wi(int64(op.Kind))
+		wi(int64(len(op.Qubits)))
+		for _, q := range op.Qubits {
+			wi(int64(q))
+		}
+		wf(op.Param)
+		wi(int64(op.CBit))
+		if op.Cond == nil {
+			wi(-1)
+		} else {
+			wi(int64(len(op.Cond.Bits)))
+			for _, b := range op.Cond.Bits {
+				wi(int64(b))
+			}
+			wi(int64(op.Cond.Parity))
+		}
+	}
+
+	// Mapping: nil (identity) vs explicit are distinct on purpose.
+	if mapping == nil {
+		wi(-1)
+	} else {
+		wi(int64(len(mapping)))
+		for _, m := range mapping {
+			wi(int64(m))
+		}
+	}
+
+	// Network config: fixes the topology and therefore the sync windows.
+	wi(int64(net.MeshW))
+	wi(int64(net.MeshH))
+	wi(int64(net.RouterFanout))
+	wi(int64(net.NeighborLatency))
+	wi(int64(net.TreeHopLatency))
+	wi(int64(net.RouterProc))
+
+	// Compiler options.
+	wi(opt.Durations.OneQubit)
+	wi(opt.Durations.TwoQubit)
+	wi(opt.Durations.Measure)
+	wi(int64(opt.MeasLatency))
+	wi(int64(opt.Root))
+	wi(int64(opt.Controllers))
+	wb(opt.InitialBarrier)
+	wi(opt.PipeGuard)
+	wb(opt.AdvanceBooking)
+
+	return sha256.Sum256(buf)
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness. Hits counts
+// artifact reuses — Get finding an entry, or GetOrCompile being served
+// without compiling (including callers that joined an in-flight
+// compilation of the same key). Misses counts compile attempts: only
+// GetOrCompile charges them, so Misses equals actual compiles and a
+// probing Get for an absent key is not penalized.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+}
+
+// Cache is an LRU-bounded, concurrency-safe map from fingerprint to
+// compiled artifact. Cached *compiler.Compiled values are shared and must
+// be treated as immutable by every consumer (the same contract
+// internal/runner's replicas already obey).
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[Fingerprint]*list.Element
+	order    *list.List // front = most recently used
+	inflight map[Fingerprint]*flight
+	stats    Stats
+}
+
+type entry struct {
+	fp Fingerprint
+	cp *compiler.Compiled
+}
+
+type flight struct {
+	done chan struct{}
+	cp   *compiler.Compiled
+	err  error
+}
+
+// DefaultCapacity bounds the Shared cache. Compiled artifacts for the
+// Fig. 15 suite run tens of KB to a few MB each; 128 of them is far more
+// working set than any current workload while staying well under typical
+// container memory.
+const DefaultCapacity = 128
+
+// Shared is the process-wide artifact cache that machine.Compile and
+// machine.CompileWith consult.
+var Shared = New(DefaultCapacity)
+
+// New returns a cache bounded to capacity entries (capacity < 1 is
+// clamped to 1).
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		entries:  make(map[Fingerprint]*list.Element),
+		order:    list.New(),
+		inflight: make(map[Fingerprint]*flight),
+	}
+}
+
+// Get returns the cached artifact for fp, counting a hit and marking it
+// most recently used when found. An absent key counts nothing — the
+// caller may go on to compile through GetOrCompile, which does the miss
+// accounting, so one logical request never double-counts.
+func (c *Cache) Get(fp Fingerprint) (*compiler.Compiled, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[fp]
+	if !ok {
+		return nil, false
+	}
+	c.stats.Hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*entry).cp, true
+}
+
+// Put inserts (or refreshes) an artifact, evicting the least recently
+// used entry when over capacity.
+func (c *Cache) Put(fp Fingerprint, cp *compiler.Compiled) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.put(fp, cp)
+}
+
+// put inserts with c.mu held.
+func (c *Cache) put(fp Fingerprint, cp *compiler.Compiled) {
+	if el, ok := c.entries[fp]; ok {
+		el.Value.(*entry).cp = cp
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[fp] = c.order.PushFront(&entry{fp: fp, cp: cp})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*entry).fp)
+		c.stats.Evictions++
+	}
+}
+
+// GetOrCompile returns the artifact for fp, compiling it with compile on
+// a miss. Concurrent callers with the same fingerprint are collapsed
+// into one compilation: the first caller compiles, the others block and
+// share its result (counted as hits — they paid no compile). A compile
+// error is propagated to every waiter and nothing is cached.
+func (c *Cache) GetOrCompile(fp Fingerprint, compile func() (*compiler.Compiled, error)) (cp *compiler.Compiled, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[fp]; ok {
+		c.stats.Hits++
+		c.order.MoveToFront(el)
+		cp = el.Value.(*entry).cp
+		c.mu.Unlock()
+		return cp, true, nil
+	}
+	if fl, ok := c.inflight[fp]; ok {
+		c.stats.Hits++
+		c.mu.Unlock()
+		<-fl.done
+		return fl.cp, true, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[fp] = fl
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	fl.cp, fl.err = compile()
+
+	c.mu.Lock()
+	delete(c.inflight, fp)
+	if fl.err == nil {
+		c.put(fp, fl.cp)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.cp, false, fl.err
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Size = c.order.Len()
+	s.Capacity = c.capacity
+	return s
+}
+
+// Resize rebounds the cache, evicting LRU entries if it shrank below the
+// current population. Counters are preserved.
+func (c *Cache) Resize(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.capacity = capacity
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*entry).fp)
+		c.stats.Evictions++
+	}
+}
+
+// Clear drops every entry and zeroes the counters (tests and benchmarks
+// use it to measure cold-path behavior on the Shared cache).
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[Fingerprint]*list.Element)
+	c.order = list.New()
+	c.stats = Stats{}
+}

@@ -117,7 +117,11 @@ type Controller struct {
 	prog *isa.Program
 	regs [32]uint32
 	mem  []byte
-	pc   int
+	// memHigh is the store high-water mark: bytes at and beyond it are
+	// guaranteed zero (store is the only writer), so Reset clears only
+	// [0, memHigh) instead of the whole 64 KB data memory per shot.
+	memHigh int
+	pc      int
 
 	tc sim.Time // classical pipeline clock (absolute cycles)
 	tl timeline // TCU timing manager
@@ -182,9 +186,8 @@ func (c *Controller) Load(p *isa.Program) {
 // program shot after shot.
 func (c *Controller) Reset() {
 	c.regs = [32]uint32{}
-	for i := range c.mem {
-		c.mem[i] = 0
-	}
+	clear(c.mem[:c.memHigh])
+	c.memHigh = 0
 	c.pc = 0
 	c.tc = 0
 	c.tl = timeline{}
@@ -690,6 +693,9 @@ func (c *Controller) store(in isa.Instr) bool {
 	if addr < 0 || addr+size > len(c.mem) {
 		c.fail("store out of bounds: addr=%d size=%d", addr, size)
 		return false
+	}
+	if end := addr + size; end > c.memHigh {
+		c.memHigh = end
 	}
 	v := c.regs[in.Rs2]
 	for i := 0; i < size; i++ {

@@ -8,6 +8,7 @@ package machine
 import (
 	"fmt"
 
+	"dhisq/internal/artifact"
 	"dhisq/internal/chip"
 	"dhisq/internal/circuit"
 	"dhisq/internal/compiler"
@@ -126,20 +127,29 @@ func New(cfg Config, numQubits int) (*Machine, error) {
 	return m, nil
 }
 
+// ResolveBackend applies the BackendAuto rules for a circuit: dense
+// state vector while it fits (≤14 qubits), stabilizer tableau for
+// Clifford circuits, seeded outcome source otherwise. Non-Auto kinds
+// pass through unchanged.
+func ResolveBackend(c *circuit.Circuit, k BackendKind) BackendKind {
+	if k != BackendAuto {
+		return k
+	}
+	switch {
+	case c.NumQubits <= 14:
+		return BackendStateVec
+	case c.IsClifford():
+		return BackendStabilizer
+	default:
+		return BackendSeeded
+	}
+}
+
 // NewForCircuit builds a machine sized for a circuit with an explicit mesh
 // shape, picking a backend per BackendAuto rules.
 func NewForCircuit(c *circuit.Circuit, meshW, meshH int, cfg Config) (*Machine, error) {
 	cfg.Net.MeshW, cfg.Net.MeshH = meshW, meshH
-	if cfg.Backend == BackendAuto {
-		switch {
-		case c.NumQubits <= 14:
-			cfg.Backend = BackendStateVec
-		case c.IsClifford():
-			cfg.Backend = BackendStabilizer
-		default:
-			cfg.Backend = BackendSeeded
-		}
-	}
+	cfg.Backend = ResolveBackend(c, cfg.Backend)
 	return New(cfg, c.NumQubits)
 }
 
@@ -151,14 +161,63 @@ func (m *Machine) CompileOptions() compiler.Options {
 	return opt
 }
 
-// Compile lowers a circuit for this machine.
-func (m *Machine) Compile(c *circuit.Circuit, mapping []int) (*compiler.Compiled, error) {
-	return compiler.Compile(c, mapping, m.Fab, m.CompileOptions())
+// CompileOptionsFor derives the compiler options a machine built from cfg
+// would use, constructing only the topology — not the fabric, controllers
+// or chip. internal/service fingerprints submissions with it, so job
+// admission never has to build a machine.
+func CompileOptionsFor(cfg Config) (compiler.Options, error) {
+	topo, err := network.NewTopology(cfg.Net)
+	if err != nil {
+		return compiler.Options{}, err
+	}
+	opt := compiler.DefaultOptions(topo.Root, topo.N)
+	opt.Durations = cfg.Durations
+	opt.MeasLatency = cfg.MeasLatency
+	return opt, nil
 }
 
-// CompileWith lowers a circuit with explicit compiler options (ablations).
+// KeyFor is the shared-cache fingerprint Compile would use for a machine
+// built from cfg.
+func KeyFor(c *circuit.Circuit, mapping []int, cfg Config) (artifact.Fingerprint, error) {
+	opt, err := CompileOptionsFor(cfg)
+	if err != nil {
+		return artifact.Fingerprint{}, err
+	}
+	return artifact.Key(c, mapping, cfg.Net, opt), nil
+}
+
+// Compile lowers a circuit for this machine, consulting the shared
+// artifact cache: a repeat submission of the same (circuit, mapping,
+// topology, options) tuple returns the cached per-controller binaries
+// without recompiling. The returned artifact is shared — treat it as
+// immutable, the same contract Load and the runner replicas already obey.
+func (m *Machine) Compile(c *circuit.Circuit, mapping []int) (*compiler.Compiled, error) {
+	return m.CompileWith(c, mapping, m.CompileOptions())
+}
+
+// CompileWith lowers a circuit with explicit compiler options (ablations
+// toggle scheduling policies this way). The options are part of the cache
+// fingerprint, so variants never alias each other's artifacts.
 func (m *Machine) CompileWith(c *circuit.Circuit, mapping []int, opt compiler.Options) (*compiler.Compiled, error) {
+	fp := artifact.Key(c, mapping, m.Cfg.Net, opt)
+	cp, _, err := artifact.Shared.GetOrCompile(fp, func() (*compiler.Compiled, error) {
+		return compiler.Compile(c, mapping, m.Fab, opt)
+	})
+	return cp, err
+}
+
+// CompileFresh lowers a circuit without consulting the artifact cache.
+// It exists for the paths whose meaning depends on paying the compile
+// every time — runner.RunRebuild's legacy baseline and the cold side of
+// cache benchmarks.
+func (m *Machine) CompileFresh(c *circuit.Circuit, mapping []int, opt compiler.Options) (*compiler.Compiled, error) {
 	return compiler.Compile(c, mapping, m.Fab, opt)
+}
+
+// ArtifactKey is the shared-cache fingerprint Compile would use for this
+// circuit and mapping on this machine.
+func (m *Machine) ArtifactKey(c *circuit.Circuit, mapping []int) artifact.Fingerprint {
+	return artifact.Key(c, mapping, m.Cfg.Net, m.CompileOptions())
 }
 
 // Load installs compiled programs and tables on every controller.

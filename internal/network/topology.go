@@ -28,15 +28,24 @@ type Config struct {
 	RouterProc sim.Time
 }
 
+// NearSquareMesh returns the smallest near-square controller mesh
+// (w, h) that fits n qubits: w is the ceiling square root, h the rows
+// needed. It is THE default placement heuristic — the facade's Sample,
+// the job service, and the CLIs all place unmapped circuits with it, so
+// the same circuit fingerprints identically at every entry point.
+func NearSquareMesh(n int) (w, h int) {
+	w = 1
+	for w*w < n {
+		w++
+	}
+	return w, (n + w - 1) / w
+}
+
 // DefaultConfig returns a fabric sized for n controllers with the latency
 // constants used throughout the evaluation: 2-cycle (8 ns) mesh links,
 // 4-cycle (16 ns) tree hops, 1-cycle router processing.
 func DefaultConfig(n int) Config {
-	w := 1
-	for w*w < n {
-		w++
-	}
-	h := (n + w - 1) / w
+	w, h := NearSquareMesh(n)
 	return Config{
 		MeshW:           w,
 		MeshH:           h,

@@ -9,7 +9,9 @@
 // circuit for every single execution. The runner instead exploits the
 // machine-wide Reset path: one compile produces an immutable artifact
 // (programs, codeword tables, bit owners) that W replicas share read-only,
-// and each shot is a cheap reset+run on one replica.
+// and each shot is a cheap reset+run on one replica. Compilation itself
+// goes through the shared content-addressed cache (internal/artifact), so
+// a repeat Run of a previously seen circuit skips even the one compile.
 //
 // Determinism is a hard invariant, not a best effort: shot k's backend
 // seed is machine.DeriveSeed(base, k) regardless of which worker executes
@@ -44,6 +46,11 @@ type Spec struct {
 	// Options overrides the machine-derived compiler options when non-nil
 	// (ablations toggle scheduling policies this way).
 	Options *compiler.Options
+	// FreshCompile bypasses the shared artifact cache for this spec:
+	// every compile is paid in full and nothing is cached. It is the
+	// measured baseline of the cache experiments and an escape hatch if
+	// a cached artifact is ever suspect; normal runs leave it false.
+	FreshCompile bool
 }
 
 // Shot is the outcome of one repetition.
@@ -110,17 +117,23 @@ func (h Histogram) String() string {
 }
 
 // build constructs one machine replica for the spec and loads cp into it
-// (cp == nil compiles first; the compiled artifact is returned either way).
-func build(spec Spec, cp *compiler.Compiled) (*machine.Machine, *compiler.Compiled, error) {
+// (cp == nil compiles first — through the shared artifact cache, or
+// freshly when fresh is set; the compiled artifact is returned either
+// way).
+func build(spec Spec, cp *compiler.Compiled, fresh bool) (*machine.Machine, *compiler.Compiled, error) {
 	m, err := machine.NewForCircuit(spec.Circuit, spec.MeshW, spec.MeshH, spec.Cfg)
 	if err != nil {
 		return nil, nil, err
 	}
 	if cp == nil {
+		opt := m.CompileOptions()
 		if spec.Options != nil {
-			cp, err = m.CompileWith(spec.Circuit, spec.Mapping, *spec.Options)
+			opt = *spec.Options
+		}
+		if fresh || spec.FreshCompile {
+			cp, err = m.CompileFresh(spec.Circuit, spec.Mapping, opt)
 		} else {
-			cp, err = m.Compile(spec.Circuit, spec.Mapping)
+			cp, err = m.CompileWith(spec.Circuit, spec.Mapping, opt)
 		}
 		if err != nil {
 			return nil, nil, err
@@ -130,6 +143,13 @@ func build(spec Spec, cp *compiler.Compiled) (*machine.Machine, *compiler.Compil
 		return nil, nil, err
 	}
 	return m, cp, nil
+}
+
+// Build constructs one loaded machine replica for the spec, compiling
+// through the shared artifact cache when cp is nil. internal/service uses
+// it to grow per-artifact replica pools that outlive a single Run call.
+func Build(spec Spec, cp *compiler.Compiled) (*machine.Machine, *compiler.Compiled, error) {
+	return build(spec, cp, false)
 }
 
 // runShot executes shot k on an already-loaded replica and reads it out.
@@ -164,34 +184,58 @@ func Run(spec Spec, shots, workers int) (*ShotSet, error) {
 	if workers > shots {
 		workers = shots
 	}
-	set := &ShotSet{Shots: make([]Shot, shots), NumBits: spec.Circuit.NumBits}
 	if shots == 0 {
-		return set, nil
+		return &ShotSet{Shots: []Shot{}, NumBits: spec.Circuit.NumBits}, nil
 	}
 
-	// Compile once on replica 0; the artifact is immutable from here on and
-	// every replica shares it.
-	first, cp, err := build(spec, nil)
+	// Compile once on replica 0 (a shared-cache hit if this circuit has
+	// been seen before); the artifact is immutable from here on and every
+	// replica shares it.
+	first, cp, err := build(spec, nil, false)
 	if err != nil {
 		return nil, err
 	}
-	if workers == 1 {
+	machines := make([]*machine.Machine, workers)
+	machines[0] = first
+	for w := 1; w < workers; w++ {
+		if machines[w], _, err = build(spec, cp, false); err != nil {
+			return nil, err
+		}
+	}
+	return RunOn(machines, spec.Cfg.Seed, shots, spec.Circuit.NumBits)
+}
+
+// RunOn executes `shots` repetitions across the given already-loaded
+// replicas, deriving shot k's seed from base via machine.DeriveSeed. It
+// is the deterministic merge core of Run, exported so callers that pool
+// machines across calls (internal/service batches jobs sharing an
+// artifact onto the same replicas) reuse the exact same shot-indexed
+// semantics: results land at their shot index, so the merged ShotSet is
+// byte-identical for every replica count and completion order.
+//
+// Every machine must already be loaded with the same compiled artifact;
+// each is reset before its first shot, so pool reuse cannot leak state
+// between jobs.
+func RunOn(machines []*machine.Machine, base int64, shots, numBits int) (*ShotSet, error) {
+	if len(machines) == 0 {
+		return nil, fmt.Errorf("runner: RunOn with no machines")
+	}
+	if shots < 0 {
+		return nil, fmt.Errorf("runner: negative shot count %d", shots)
+	}
+	set := &ShotSet{Shots: make([]Shot, shots), NumBits: numBits}
+	if shots == 0 {
+		return set, nil
+	}
+	if len(machines) == 1 {
 		for k := 0; k < shots; k++ {
-			shot, err := runShot(first, spec.Cfg.Seed, k)
+			shot, err := runShot(machines[0], base, k)
 			if err != nil {
 				return nil, err
 			}
 			set.Shots[k] = shot
 		}
 		return set, nil
-	}
-
-	machines := make([]*machine.Machine, workers)
-	machines[0] = first
-	for w := 1; w < workers; w++ {
-		if machines[w], _, err = build(spec, cp); err != nil {
-			return nil, err
-		}
 	}
 
 	// Fan shots out. Each worker owns one replica; results land in the
@@ -201,19 +245,19 @@ func Run(spec Spec, shots, workers int) (*ShotSet, error) {
 	idx := make(chan int)
 	errs := make([]error, shots)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for _, m := range machines {
 		wg.Add(1)
 		go func(m *machine.Machine) {
 			defer wg.Done()
 			for k := range idx {
-				shot, err := runShot(m, spec.Cfg.Seed, k)
+				shot, err := runShot(m, base, k)
 				if err != nil {
 					errs[k] = err
 					continue
 				}
 				set.Shots[k] = shot
 			}
-		}(machines[w])
+		}(m)
 	}
 	for k := 0; k < shots; k++ {
 		idx <- k
@@ -229,9 +273,11 @@ func Run(spec Spec, shots, workers int) (*ShotSet, error) {
 }
 
 // RunRebuild is the legacy rebuild-per-shot reference path: every shot
-// constructs a fresh machine and recompiles the circuit. It exists as the
-// semantic baseline the reset path is verified against and as the "before"
-// side of the shot-throughput benchmarks; new code should call Run.
+// constructs a fresh machine and recompiles the circuit, deliberately
+// bypassing the shared artifact cache (a cached "rebuild" would no longer
+// measure what it claims to). It exists as the semantic baseline the
+// reset path is verified against and as the "before" side of the
+// shot-throughput benchmarks; new code should call Run.
 func RunRebuild(spec Spec, shots int) (*ShotSet, error) {
 	if spec.Circuit == nil {
 		return nil, fmt.Errorf("runner: nil circuit")
@@ -243,7 +289,7 @@ func RunRebuild(spec Spec, shots int) (*ShotSet, error) {
 	for k := 0; k < shots; k++ {
 		shotSpec := spec
 		shotSpec.Cfg.Seed = machine.DeriveSeed(spec.Cfg.Seed, k)
-		m, _, err := build(shotSpec, nil)
+		m, _, err := build(shotSpec, nil, true)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,579 @@
+// Package service is the request-serving layer of the stack: a long-lived
+// job manager that turns circuit submissions into shot executions on a
+// bounded worker pool, built directly on internal/runner's deterministic
+// shot merge and internal/artifact's compile-once cache.
+//
+// The execution model separates the reusable compiled program from the
+// per-request schedule (the split Riverlane's distributed VQE controller
+// and the DisQ processor model both argue for): a job is fingerprinted on
+// submission, compilation goes through the shared artifact cache, and
+// loaded machine replicas are pooled *per artifact*, so a burst of jobs
+// for the same circuit batches onto the same warm replicas — no compile,
+// no machine construction, just reset-and-run per shot.
+//
+// Determinism survives the service boundary. Every job runs with its own
+// base seed (caller-chosen, or derived from the service seed and the job's
+// admission index), shot k of a job uses machine.DeriveSeed(jobSeed, k),
+// and results merge shot-indexed via runner.RunOn — so a job's ShotSet is
+// byte-identical whether it ran on one pooled replica or four, cold cache
+// or warm.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dhisq/internal/artifact"
+	"dhisq/internal/circuit"
+	"dhisq/internal/compiler"
+	"dhisq/internal/machine"
+	"dhisq/internal/network"
+	"dhisq/internal/runner"
+	"dhisq/internal/sim"
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Workers is the number of jobs executed concurrently (<= 0 picks
+	// GOMAXPROCS/2, minimum 1). Each running job additionally fans its
+	// shots across ShotWorkers replicas.
+	Workers int
+	// QueueDepth bounds the number of admitted-but-unstarted jobs;
+	// Submit fails with ErrQueueFull beyond it (<= 0 means 64).
+	QueueDepth int
+	// ShotWorkers is the replica count a single job's shots fan out
+	// across (<= 0 means 1; service throughput usually comes from job
+	// parallelism, not per-job fan-out).
+	ShotWorkers int
+	// Seed is the service base seed: job n with no explicit seed runs
+	// with machine.DeriveSeed(Seed, n) (0 means 1).
+	Seed int64
+	// MaxPooledReplicas bounds the loaded machines kept warm across all
+	// artifacts (<= 0 means 4 * Workers). Least recently used artifact
+	// pools are dropped first.
+	MaxPooledReplicas int
+	// MaxRetainedJobs bounds how many finished jobs stay queryable
+	// (<= 0 means 4096). Oldest-finished are forgotten first, so a
+	// long-lived daemon's memory does not grow with total traffic; a
+	// Get/Wait for a forgotten job reports not-found.
+	MaxRetainedJobs int
+}
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Request describes one job: a circuit, its placement, and how many shots
+// to run.
+type Request struct {
+	Circuit *circuit.Circuit
+	// MeshW/MeshH give the controller mesh; 0 picks a near-square mesh
+	// for the circuit like the facade's Sample.
+	MeshW, MeshH int
+	Mapping      []int // qubit -> controller; nil = identity
+	// Cfg overrides the machine configuration when non-nil (the mesh
+	// fields are taken from MeshW/MeshH either way).
+	Cfg   *machine.Config
+	Shots int
+	// Seed, when non-zero, is the job's base seed; 0 lets the service
+	// derive a per-job seed from its own seed stream.
+	Seed int64
+	// FreshCompile makes this job bypass the artifact cache and the
+	// replica pool entirely: compile + build paid in full, nothing
+	// cached or pooled. The baseline knob of the cache experiments and
+	// a diagnostic escape hatch; results are still byte-identical.
+	FreshCompile bool
+}
+
+// JobStatus is a point-in-time snapshot of a job, safe to retain.
+type JobStatus struct {
+	ID          string
+	State       State
+	Shots       int
+	Seed        int64
+	Fingerprint string // artifact fingerprint (hex)
+	CacheHit    bool   // compilation was served from the artifact cache
+	Batched     bool   // ran on pooled replicas warmed by an earlier job
+	// Set and Histogram are populated once State == StateDone.
+	Set       *runner.ShotSet
+	Histogram runner.Histogram
+	// Makespan is shot 0's makespan in cycles (0 until done).
+	Makespan int64
+	Err      string
+}
+
+// Done reports whether the job has reached a terminal state.
+func (s JobStatus) Done() bool { return s.State == StateDone || s.State == StateFailed }
+
+// Stats is a point-in-time snapshot of service health, the payload of
+// dhisq-serve's /v1/stats.
+type Stats struct {
+	Submitted  uint64 `json:"submitted"`
+	Completed  uint64 `json:"completed"`
+	Failed     uint64 `json:"failed"`
+	Rejected   uint64 `json:"rejected"`
+	QueueDepth int    `json:"queue_depth"`
+	Running    int    `json:"running"`
+	// BatchedJobs counts jobs that found warm replicas for their
+	// artifact already pooled (no machine construction at all).
+	BatchedJobs    uint64         `json:"batched_jobs"`
+	PooledReplicas int            `json:"pooled_replicas"`
+	Cache          artifact.Stats `json:"artifact_cache"`
+}
+
+// ErrQueueFull is returned by Submit when the bounded queue is at depth.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("service: closed")
+
+// poolKey identifies machines that are interchangeable for job
+// execution: same compiled artifact AND same runtime configuration. The
+// artifact fingerprint only covers compile-relevant inputs; two jobs can
+// share binaries yet need different machines (state-vector vs seeded
+// backend, event logging, deadline), so those ride along here. Seed is
+// deliberately absent — Reset(seed) re-seeds a pooled machine per shot.
+type poolKey struct {
+	fp        artifact.Fingerprint
+	backend   machine.BackendKind // resolved, never BackendAuto
+	logEvents bool
+	deadline  sim.Time
+}
+
+type job struct {
+	id   string
+	req  Request
+	spec runner.Spec
+	fp   artifact.Fingerprint
+	pk   poolKey
+	seed int64
+
+	mu       sync.Mutex
+	state    State
+	cacheHit bool
+	batched  bool
+	set      *runner.ShotSet
+	hist     runner.Histogram // computed once at finish, not per poll
+	err      error
+	done     chan struct{}
+}
+
+// Service is the job manager. Construct with New, stop with Close.
+type Service struct {
+	cfg   Config
+	queue chan *job
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	finished []string // completion order, oldest first (retention bound)
+	nextID   uint64
+	closed   bool
+	running  int
+	stats    Stats
+	pool     *replicaPool
+
+	wg sync.WaitGroup
+}
+
+// New starts a service with cfg's worker pool running.
+func New(cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0) / 2
+		if cfg.Workers < 1 {
+			cfg.Workers = 1
+		}
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.ShotWorkers <= 0 {
+		cfg.ShotWorkers = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.MaxPooledReplicas <= 0 {
+		cfg.MaxPooledReplicas = 4 * cfg.Workers
+	}
+	if cfg.MaxRetainedJobs <= 0 {
+		cfg.MaxRetainedJobs = 4096
+	}
+	s := &Service{
+		cfg:   cfg,
+		queue: make(chan *job, cfg.QueueDepth),
+		jobs:  make(map[string]*job),
+		pool:  newReplicaPool(cfg.MaxPooledReplicas),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates and enqueues a job, returning its ID immediately. The
+// queue is bounded: a full queue rejects with ErrQueueFull rather than
+// blocking the caller (admission control, not backpressure-by-hanging).
+func (s *Service) Submit(req Request) (string, error) {
+	if req.Circuit == nil {
+		return "", fmt.Errorf("service: nil circuit")
+	}
+	if req.Shots < 1 {
+		return "", fmt.Errorf("service: shots %d < 1", req.Shots)
+	}
+	if req.MeshW <= 0 || req.MeshH <= 0 {
+		req.MeshW, req.MeshH = network.NearSquareMesh(req.Circuit.NumQubits)
+	}
+	var cfg machine.Config
+	if req.Cfg != nil {
+		cfg = *req.Cfg
+	} else {
+		cfg = machine.DefaultConfig(req.Circuit.NumQubits)
+	}
+	cfg.Net.MeshW, cfg.Net.MeshH = req.MeshW, req.MeshH
+
+	// Fingerprint at admission, outside the service lock: KeyFor hashes
+	// every circuit op, so holding s.mu here would serialize all
+	// admission and every Get/Wait/Stats behind it. The key is what
+	// batches this job with others compiling the same program; KeyFor
+	// needs only the topology, so admission never builds a machine. The
+	// resolved backend joins the pool key (execution-relevant but not
+	// compile-relevant). Neither depends on the seed assigned below.
+	fp, err := machine.KeyFor(req.Circuit, req.Mapping, cfg)
+	if err != nil {
+		return "", err
+	}
+	j := &job{
+		req: req,
+		fp:  fp,
+		pk: poolKey{
+			fp: fp, backend: machine.ResolveBackend(req.Circuit, cfg.Backend),
+			logEvents: cfg.LogEvents, deadline: cfg.Deadline,
+		},
+		state: StateQueued,
+		done:  make(chan struct{}),
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return "", ErrClosed
+	}
+	n := s.nextID
+	s.nextID++
+	seed := req.Seed
+	if seed == 0 {
+		seed = machine.DeriveSeed(s.cfg.Seed, int(n))
+	}
+	cfg.Seed = seed
+	j.id = fmt.Sprintf("job-%06d", n)
+	j.seed = seed
+	j.spec = runner.Spec{
+		Circuit: req.Circuit, MeshW: req.MeshW, MeshH: req.MeshH,
+		Mapping: req.Mapping, Cfg: cfg, FreshCompile: req.FreshCompile,
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.nextID = n // roll the ID back so rejects don't burn seeds
+		s.stats.Rejected++
+		s.mu.Unlock()
+		return "", ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.stats.Submitted++
+	s.mu.Unlock()
+	return j.id, nil
+}
+
+// Get snapshots a job by ID.
+func (s *Service) Get(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.status(), true
+}
+
+// Wait blocks until the job reaches a terminal state and returns its
+// final snapshot (the "stream the result" path; Get is the poll path).
+func (s *Service) Wait(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	<-j.done
+	return j.status(), true
+}
+
+// Stats snapshots service counters plus the shared artifact-cache stats.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	st := s.stats
+	st.QueueDepth = len(s.queue)
+	st.Running = s.running
+	s.mu.Unlock()
+	st.PooledReplicas = s.pool.size()
+	st.Cache = artifact.Shared.Stats()
+	return st
+}
+
+// Close stops admission, drains queued jobs to failure, and waits for
+// running jobs to finish.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.mu.Lock()
+		if s.closed {
+			// Drain: jobs admitted before Close but not started fail
+			// deterministically instead of hanging their waiters.
+			s.stats.Failed++
+			s.retire(j.id)
+			s.mu.Unlock()
+			j.finish(nil, fmt.Errorf("service: shut down before job started"))
+			continue
+		}
+		s.running++
+		s.mu.Unlock()
+		j.mu.Lock()
+		j.state = StateRunning
+		j.mu.Unlock()
+
+		set, cacheHit, batched, err := s.execute(j)
+		j.mu.Lock()
+		j.cacheHit, j.batched = cacheHit, batched
+		j.mu.Unlock()
+		j.finish(set, err)
+
+		s.mu.Lock()
+		s.running--
+		if err != nil {
+			s.stats.Failed++
+		} else {
+			s.stats.Completed++
+			if batched {
+				s.stats.BatchedJobs++
+			}
+		}
+		s.retire(j.id)
+		s.mu.Unlock()
+	}
+}
+
+// retire records a finished job and forgets the oldest-finished beyond
+// the retention bound. Called with s.mu held. A waiter that already
+// holds the *job keeps it alive until it reads the status; only the
+// service's own reference is dropped.
+func (s *Service) retire(id string) {
+	s.finished = append(s.finished, id)
+	for len(s.finished) > s.cfg.MaxRetainedJobs {
+		oldest := s.finished[0]
+		s.finished = s.finished[1:]
+		delete(s.jobs, oldest)
+	}
+}
+
+// execute runs one job: check out (or build) the replicas for its
+// artifact, fan the shots out with the runner's deterministic merge, and
+// return the replicas to the pool for the next job sharing the artifact.
+// Every job resolves its artifact through the shared cache exactly once,
+// so the hit/miss counters reflect per-job artifact reuse even when the
+// replica pool made the lookup unnecessary for execution.
+func (s *Service) execute(j *job) (set *runner.ShotSet, cacheHit, batched bool, err error) {
+	want := s.cfg.ShotWorkers
+	if want > j.req.Shots {
+		want = j.req.Shots
+	}
+	if j.req.FreshCompile {
+		// Baseline/diagnostic path: private machines, full compiles, no
+		// cache or pool interaction (spec.FreshCompile routes the build
+		// through CompileFresh).
+		machines := make([]*machine.Machine, 0, want)
+		for len(machines) < want {
+			m, _, buildErr := runner.Build(j.spec, nil)
+			if buildErr != nil {
+				return nil, false, false, buildErr
+			}
+			machines = append(machines, m)
+		}
+		set, err = runner.RunOn(machines, j.seed, j.req.Shots, j.req.Circuit.NumBits)
+		return set, false, false, err
+	}
+	machines := s.pool.checkout(j.pk, want)
+	batched = len(machines) > 0
+
+	// Resolve the artifact through the shared cache: a present entry
+	// counts one hit per job (and stays MRU while its replicas are
+	// hot); an absent entry counts nothing here — if replicas must be
+	// built, the first Build's GetOrCompile charges the miss, so misses
+	// always equal actual compiles.
+	var cp *compiler.Compiled
+	cp, cacheHit = artifact.Shared.Get(j.fp)
+	for len(machines) < want {
+		m, built, buildErr := runner.Build(j.spec, cp)
+		if buildErr != nil {
+			s.pool.checkin(j.pk, machines)
+			return nil, false, false, buildErr
+		}
+		cp = built
+		machines = append(machines, m)
+	}
+
+	set, err = runner.RunOn(machines, j.seed, j.req.Shots, j.req.Circuit.NumBits)
+	s.pool.checkin(j.pk, machines)
+	if err != nil {
+		return nil, cacheHit, batched, err
+	}
+	return set, cacheHit, batched, nil
+}
+
+func (j *job) finish(set *runner.ShotSet, err error) {
+	j.mu.Lock()
+	if err != nil {
+		j.state = StateFailed
+		j.err = err
+	} else {
+		j.state = StateDone
+		j.set = set
+		j.hist = set.Histogram()
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.id, State: j.state, Shots: j.req.Shots, Seed: j.seed,
+		Fingerprint: j.fp.String(), CacheHit: j.cacheHit, Batched: j.batched,
+	}
+	if j.err != nil {
+		st.Err = j.err.Error()
+	}
+	if j.set != nil {
+		st.Set = j.set
+		st.Histogram = j.hist
+		if len(j.set.Shots) > 0 {
+			st.Makespan = int64(j.set.Shots[0].Result.Makespan)
+		}
+	}
+	return st
+}
+
+// replicaPool keeps loaded machines warm, grouped by artifact
+// fingerprint, bounded by a global replica budget with LRU group
+// eviction. Checkout removes machines from the pool (a machine is never
+// shared by two running jobs); checkin returns them.
+type replicaPool struct {
+	mu     sync.Mutex
+	budget int
+	groups map[poolKey][]*machine.Machine
+	order  []poolKey // front = most recently used
+	total  int
+}
+
+func newReplicaPool(budget int) *replicaPool {
+	return &replicaPool{budget: budget, groups: make(map[poolKey][]*machine.Machine)}
+}
+
+func (p *replicaPool) touch(fp poolKey) {
+	for i, f := range p.order {
+		if f == fp {
+			copy(p.order[1:i+1], p.order[:i])
+			p.order[0] = fp
+			return
+		}
+	}
+	p.order = append([]poolKey{fp}, p.order...)
+}
+
+// checkout takes up to want machines pooled for fp.
+func (p *replicaPool) checkout(fp poolKey, want int) []*machine.Machine {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	g := p.groups[fp]
+	if len(g) == 0 {
+		return nil
+	}
+	n := want
+	if n > len(g) {
+		n = len(g)
+	}
+	// Copy out: the truncated group keeps its backing array, so handing
+	// the caller a sub-slice would let a later checkin append into the
+	// very machines the caller is still running on.
+	out := make([]*machine.Machine, n)
+	copy(out, g[len(g)-n:])
+	for i := len(g) - n; i < len(g); i++ {
+		g[i] = nil
+	}
+	p.groups[fp] = g[:len(g)-n]
+	p.total -= n
+	p.touch(fp)
+	return out
+}
+
+// checkin returns machines to fp's group, evicting least recently used
+// groups if the global budget is exceeded.
+func (p *replicaPool) checkin(fp poolKey, machines []*machine.Machine) {
+	if len(machines) == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.groups[fp] = append(p.groups[fp], machines...)
+	p.total += len(machines)
+	p.touch(fp)
+	for p.total > p.budget && len(p.order) > 0 {
+		victim := p.order[len(p.order)-1]
+		if victim == fp && len(p.order) == 1 {
+			// Only the active group remains: trim it instead, nil-ing the
+			// dropped slots so the backing array releases the machines.
+			g := p.groups[fp]
+			drop := p.total - p.budget
+			if drop > len(g) {
+				drop = len(g)
+			}
+			for i := len(g) - drop; i < len(g); i++ {
+				g[i] = nil
+			}
+			p.groups[fp] = g[:len(g)-drop]
+			p.total -= drop
+			break
+		}
+		p.total -= len(p.groups[victim])
+		delete(p.groups, victim)
+		p.order = p.order[:len(p.order)-1]
+	}
+}
+
+func (p *replicaPool) size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total
+}

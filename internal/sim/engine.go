@@ -10,7 +10,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -46,34 +45,73 @@ const (
 	PriCleanup                 // end-of-cycle bookkeeping
 )
 
+// event is a heap entry by value: no per-event allocation, no interface
+// dispatch in the hot loop. The (priority, insertion sequence) pair is
+// packed into one key word — priority in the top byte, sequence below —
+// so ordering is a two-field compare. 56 bits of sequence is ~7×10^16
+// events, far beyond any run (Reset rewinds the counter anyway).
 type event struct {
 	at   Time
-	pri  Priority
-	seq  uint64
+	key  uint64 // Priority<<seqBits | seq
 	call func()
 }
 
-type eventHeap []*event
+const seqBits = 56
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	if h[i].pri != h[j].pri {
-		return h[i].pri < h[j].pri
-	}
-	return h[i].seq < h[j].seq
+	return a.key < b.key
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// eventHeap is a hand-rolled binary min-heap over event values, ordered
+// by (at, key). It replaces container/heap: the simulation spends a
+// third of its shot time in queue operations, and the interface-based
+// heap paid an allocation per event plus dynamic dispatch per compare.
+type eventHeap []event
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	// Sift up.
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release the func for GC
+	s = s[:n]
+	*h = s
+	// Sift down.
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && eventLess(s[right], s[left]) {
+			least = right
+		}
+		if !eventLess(s[least], s[i]) {
+			break
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+	return top
 }
 
 // Engine is a deterministic discrete-event scheduler. The zero value is not
@@ -87,9 +125,7 @@ type Engine struct {
 
 // NewEngine returns an empty engine at time 0.
 func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.events)
-	return e
+	return &Engine{}
 }
 
 // Now returns the current simulation time.
@@ -102,7 +138,7 @@ func (e *Engine) Now() Time { return e.now }
 // Reset path that makes multi-shot execution cheap.
 func (e *Engine) Reset() {
 	for i := range e.events {
-		e.events[i] = nil
+		e.events[i] = event{}
 	}
 	e.events = e.events[:0]
 	e.now = 0
@@ -123,7 +159,7 @@ func (e *Engine) At(t Time, pri Priority, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at t=%d before now=%d", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, pri: pri, seq: e.seq, call: fn})
+	e.events.push(event{at: t, key: uint64(pri)<<seqBits | e.seq, call: fn})
 }
 
 // After schedules fn delay cycles from now.
@@ -139,7 +175,7 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
+	ev := e.events.pop()
 	e.now = ev.at
 	e.nRun++
 	ev.call()
