@@ -8,8 +8,9 @@
 //
 // Usage:
 //
-//	dhisq-bench -exp table1|fig11|fig13|fig14|fig15|fig16|ablation|shots|cache|all
+//	dhisq-bench -exp table1|fig11|fig13|fig14|fig15|fig16|ablation|shots|cache|fabric|all
 //	            [-scale N] [-seed S] [-shots N] [-workers W] [-jobs N] [-out DIR]
+//	            [-topo mesh|torus|tree|all] [-link-bw N]
 package main
 
 import (
@@ -24,18 +25,22 @@ import (
 	"dhisq/internal/artifact"
 	"dhisq/internal/exp"
 	"dhisq/internal/machine"
+	"dhisq/internal/network"
 	"dhisq/internal/runner"
 	"dhisq/internal/service"
+	"dhisq/internal/sim"
 	"dhisq/internal/workloads"
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table1, fig11, fig13, fig14, fig15, fig16, ablation, shots, cache, all")
+	which := flag.String("exp", "all", "experiment: table1, fig11, fig13, fig14, fig15, fig16, ablation, shots, cache, fabric, all")
 	scale := flag.Int("scale", 1, "divide Fig. 15 benchmark sizes by this factor")
 	seed := flag.Int64("seed", 1, "measurement outcome seed")
 	shots := flag.Int("shots", 200, "repetitions for the shots experiment")
 	workers := flag.Int("workers", 4, "worker replicas for the shots experiment")
 	jobs := flag.Int("jobs", 40, "repeat submissions for the cache experiment")
+	topo := flag.String("topo", "all", "fabric experiment topology: mesh, torus, tree, or all")
+	linkBW := flag.Int64("link-bw", 0, "fabric link bandwidth as cycles per message (0 = sweep 0,1,2,4,8,16)")
 	outDir := flag.String("out", ".", "directory for BENCH_*.json files")
 	flag.Parse()
 
@@ -134,6 +139,37 @@ func main() {
 	run("cache", func() error {
 		return benchCache(*outDir, *seed, *jobs)
 	})
+	run("fabric", func() error {
+		return benchFabric(*outDir, *seed, *topo, *linkBW)
+	})
+}
+
+// benchFabric runs the topology × bandwidth congestion sweep, asserts the
+// monotone stall-growth invariant, and emits BENCH_fabric.json.
+func benchFabric(outDir string, seed int64, topoName string, linkBW int64) error {
+	opt := exp.FabricOptions{Seed: seed}
+	if topoName != "" && topoName != "all" {
+		k, err := network.ParseTopology(topoName)
+		if err != nil {
+			return err
+		}
+		opt.Topologies = []network.TopologyKind{k}
+	}
+	if linkBW > 0 {
+		// An explicit bandwidth still anchors the sweep at 0 so the
+		// contention-free baseline (and the monotonicity check) survive.
+		opt.Serializations = []sim.Time{0, linkBW}
+	}
+	points, err := exp.FabricSweep(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.RenderFabric(points))
+	if err := exp.CheckFabricMonotone(points); err != nil {
+		return err
+	}
+	fmt.Println("stall cycles grow monotonically as link bandwidth shrinks; ser=0 is stall-free")
+	return writeBenchJSON(outDir, "fabric", points)
 }
 
 // benchRecord is one BENCH_*.json entry. ShotsPerSec is 0 for rows that

@@ -7,7 +7,9 @@
 // JSON endpoints:
 //
 //	POST /v1/jobs        submit {"qasm": "..."} or {"bench": "name", "scale": N}
-//	                     plus "shots" (required) and optional "seed", "mapping"
+//	                     plus "shots" (required) and optional "seed", "mapping",
+//	                     "topo" (mesh|torus|tree), "link_bw" (cycles/message,
+//	                     0 = infinite), "router_ports"
 //	                     -> {"id": "job-000042", "state": "queued"}
 //	GET  /v1/jobs/{id}   poll a job; ?wait=1 long-polls until it finishes
 //	GET  /v1/stats       queue depth, job counters, artifact-cache hit/miss
@@ -39,6 +41,8 @@ import (
 
 	"dhisq/internal/artifact"
 	"dhisq/internal/circuit"
+	"dhisq/internal/machine"
+	"dhisq/internal/network"
 	"dhisq/internal/service"
 	"dhisq/internal/workloads"
 )
@@ -87,7 +91,9 @@ func main() {
 }
 
 // submitRequest is the POST /v1/jobs body. Exactly one of QASM or Bench
-// names the circuit.
+// names the circuit. The optional fabric fields select the intra-layer
+// topology and the contention model (DESIGN.md §6) for this job; left
+// zero, the job runs on the default mesh with infinite link bandwidth.
 type submitRequest struct {
 	QASM    string `json:"qasm,omitempty"`
 	Bench   string `json:"bench,omitempty"`
@@ -95,6 +101,12 @@ type submitRequest struct {
 	Shots   int    `json:"shots"`
 	Seed    int64  `json:"seed,omitempty"`
 	Mapping []int  `json:"mapping,omitempty"`
+	// Topo is "mesh", "torus", or "tree" ("" = mesh).
+	Topo string `json:"topo,omitempty"`
+	// LinkBW is the link bandwidth as cycles per message (0 = infinite,
+	// contention off); RouterPorts caps physical ports per router.
+	LinkBW      int64 `json:"link_bw,omitempty"`
+	RouterPorts int   `json:"router_ports,omitempty"`
 }
 
 // jobResponse is the wire form of a job snapshot.
@@ -182,7 +194,10 @@ func newHandler(svc *service.Service) http.Handler {
 		var st service.JobStatus
 		var ok bool
 		if r.URL.Query().Get("wait") != "" {
-			st, ok = svc.Wait(id)
+			// Long-poll bounded by the client connection: a dropped or
+			// cancelled request stops waiting instead of leaking a goroutine
+			// until the job finishes.
+			st, ok = svc.WaitContext(r.Context(), id)
 		} else {
 			st, ok = svc.Get(id)
 		}
@@ -197,8 +212,10 @@ func newHandler(svc *service.Service) http.Handler {
 }
 
 // buildRequest turns a wire submission into a service request, building
-// the circuit from QASM text or a named Fig. 15 benchmark.
+// the circuit from QASM text or a named Fig. 15 benchmark and applying
+// any fabric overrides.
 func buildRequest(req submitRequest) (service.Request, error) {
+	var sreq service.Request
 	switch {
 	case req.QASM != "" && req.Bench != "":
 		return service.Request{}, fmt.Errorf("give qasm or bench, not both")
@@ -207,9 +224,9 @@ func buildRequest(req submitRequest) (service.Request, error) {
 		if err != nil {
 			return service.Request{}, fmt.Errorf("qasm: %w", err)
 		}
-		return service.Request{
+		sreq = service.Request{
 			Circuit: c, Mapping: req.Mapping, Shots: req.Shots, Seed: req.Seed,
-		}, nil
+		}
 	case req.Bench != "":
 		scale := req.Scale
 		if scale < 1 {
@@ -219,11 +236,38 @@ func buildRequest(req submitRequest) (service.Request, error) {
 		if err != nil {
 			return service.Request{}, err
 		}
-		return service.Request{
+		sreq = service.Request{
 			Circuit: b.Circuit, MeshW: b.MeshW, MeshH: b.MeshH,
 			Mapping: b.Mapping, Shots: req.Shots, Seed: req.Seed,
-		}, nil
+		}
 	default:
 		return service.Request{}, fmt.Errorf("submission needs qasm or bench")
 	}
+	if err := applyFabric(req, &sreq); err != nil {
+		return service.Request{}, err
+	}
+	return sreq, nil
+}
+
+// applyFabric installs the submission's topology/contention overrides as
+// an explicit machine config (the service fills in mesh shape and seed).
+func applyFabric(req submitRequest, sreq *service.Request) error {
+	if req.Topo == "" && req.LinkBW == 0 && req.RouterPorts == 0 {
+		return nil
+	}
+	if req.LinkBW < 0 || req.RouterPorts < 0 {
+		return fmt.Errorf("link_bw and router_ports must be >= 0")
+	}
+	cfg := machine.DefaultConfig(sreq.Circuit.NumQubits)
+	if req.Topo != "" {
+		kind, err := network.ParseTopology(req.Topo)
+		if err != nil {
+			return err
+		}
+		cfg.Net.Topology = kind
+	}
+	cfg.Net.LinkSerialization = req.LinkBW
+	cfg.Net.RouterPorts = req.RouterPorts
+	sreq.Cfg = &cfg
+	return nil
 }

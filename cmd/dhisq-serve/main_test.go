@@ -203,3 +203,45 @@ func TestHealthAndStats(t *testing.T) {
 		t.Fatalf("cache stats missing: %+v", st.Cache)
 	}
 }
+
+// The fabric overrides must travel the wire: a tree-topology, bandwidth-1
+// job congests, moves the /v1/stats net_* counters, and still returns a
+// legal GHZ histogram; a bogus topology is rejected at submission.
+func TestSubmitWithFabricOverrides(t *testing.T) {
+	ts, svc := newTestServer(t)
+
+	id, resp := postJob(t, ts, submitRequest{
+		QASM: ghzQASM, Shots: 20, Seed: 5,
+		Topo: "tree", LinkBW: 2,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	jr := getJob(t, ts, id, true)
+	if jr.State != "done" {
+		t.Fatalf("job: %+v", jr)
+	}
+	total := 0
+	for outcome, n := range jr.Histogram {
+		if outcome != "0000" && outcome != "1111" {
+			t.Fatalf("impossible GHZ outcome %q", outcome)
+		}
+		total += n
+	}
+	if total != 20 {
+		t.Fatalf("histogram holds %d of 20 shots", total)
+	}
+	st := svc.Stats()
+	if st.NetMessages == 0 || st.NetStallCycles == 0 {
+		t.Fatalf("wire-enabled contention moved no counters: %+v", st)
+	}
+
+	_, resp = postJob(t, ts, submitRequest{QASM: ghzQASM, Shots: 1, Topo: "hypercube"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus topology accepted: %d", resp.StatusCode)
+	}
+	_, resp = postJob(t, ts, submitRequest{QASM: ghzQASM, Shots: 1, LinkBW: -3})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative link_bw accepted: %d", resp.StatusCode)
+	}
+}

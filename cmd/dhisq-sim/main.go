@@ -15,6 +15,7 @@
 //	dhisq-sim -qasm file.qasm            run a circuit from OpenQASM
 //	dhisq-sim -bench qft_n30 [-scale N]  run a Figure 15 benchmark
 //	dhisq-sim -shots 100 -workers 4 ...  multi-shot execution
+//	dhisq-sim -topo torus -link-bw 4 ..  alternate topology + finite link bandwidth
 //	dhisq-sim -serve http://host:8080 .. submit to a dhisq-serve daemon
 //	dhisq-sim -list                      list benchmark names
 package main
@@ -44,6 +45,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "measurement outcome base seed")
 	shots := flag.Int("shots", 1, "number of repetitions (compile once, reset per shot)")
 	workers := flag.Int("workers", 0, "machine replicas running shots in parallel (0 = GOMAXPROCS)")
+	topoName := flag.String("topo", "mesh", "fabric topology: mesh, torus, or tree")
+	linkBW := flag.Int64("link-bw", 0, "link bandwidth as cycles per message (0 = infinite, contention off)")
+	routerPorts := flag.Int("router-ports", 0, "physical ports per router (0 = one per tree edge)")
 	serve := flag.String("serve", "", "dhisq-serve base URL: submit as a job instead of running in-process")
 	list := flag.Bool("list", false, "list benchmark names")
 	flag.Parse()
@@ -56,7 +60,8 @@ func main() {
 	}
 
 	if *serve != "" {
-		must(submitRemote(*serve, *qasm, *bench, *scale, *shots, *seed))
+		must(submitRemote(*serve, *qasm, *bench, *scale, *shots, *seed,
+			*topoName, *linkBW, *routerPorts))
 		return
 	}
 
@@ -86,6 +91,11 @@ func main() {
 	cfg := machine.DefaultConfig(c.NumQubits)
 	cfg.Seed = *seed
 	cfg.Net.MeshW, cfg.Net.MeshH = meshW, meshH
+	topoKind, err := network.ParseTopology(*topoName)
+	must(err)
+	cfg.Net.Topology = topoKind
+	cfg.Net.LinkSerialization = *linkBW
+	cfg.Net.RouterPorts = *routerPorts
 	topo, err := network.NewTopology(cfg.Net)
 	must(err)
 
@@ -98,13 +108,17 @@ func main() {
 
 	res := set.Shots[0].Result
 	st := c.CountStats()
-	fmt.Printf("qubits:        %d (mesh %dx%d, %d routers)\n", c.NumQubits, meshW, meshH, topo.NumRouters)
+	fmt.Printf("qubits:        %d (%s %dx%d, %d routers)\n", c.NumQubits, topoKind, meshW, meshH, topo.NumRouters)
 	fmt.Printf("circuit:       %d 1q, %d 2q, %d measurements, %d feed-forward ops\n",
 		st.OneQubit, st.TwoQubit, st.Measurements, st.Feedforward)
 	fmt.Printf("makespan:      %d cycles (%d ns)\n", res.Makespan, sim.Nanoseconds(res.Makespan))
 	fmt.Printf("instructions:  %d executed, %d codeword commits\n", res.Instructions, res.Commits)
 	fmt.Printf("chip:          %d gates, %d measurements applied\n", res.Gates, res.Measurements)
 	fmt.Printf("sync stalls:   %d cycles total\n", res.SyncStall)
+	if res.Net.Enabled {
+		fmt.Printf("congestion:    %d stall cycles, max queue %d, busiest port %.1f%% utilized\n",
+			res.Net.TotalStall(), res.Net.MaxQueue(), 100*res.RouterUtilization)
+	}
 
 	var violations, misalignments, overlaps uint64
 	for _, s := range set.Shots {
@@ -141,9 +155,20 @@ func must(err error) {
 // submitRemote is the -serve client mode: POST the circuit to a running
 // dhisq-serve daemon, long-poll the job, and print its histogram. The
 // circuit travels as QASM text or as a benchmark name the daemon rebuilds
-// locally; results are identical to an in-process run with the same seed.
-func submitRemote(base, qasmPath, bench string, scale, shots int, seed int64) error {
+// locally, and the fabric flags (-topo/-link-bw/-router-ports) travel
+// alongside it; results are identical to an in-process run with the same
+// seed and fabric.
+func submitRemote(base, qasmPath, bench string, scale, shots int, seed int64, topo string, linkBW int64, routerPorts int) error {
 	body := map[string]any{"shots": shots, "seed": seed}
+	if topo != "" && topo != "mesh" {
+		body["topo"] = topo
+	}
+	if linkBW > 0 {
+		body["link_bw"] = linkBW
+	}
+	if routerPorts > 0 {
+		body["router_ports"] = routerPorts
+	}
 	switch {
 	case qasmPath != "" && bench != "":
 		return fmt.Errorf("-serve takes -qasm or -bench, not both")

@@ -44,8 +44,9 @@ func (f Fingerprint) Short() string { return hex.EncodeToString(f[:6]) }
 
 // keyVersion is bumped whenever the encoding below (or the compiler's
 // input surface) changes shape, so stale fingerprints can never collide
-// across versions of the code.
-const keyVersion = 1
+// across versions of the code. v2: topology kind and contention fields
+// joined the network-config section.
+const keyVersion = 2
 
 // Key fingerprints a compilation request. Two requests share a key iff
 // the compiler is guaranteed to produce identical output for both: the
@@ -108,12 +109,21 @@ func Key(c *circuit.Circuit, mapping []int, net network.Config, opt compiler.Opt
 	}
 
 	// Network config: fixes the topology and therefore the sync windows.
+	// The contention fields (serialization, ports, queue cap) do not change
+	// compiler output — the booked windows are uncontended by design — but
+	// they do change runtime behavior, and the fingerprint doubles as the
+	// replica-pool key in internal/service; hashing them costs at most one
+	// redundant compile per variant and never pools incompatible machines.
 	wi(int64(net.MeshW))
 	wi(int64(net.MeshH))
 	wi(int64(net.RouterFanout))
 	wi(int64(net.NeighborLatency))
 	wi(int64(net.TreeHopLatency))
 	wi(int64(net.RouterProc))
+	wi(int64(net.Topology))
+	wi(int64(net.LinkSerialization))
+	wi(int64(net.RouterPorts))
+	wi(int64(net.LinkQueueCap))
 
 	// Compiler options.
 	wi(opt.Durations.OneQubit)

@@ -97,6 +97,11 @@ type Stats struct {
 	StallRecv  sim.Time
 	StallFMR   sim.Time
 	StallSync  sim.Time
+	// StallNet is the total queueing delay the contention-aware fabric
+	// charged to this controller's outgoing traffic (zero when the
+	// contention model is disabled). Credited by the fabric through
+	// AddNetStall, not by the pipeline itself.
+	StallNet sim.Time
 }
 
 type delivered struct {
@@ -319,6 +324,11 @@ func (c *Controller) DeliverRegionResume(router int, tm, arrival sim.Time) {
 	c.finishSync(router, c.pendCondI, r)
 	c.run()
 }
+
+// AddNetStall credits queueing delay the fabric charged to this
+// controller's outgoing traffic (contention accounting; the fabric calls
+// it at reservation time).
+func (c *Controller) AddNetStall(d sim.Time) { c.Stats.StallNet += d }
 
 // PushResult delivers a measurement result for channel ch, available at
 // cycle availAt (measurement window + discrimination latency already

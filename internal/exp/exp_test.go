@@ -4,6 +4,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"dhisq/internal/sim"
 )
 
 func TestTable1MatchesPaper(t *testing.T) {
@@ -199,5 +201,66 @@ func TestAblationSyncAdvance(t *testing.T) {
 	}
 	if !strings.Contains(RenderAblation(rows), "qft_n30") {
 		t.Fatal("render")
+	}
+}
+
+func TestFabricSweepMonotoneAndAnchored(t *testing.T) {
+	points, err := FabricSweep(FabricOptions{
+		Qubits:         12,
+		Seed:           3,
+		Serializations: []sim.Time{0, 2, 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 workloads x 3 topologies x 3 serializations.
+	if len(points) != 27 {
+		t.Fatalf("got %d points, want 27", len(points))
+	}
+	if err := CheckFabricMonotone(points); err != nil {
+		t.Fatal(err)
+	}
+	// Contention must actually bite somewhere: at least one enabled point
+	// records stalls, or the sweep is measuring nothing.
+	var sawStall bool
+	for _, p := range points {
+		if p.LinkSerialization > 0 && p.TotalStall > 0 {
+			sawStall = true
+		}
+		if p.LinkSerialization == 0 && p.Makespan == 0 {
+			t.Fatalf("%s/%s baseline has no makespan", p.Workload, p.Topology)
+		}
+	}
+	if !sawStall {
+		t.Fatal("no point recorded any stall cycles under finite bandwidth")
+	}
+	if out := RenderFabric(points); !strings.Contains(out, "torus") {
+		t.Fatalf("render missing topology column:\n%s", out)
+	}
+}
+
+func TestFabricTreeCongestsHarderThanMesh(t *testing.T) {
+	// The headline architecture result: pushing all traffic through the
+	// router tree (no mesh) must congest at least as much as the hybrid
+	// topology at equal bandwidth, for every workload.
+	points, err := FabricSweep(FabricOptions{
+		Qubits:         12,
+		Seed:           3,
+		Serializations: []sim.Time{0, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stall := map[[2]string]int64{}
+	for _, p := range points {
+		if p.LinkSerialization == 4 {
+			stall[[2]string{p.Workload, p.Topology}] = p.TotalStall
+		}
+	}
+	for _, w := range FabricSweepWorkloads() {
+		if stall[[2]string{w, "tree"}] < stall[[2]string{w, "mesh"}] {
+			t.Fatalf("%s: tree stalls (%d) below mesh stalls (%d)",
+				w, stall[[2]string{w, "tree"}], stall[[2]string{w, "mesh"}])
+		}
 	}
 }

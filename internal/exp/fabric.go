@@ -1,0 +1,174 @@
+package exp
+
+import (
+	"fmt"
+
+	"dhisq/internal/machine"
+	"dhisq/internal/network"
+	"dhisq/internal/runner"
+	"dhisq/internal/sim"
+	"dhisq/internal/workloads"
+)
+
+// The fabric experiment is the topology/bandwidth study the contention
+// model exists for: the same workloads executed across every intra-layer
+// topology and a sweep of link bandwidths, reporting how congestion —
+// queueing stalls, backlog depth, router utilization — grows as bandwidth
+// shrinks and how topology choice shifts where traffic piles up.
+
+// FabricPoint is one (workload, topology, bandwidth) cell of the sweep.
+type FabricPoint struct {
+	Workload string `json:"workload"`
+	Qubits   int    `json:"qubits"`
+	Topology string `json:"topology"`
+	// LinkSerialization is the cycles one message occupies a link or
+	// router port (0 = infinite bandwidth, the contention-free baseline).
+	LinkSerialization int64   `json:"link_serialization_cycles"`
+	Makespan          int64   `json:"makespan_cycles"`
+	NetStall          int64   `json:"net_stall_cycles"`   // charged to controller traffic
+	TotalStall        int64   `json:"total_stall_cycles"` // links + router ports, all traffic
+	SyncStall         int64   `json:"sync_stall_cycles"`
+	MaxQueue          int     `json:"max_queue_depth"`
+	LinkMessages      uint64  `json:"link_messages"`
+	PortMessages      uint64  `json:"port_messages"`
+	RouterUtilization float64 `json:"router_utilization"`
+	// Misalignments counts two-qubit co-commitment failures: congestion
+	// that delays one side of a calibrated sync past its window breaks
+	// the paper's core timing guarantee, and this is where it shows.
+	Misalignments int `json:"misalignments"`
+}
+
+// FabricOptions parameterizes the sweep. Zero values pick the defaults
+// used by dhisq-bench -exp fabric.
+type FabricOptions struct {
+	Qubits         int   // workload size (default 16)
+	Seed           int64 // backend seed (default 1)
+	Topologies     []network.TopologyKind
+	Serializations []sim.Time // link occupancies to sweep (must include 0 to anchor the baseline)
+}
+
+// FabricSweepWorkloads names the circuits the sweep runs.
+func FabricSweepWorkloads() []string { return []string{"ghz", "qft", "bv"} }
+
+func fabricCircuit(name string, n int) (*runner.Spec, error) {
+	var spec runner.Spec
+	switch name {
+	case "ghz":
+		spec.Circuit = workloads.GHZ(n)
+	case "qft":
+		spec.Circuit = workloads.QFT(n)
+	case "bv":
+		spec.Circuit = workloads.BV(n, workloads.AlternatingSecret)
+	default:
+		return nil, fmt.Errorf("exp: unknown fabric workload %q", name)
+	}
+	return &spec, nil
+}
+
+// FabricSweep runs the full grid and returns one point per cell, in
+// deterministic (workload, topology, serialization) order.
+func FabricSweep(opt FabricOptions) ([]FabricPoint, error) {
+	if opt.Qubits <= 0 {
+		opt.Qubits = 16
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	if opt.Topologies == nil {
+		opt.Topologies = []network.TopologyKind{network.TopoMesh, network.TopoTorus, network.TopoTree}
+	}
+	if opt.Serializations == nil {
+		opt.Serializations = []sim.Time{0, 1, 2, 4, 8, 16}
+	}
+	var out []FabricPoint
+	for _, name := range FabricSweepWorkloads() {
+		for _, topo := range opt.Topologies {
+			for _, ser := range opt.Serializations {
+				spec, err := fabricCircuit(name, opt.Qubits)
+				if err != nil {
+					return nil, err
+				}
+				c := spec.Circuit
+				cfg := machine.DefaultConfig(c.NumQubits)
+				cfg.Backend = machine.BackendSeeded
+				cfg.Seed = opt.Seed
+				cfg.Net.Topology = topo
+				cfg.Net.LinkSerialization = ser
+				m, err := machine.New(cfg, c.NumQubits)
+				if err != nil {
+					return nil, err
+				}
+				cp, err := m.Compile(c, nil)
+				if err != nil {
+					return nil, err
+				}
+				if err := m.Load(cp); err != nil {
+					return nil, err
+				}
+				res, err := m.Run()
+				if err != nil {
+					return nil, fmt.Errorf("exp: fabric %s/%s/ser=%d: %w", name, topo, ser, err)
+				}
+				out = append(out, FabricPoint{
+					Workload:          name,
+					Qubits:            c.NumQubits,
+					Topology:          topo.String(),
+					LinkSerialization: int64(ser),
+					Makespan:          int64(res.Makespan),
+					NetStall:          int64(res.NetStall),
+					TotalStall:        int64(res.Net.TotalStall()),
+					SyncStall:         int64(res.SyncStall),
+					MaxQueue:          res.Net.MaxQueue(),
+					LinkMessages:      res.Net.LinkMessages,
+					PortMessages:      res.Net.PortMessages,
+					RouterUtilization: res.RouterUtilization,
+					Misalignments:     res.Misalignments,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// CheckFabricMonotone verifies the sweep's headline property: for every
+// (workload, topology) series, total stall cycles never shrink as the
+// link bandwidth shrinks (serialization grows), and the zero-serialization
+// anchor records no stalls at all. Points must be in FabricSweep order.
+func CheckFabricMonotone(points []FabricPoint) error {
+	type seriesKey struct{ w, t string }
+	last := map[seriesKey]FabricPoint{}
+	for _, p := range points {
+		k := seriesKey{p.Workload, p.Topology}
+		if p.LinkSerialization == 0 && (p.TotalStall != 0 || p.Misalignments != 0) {
+			return fmt.Errorf("exp: %s/%s: contention disabled but %d stall cycles, %d misalignments recorded",
+				p.Workload, p.Topology, p.TotalStall, p.Misalignments)
+		}
+		if prev, ok := last[k]; ok && p.LinkSerialization > prev.LinkSerialization {
+			if p.TotalStall < prev.TotalStall {
+				return fmt.Errorf("exp: %s/%s: stalls shrank from %d (ser=%d) to %d (ser=%d) as bandwidth fell",
+					p.Workload, p.Topology, prev.TotalStall, prev.LinkSerialization,
+					p.TotalStall, p.LinkSerialization)
+			}
+		}
+		last[k] = p
+	}
+	return nil
+}
+
+// RenderFabric formats the sweep as a text table.
+func RenderFabric(points []FabricPoint) string {
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		rows = append(rows, []string{
+			p.Workload,
+			p.Topology,
+			fmt.Sprint(p.LinkSerialization),
+			fmt.Sprint(p.Makespan),
+			fmt.Sprint(p.TotalStall),
+			fmt.Sprint(p.MaxQueue),
+			fmt.Sprintf("%.3f", p.RouterUtilization),
+			fmt.Sprint(p.Misalignments),
+		})
+	}
+	return Table([]string{"workload", "topology", "ser(cy)", "makespan(cy)", "stall(cy)", "maxq", "port util", "misalign"}, rows)
+}

@@ -288,10 +288,20 @@ type Result struct {
 	Inversions    int      // out-of-timestamp-order backend applications (chip)
 	SyncStall     sim.Time // total cycles spent paused at sync gates
 	RecvStall     sim.Time
-	Instructions  uint64
-	Commits       uint64
-	Gates         uint64
-	Measurements  uint64
+	// NetStall is the total queueing delay of controller-originated
+	// traffic at busy links and router ports (0 unless the fabric's
+	// contention model is enabled).
+	NetStall     sim.Time
+	Instructions uint64
+	Commits      uint64
+	Gates        uint64
+	Measurements uint64
+	// Net snapshots the fabric's congestion counters for this run.
+	Net network.CongestionStats
+	// RouterUtilization is the busiest single router port's occupancy
+	// divided by the makespan (0 when contention is disabled or the run
+	// was empty).
+	RouterUtilization float64
 }
 
 // Run starts every controller and drives the engine until all halt (or the
@@ -322,8 +332,13 @@ func (m *Machine) Run() (Result, error) {
 		res.Violations += st.Violations
 		res.SyncStall += st.StallSync
 		res.RecvStall += st.StallRecv
+		res.NetStall += st.StallNet
 		res.Instructions += st.Instrs
 		res.Commits += st.Commits
+	}
+	res.Net = m.Fab.Congestion()
+	if res.Net.Enabled && res.Makespan > 0 {
+		res.RouterUtilization = float64(res.Net.PortBusiest) / float64(res.Makespan)
 	}
 	res.Misalignments = len(m.Chip.Violations)
 	res.Overlaps = m.Chip.Overlaps

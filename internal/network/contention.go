@@ -1,0 +1,213 @@
+package network
+
+import (
+	"dhisq/internal/sim"
+	"dhisq/internal/telf"
+)
+
+// This file is the contention layer of the fabric: finite link bandwidth
+// and router port sharing. Every mesh link direction and every router
+// port is a sim.Resource — a busy-until FIFO that serializes messages at
+// Config.LinkSerialization cycles apiece. With LinkSerialization == 0 the
+// layer is inert: no resource is ever reserved, no statistic moves, and
+// delivery times are byte-identical to the latency-only fabric
+// (DESIGN.md §6).
+
+// netStallSink is implemented by endpoints that account send-side network
+// stalls (core.Controller records them in Stats.StallNet). The fabric
+// attributes a message's total queueing wait — across every link of its
+// path — to the controller that sent it.
+type netStallSink interface {
+	AddNetStall(d sim.Time)
+}
+
+// contention reports whether the finite-bandwidth model is active.
+func (f *Fabric) contention() bool { return f.ser > 0 }
+
+// linkIndex maps the directed mesh link from -> to (a neighbor pair) onto
+// its resource slot: four directions per controller, +x -x +y -y. On a
+// 2-wide torus dimension both directions resolve to the same physical
+// link, which is exactly the hardware being modeled.
+func (f *Fabric) linkIndex(from, to int) int {
+	fx, fy := f.Topo.Coord(from)
+	tx, ty := f.Topo.Coord(to)
+	w, h := f.Topo.Cfg.MeshW, f.Topo.Cfg.MeshH
+	switch {
+	case ty == fy && tx == (fx+1)%w:
+		return from*4 + 0
+	case ty == fy && fx == (tx+1)%w:
+		return from*4 + 1
+	case tx == fx && ty == (fy+1)%h:
+		return from*4 + 2
+	case tx == fx && fy == (ty+1)%h:
+		return from*4 + 3
+	}
+	panic("network: linkIndex on non-adjacent pair")
+}
+
+// reserveLink books the directed mesh link from -> to for one message
+// wanting to enter at `at`, charging any queueing wait to controller src.
+func (f *Fabric) reserveLink(from, to, src int, at sim.Time) sim.Time {
+	depart, waited := f.links[f.linkIndex(from, to)].Reserve(at, f.ser, f.qcap)
+	f.chargeStall(from, src, waited, depart)
+	return depart
+}
+
+// reservePort books router r's port serving its edge to neighbor for one
+// message entering at `at`. With fewer ports than edges (Config.
+// RouterPorts), edges share ports round-robin and contend.
+func (f *Fabric) reservePort(r, neighbor, src int, at sim.Time) sim.Time {
+	rt := f.Router(r)
+	edge := f.Topo.EdgeIndex(r, neighbor)
+	if edge < 0 {
+		// Not a tree edge; treat as uncontended rather than corrupt state.
+		return at
+	}
+	port := edge % len(rt.ports)
+	depart, waited := rt.ports[port].Reserve(at, f.ser, f.qcap)
+	f.chargeStall(r, src, waited, depart)
+	return depart
+}
+
+// chargeStall records a queueing wait: a TELF event on the node where the
+// backlog formed, and send-side attribution to the source controller.
+func (f *Fabric) chargeStall(node, src int, waited, depart sim.Time) {
+	if waited <= 0 {
+		return
+	}
+	f.log.Add(telf.Event{Time: depart, Node: node, Kind: telf.NetStall, A: int64(src), B: waited})
+	if src >= 0 && src < len(f.endpoints) {
+		if s, ok := f.endpoints[src].(netStallSink); ok {
+			s.AddNetStall(waited)
+		}
+	}
+}
+
+// meshArrival computes when a signal sent by src at `at` reaches dst over
+// intra-layer links, walking the x-then-y path hop by hop and reserving
+// each directed link. Without contention it reduces exactly to
+// at + NearbyWindow(src, dst).
+func (f *Fabric) meshArrival(src, dst int, at sim.Time) sim.Time {
+	per := f.Topo.Cfg.NeighborLatency
+	if !f.contention() {
+		d := f.Topo.MeshDistance(src, dst)
+		if d == 0 {
+			d = 1
+		}
+		return at + sim.Time(d)*per
+	}
+	t := at
+	cur := src
+	hops := 0
+	for cur != dst {
+		next := f.Topo.MeshStep(cur, dst)
+		t = f.reserveLink(cur, next, src, t) + per
+		cur = next
+		hops++
+	}
+	if hops == 0 {
+		t = at + per // self-signal degenerate case, matches MeshDistance 0 -> 1
+	}
+	return t
+}
+
+// treeArrival computes when a message sent by src at `at` reaches dst over
+// the router tree, reserving the router-side port of every edge on the
+// path. Without contention it reduces exactly to
+// at + hops*TreeHopLatency + (hops-1)*RouterProc — the MessageLatency
+// formula.
+func (f *Fabric) treeArrival(src, dst int, at sim.Time) sim.Time {
+	path := f.Topo.TreePath(src, dst)
+	t := at
+	for i := 0; i+1 < len(path); i++ {
+		a, b := path[i], path[i+1]
+		if f.contention() {
+			// The router terminating this edge owns the port: b when
+			// climbing (a's parent), a when descending (b's parent).
+			router := b
+			if f.Topo.Parent(b) == a {
+				router = a
+			}
+			t = f.reservePort(router, a+b-router, src, t)
+		}
+		t += f.Topo.Cfg.TreeHopLatency
+		if i+2 < len(path) {
+			t += f.Topo.Cfg.RouterProc
+		}
+	}
+	return t
+}
+
+// CongestionStats aggregates fabric-wide contention counters, the payload
+// behind machine.Result's network fields and /v1/stats. All zero when the
+// model is disabled.
+type CongestionStats struct {
+	Enabled bool `json:"enabled"`
+	// Mesh links.
+	LinkMessages  uint64   `json:"link_messages"`
+	LinkStall     sim.Time `json:"link_stall_cycles"`
+	LinkMaxQueue  int      `json:"link_max_queue"`
+	LinkOverflows uint64   `json:"link_overflows"`
+	// Router ports.
+	PortMessages  uint64   `json:"port_messages"`
+	PortStall     sim.Time `json:"port_stall_cycles"`
+	PortMaxQueue  int      `json:"port_max_queue"`
+	PortOverflows uint64   `json:"port_overflows"`
+	// RouterBusiest is the largest total port occupancy of any single
+	// router (can exceed the makespan on a many-port router); PortBusiest
+	// is the largest occupancy of any single port — divided by the
+	// makespan it is a true 0..1 utilization.
+	RouterBusiest sim.Time `json:"router_busiest_cycles"`
+	PortBusiest   sim.Time `json:"port_busiest_cycles"`
+	RouterBusy    sim.Time `json:"router_busy_cycles"`
+}
+
+// TotalStall is every cycle any message spent queued anywhere.
+func (s CongestionStats) TotalStall() sim.Time { return s.LinkStall + s.PortStall }
+
+// MaxQueue is the deepest backlog observed at any link or port.
+func (s CongestionStats) MaxQueue() int {
+	if s.LinkMaxQueue > s.PortMaxQueue {
+		return s.LinkMaxQueue
+	}
+	return s.PortMaxQueue
+}
+
+// Congestion snapshots the fabric's contention counters for the run (or
+// shot) since the last Reset.
+func (f *Fabric) Congestion() CongestionStats {
+	st := CongestionStats{Enabled: f.contention()}
+	if !st.Enabled {
+		return st
+	}
+	for i := range f.links {
+		r := &f.links[i]
+		st.LinkMessages += r.Messages
+		st.LinkStall += r.StallCycles
+		st.LinkOverflows += r.Overflows
+		if r.MaxQueue > st.LinkMaxQueue {
+			st.LinkMaxQueue = r.MaxQueue
+		}
+	}
+	for _, rt := range f.routers {
+		var busy sim.Time
+		for i := range rt.ports {
+			p := &rt.ports[i]
+			st.PortMessages += p.Messages
+			st.PortStall += p.StallCycles
+			st.PortOverflows += p.Overflows
+			busy += p.BusyCycles
+			if p.BusyCycles > st.PortBusiest {
+				st.PortBusiest = p.BusyCycles
+			}
+			if p.MaxQueue > st.PortMaxQueue {
+				st.PortMaxQueue = p.MaxQueue
+			}
+		}
+		st.RouterBusy += busy
+		if busy > st.RouterBusiest {
+			st.RouterBusiest = busy
+		}
+	}
+	return st
+}

@@ -29,6 +29,11 @@ type Fabric struct {
 
 	endpoints []Endpoint
 	routers   []*Router
+
+	// Contention model (inert when ser == 0; see contention.go).
+	ser   sim.Time       // per-message link/port occupancy
+	qcap  int            // FIFO depth used for the overflow statistic
+	links []sim.Resource // directed mesh links, 4 per controller
 }
 
 // NewFabric builds the fabric and its routers. Endpoints are attached later
@@ -37,7 +42,15 @@ func NewFabric(eng *sim.Engine, topo *Topology, log *telf.Log) *Fabric {
 	if log == nil {
 		log = telf.NewLog()
 	}
-	f := &Fabric{Topo: topo, eng: eng, log: log, endpoints: make([]Endpoint, topo.N)}
+	f := &Fabric{
+		Topo: topo, eng: eng, log: log,
+		endpoints: make([]Endpoint, topo.N),
+		ser:       topo.Cfg.LinkSerialization,
+		qcap:      topo.Cfg.LinkQueueCap,
+	}
+	if f.contention() && topo.Cfg.Topology != TopoTree {
+		f.links = make([]sim.Resource, topo.N*4)
+	}
 	f.routers = make([]*Router, topo.NumRouters)
 	for i := range f.routers {
 		f.routers[i] = newRouter(f, topo.N+i)
@@ -51,15 +64,21 @@ func (f *Fabric) Attach(id int, ep Endpoint) {
 }
 
 // Reset restores every router to its post-construction state: pending
-// booking FIFOs and statistics clear, while the topology, attached
-// endpoints and calibrated latencies survive. In-flight traffic lives on
-// the engine's event heap, so the owning machine must reset the engine in
-// the same breath.
+// booking FIFOs, statistics and link/port occupancy clear, while the
+// topology, attached endpoints and calibrated latencies survive.
+// In-flight traffic lives on the engine's event heap, so the owning
+// machine must reset the engine in the same breath.
 func (f *Fabric) Reset() {
 	for _, r := range f.routers {
 		clear(r.pending)
 		r.Rounds = 0
 		r.Messages = 0
+		for i := range r.ports {
+			r.ports[i].Reset()
+		}
+	}
+	for i := range f.links {
+		f.links[i].Reset()
 	}
 }
 
@@ -72,8 +91,19 @@ func (f *Fabric) IsRouter(addr int) bool { return f.Topo.IsRouter(addr) }
 // NearbyWindow implements core.Fabric: the calibrated SyncU countdown for a
 // neighbor pair. Non-adjacent pairs get distance-scaled latency — the
 // compiler only emits nearest-neighbor syncs, but hand-written programs
-// remain well-defined.
+// remain well-defined. On TopoTree there are no intra-layer links, so the
+// calibrated window is the uncontended tree-path latency. Either way the
+// window is a pure function of the topology: congestion can delay the
+// actual signal past it (the sync then resolves late and the stall is
+// accounted), but never changes the compiled booking.
 func (f *Fabric) NearbyWindow(src, dst int) sim.Time {
+	if f.Topo.Cfg.Topology == TopoTree {
+		hops := f.Topo.TreePathHops(src, dst)
+		if hops == 0 {
+			return f.Topo.Cfg.TreeHopLatency
+		}
+		return sim.Time(hops)*f.Topo.Cfg.TreeHopLatency + sim.Time(hops-1)*f.Topo.Cfg.RouterProc
+	}
 	d := f.Topo.MeshDistance(src, dst)
 	if d == 0 {
 		d = 1
@@ -96,11 +126,19 @@ func (f *Fabric) RegionWindow(src, router int) sim.Time {
 }
 
 // SendSyncSignal implements core.Fabric: the 1-bit nearby sync signal.
+// Under contention the signal queues at each busy link on its path, so
+// its arrival may trail the calibrated window — the partner then resumes
+// late and the slip lands in StallSync.
 func (f *Fabric) SendSyncSignal(src, dst int, at sim.Time) {
 	if dst < 0 || dst >= f.Topo.N {
 		panic(fmt.Sprintf("network: sync signal to invalid controller %d", dst))
 	}
-	arrival := at + f.NearbyWindow(src, dst)
+	var arrival sim.Time
+	if f.Topo.Cfg.Topology == TopoTree {
+		arrival = f.treeArrival(src, dst, at)
+	} else {
+		arrival = f.meshArrival(src, dst, at)
+	}
 	f.schedule(arrival, func() { f.endpoints[dst].DeliverSyncSignal(src, arrival) })
 }
 
@@ -112,12 +150,18 @@ func (f *Fabric) BookRegion(src, router int, ti, at sim.Time) {
 		panic(fmt.Sprintf("network: sync target %d is not an ancestor router of %d", router, src))
 	}
 	parent := f.Topo.Parent(src)
-	arrival := at + f.Topo.Cfg.TreeHopLatency
+	depart := at
+	if f.contention() {
+		depart = f.reservePort(parent, src, src, at)
+	}
+	arrival := depart + f.Topo.Cfg.TreeHopLatency
 	f.schedule(arrival, func() { f.Router(parent).receiveBooking(src, router, ti, arrival) })
 }
 
-// MessageLatency returns the classical message latency between two
-// controllers: one mesh link for neighbors, the router tree otherwise.
+// MessageLatency returns the uncontended classical message latency
+// between two controllers: one mesh link for neighbors, the router tree
+// otherwise. Under contention the actual delivery time (SendMessage) may
+// exceed it by the queueing delays on the path.
 func (f *Fabric) MessageLatency(src, dst int) sim.Time {
 	if src == dst {
 		return 1
@@ -129,12 +173,24 @@ func (f *Fabric) MessageLatency(src, dst int) sim.Time {
 	return sim.Time(hops)*f.Topo.Cfg.TreeHopLatency + sim.Time(hops-1)*f.Topo.Cfg.RouterProc
 }
 
-// SendMessage implements core.Fabric.
+// SendMessage implements core.Fabric. Under contention the message
+// reserves every link (or router port) on its path in order, inheriting
+// the backlog each stage has already committed to — a virtual cut-through
+// model: the whole path is booked at send time, so no per-hop events are
+// needed and determinism is untouched.
 func (f *Fabric) SendMessage(src, dst int, value uint32, at sim.Time) {
 	if dst < 0 || dst >= f.Topo.N {
 		panic(fmt.Sprintf("network: message to invalid controller %d", dst))
 	}
-	arrival := at + f.MessageLatency(src, dst)
+	var arrival sim.Time
+	switch {
+	case src == dst:
+		arrival = at + 1
+	case f.Topo.Adjacent(src, dst):
+		arrival = f.meshArrival(src, dst, at)
+	default:
+		arrival = f.treeArrival(src, dst, at)
+	}
 	f.schedule(arrival, func() { f.endpoints[dst].DeliverMessage(src, value, arrival) })
 }
 
@@ -161,13 +217,25 @@ type Router struct {
 	// pending[dest][child] = FIFO of booked time-points. FIFOs keep repeated
 	// sync rounds (e.g., per-repetition global syncs) correctly paired.
 	pending map[int]map[int][]sim.Time
+	// ports are the physical serialization stages of the contention model:
+	// one per tree edge, or fewer when Config.RouterPorts shares edges
+	// across ports. Empty when contention is disabled.
+	ports []sim.Resource
 	// Stats
 	Rounds   int
 	Messages int
 }
 
 func newRouter(f *Fabric, addr int) *Router {
-	return &Router{fab: f, addr: addr, pending: map[int]map[int][]sim.Time{}}
+	r := &Router{fab: f, addr: addr, pending: map[int]map[int][]sim.Time{}}
+	if f.contention() {
+		n := f.Topo.NumEdges(addr)
+		if p := f.Topo.Cfg.RouterPorts; p > 0 && p < n {
+			n = p
+		}
+		r.ports = make([]sim.Resource, n)
+	}
+	return r
 }
 
 // receiveBooking handles an upward booking message from a child (Figure 8:
@@ -207,6 +275,9 @@ func (r *Router) receiveBooking(child, dest int, t, arrival sim.Time) {
 	if parent < 0 {
 		panic(fmt.Sprintf("network: booking for %d climbed past the root", dest))
 	}
+	if r.fab.contention() {
+		depart = r.fab.reservePort(parent, r.addr, -1, depart)
+	}
 	hop := depart + r.fab.Topo.Cfg.TreeHopLatency
 	r.fab.schedule(hop, func() { r.fab.Router(parent).receiveBooking(r.addr, dest, max, hop) })
 }
@@ -216,7 +287,13 @@ func (r *Router) receiveBooking(child, dest int, t, arrival sim.Time) {
 func (r *Router) broadcast(dest int, tm, depart sim.Time) {
 	r.Messages++
 	for _, c := range r.fab.Topo.Children(r.addr) {
-		arrival := depart + r.fab.Topo.Cfg.TreeHopLatency
+		hopStart := depart
+		if r.fab.contention() {
+			// Each child's copy serializes on the port serving that child's
+			// edge: a fanout-F broadcast through P < F+1 ports queues.
+			hopStart = r.fab.reservePort(r.addr, c, -1, depart)
+		}
+		arrival := hopStart + r.fab.Topo.Cfg.TreeHopLatency
 		child := c
 		if r.fab.Topo.IsRouter(child) {
 			r.fab.schedule(arrival, func() {

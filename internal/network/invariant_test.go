@@ -1,0 +1,112 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRandomizedTopologyInvariants builds ~200 randomly parameterized
+// topologies across all three kinds and asserts the structural invariants
+// every other layer leans on: the router tree is rooted and connected,
+// and the intra-layer distance is a metric.
+func TestRandomizedTopologyInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	kinds := []TopologyKind{TopoMesh, TopoTorus, TopoTree}
+	for i := 0; i < 200; i++ {
+		cfg := Config{
+			MeshW:           1 + rng.Intn(12),
+			MeshH:           1 + rng.Intn(12),
+			RouterFanout:    2 + rng.Intn(5),
+			NeighborLatency: 1 + rng.Int63n(4),
+			TreeHopLatency:  1 + rng.Int63n(6),
+			RouterProc:      rng.Int63n(3),
+			Topology:        kinds[rng.Intn(len(kinds))],
+		}
+		topo, err := NewTopology(cfg)
+		if err != nil {
+			t.Fatalf("case %d (%+v): %v", i, cfg, err)
+		}
+		n := topo.N
+		total := n + topo.NumRouters
+
+		// Every controller's Parent chain must reach Root without cycling.
+		for c := 0; c < n; c++ {
+			steps := 0
+			node := c
+			for node != topo.Root {
+				node = topo.Parent(node)
+				if node < 0 || node >= total {
+					t.Fatalf("case %d: parent chain from %d left the node range at %d", i, c, node)
+				}
+				steps++
+				if steps > total {
+					t.Fatalf("case %d: parent chain from %d cycles", i, c)
+				}
+			}
+			if !topo.IsAncestor(topo.Root, c) && c != topo.Root {
+				t.Fatalf("case %d: root is not an ancestor of %d", i, c)
+			}
+		}
+		if topo.Parent(topo.Root) != -1 {
+			t.Fatalf("case %d: root has a parent", i)
+		}
+
+		// MeshDistance is a metric: identity, symmetry on sampled pairs,
+		// triangle inequality on sampled triples.
+		for s := 0; s < 12; s++ {
+			a, b, c := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+			if d := topo.MeshDistance(a, a); d != 0 {
+				t.Fatalf("case %d: d(%d,%d) = %d, want 0", i, a, a, d)
+			}
+			dab, dba := topo.MeshDistance(a, b), topo.MeshDistance(b, a)
+			if dab != dba {
+				t.Fatalf("case %d: asymmetric distance d(%d,%d)=%d d(%d,%d)=%d", i, a, b, dab, b, a, dba)
+			}
+			if dab < 0 {
+				t.Fatalf("case %d: negative distance %d", i, dab)
+			}
+			if dac, dcb := topo.MeshDistance(a, c), topo.MeshDistance(c, b); dab > dac+dcb {
+				t.Fatalf("case %d: triangle violated: d(%d,%d)=%d > %d+%d via %d",
+					i, a, b, dab, dac, dcb, c)
+			}
+		}
+
+		// MeshStep walks toward its target and terminates in exactly
+		// MeshDistance hops (mesh-bearing topologies only).
+		if cfg.Topology != TopoTree {
+			a, b := rng.Intn(n), rng.Intn(n)
+			cur, hops := a, 0
+			for cur != b {
+				next := topo.MeshStep(cur, b)
+				if !topo.Adjacent(cur, next) && topo.MeshDistance(cur, next) != 1 {
+					t.Fatalf("case %d: MeshStep(%d,%d) = %d is not one hop away", i, cur, b, next)
+				}
+				cur = next
+				hops++
+				if hops > n {
+					t.Fatalf("case %d: MeshStep(%d->%d) does not terminate", i, a, b)
+				}
+			}
+			if want := topo.MeshDistance(a, b); hops != want {
+				t.Fatalf("case %d: MeshStep path %d->%d took %d hops, distance is %d", i, a, b, hops, want)
+			}
+		}
+	}
+}
+
+// TestNearSquareMeshInvariants pins the placement heuristic: the mesh
+// always fits n controllers, stays near-square, and wastes no whole row.
+func TestNearSquareMeshInvariants(t *testing.T) {
+	for n := 1; n <= 400; n++ {
+		w, h := NearSquareMesh(n)
+		if w*h < n {
+			t.Fatalf("n=%d: mesh %dx%d too small", n, w, h)
+		}
+		if d := w - h; d < 0 || d > 1 {
+			t.Fatalf("n=%d: mesh %dx%d not near-square (w-h=%d)", n, w, h, d)
+		}
+		if w*(h-1) >= n {
+			t.Fatalf("n=%d: mesh %dx%d wastes a whole row", n, w, h)
+		}
+	}
+}

@@ -11,6 +11,48 @@ import (
 	"dhisq/internal/sim"
 )
 
+// TopologyKind selects the intra-layer structure connecting leaf
+// controllers. The inter-layer router tree is present in every kind.
+type TopologyKind int
+
+const (
+	// TopoMesh is the paper's hybrid topology (§5.1): a 2-D nearest-neighbor
+	// mesh mirroring the qubit device plus the balanced router tree. The
+	// zero value, so legacy configs are unchanged.
+	TopoMesh TopologyKind = iota
+	// TopoTorus adds wraparound links to the mesh: row and column ends are
+	// adjacent, halving worst-case mesh distance on large grids.
+	TopoTorus
+	// TopoTree removes the mesh entirely: every signal and message —
+	// nearby syncs included — climbs the router tree, whose fanout
+	// (RouterFanout) is the only connectivity knob. The "fat-tree-only"
+	// point of the topology study.
+	TopoTree
+)
+
+var topologyNames = map[TopologyKind]string{
+	TopoMesh:  "mesh",
+	TopoTorus: "torus",
+	TopoTree:  "tree",
+}
+
+func (k TopologyKind) String() string {
+	if n, ok := topologyNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("topology(%d)", int(k))
+}
+
+// ParseTopology maps a CLI flag value onto a TopologyKind.
+func ParseTopology(s string) (TopologyKind, error) {
+	for k, n := range topologyNames {
+		if n == s {
+			return k, nil
+		}
+	}
+	return TopoMesh, fmt.Errorf("network: unknown topology %q (want mesh, torus, or tree)", s)
+}
+
 // Config parameterizes the fabric. All latencies are in cycles (4 ns).
 type Config struct {
 	// MeshW, MeshH give the leaf controller grid; controller i sits at
@@ -26,7 +68,29 @@ type Config struct {
 	TreeHopLatency sim.Time
 	// RouterProc is the processing delay a router adds per forwarded message.
 	RouterProc sim.Time
+	// Topology selects the intra-layer structure (zero value = TopoMesh,
+	// the legacy hybrid topology).
+	Topology TopologyKind
+	// LinkSerialization is the occupancy one message places on a mesh link
+	// or router port, in cycles — the reciprocal link bandwidth. 0 models
+	// infinite bandwidth: no queueing, no congestion statistics, schedules
+	// byte-identical to the pre-contention fabric (DESIGN.md §6).
+	LinkSerialization sim.Time
+	// RouterPorts is the number of physical ports per router. Routers have
+	// one logical edge per child plus one to their parent; with fewer
+	// ports than edges, edges share ports round-robin and contend. 0 gives
+	// every edge a dedicated port (no port sharing).
+	RouterPorts int
+	// LinkQueueCap bounds the per-link/per-port FIFO depth tracked by the
+	// congestion statistics; arrivals that find the backlog at or above
+	// the cap are counted as overflows. Messages are never dropped (a
+	// lossy fabric would break BISP). 0 = unbounded.
+	LinkQueueCap int
 }
+
+// ContentionEnabled reports whether this config models finite link
+// bandwidth (the serialization/queueing machinery activates).
+func (c Config) ContentionEnabled() bool { return c.LinkSerialization > 0 }
 
 // NearSquareMesh returns the smallest near-square controller mesh
 // (w, h) that fits n qubits: w is the ceiling square root, h the rows
@@ -147,7 +211,12 @@ func (t *Topology) Children(router int) []int { return t.children[router-t.N] }
 // Coord returns the mesh coordinates of a controller.
 func (t *Topology) Coord(ctrl int) (x, y int) { return ctrl % t.Cfg.MeshW, ctrl / t.Cfg.MeshW }
 
-// MeshDistance is the Manhattan distance between two controllers.
+// MeshDistance is the distance between two controllers on the intra-layer
+// grid: Manhattan for TopoMesh, wraparound Manhattan for TopoTorus. It is
+// a metric either way (symmetric, triangle inequality) — the randomized
+// invariant tests assert this on sampled triples. TopoTree keeps the
+// geometric metric for placement heuristics even though it has no mesh
+// links.
 func (t *Topology) MeshDistance(a, b int) int {
 	ax, ay := t.Coord(a)
 	bx, by := t.Coord(b)
@@ -158,12 +227,86 @@ func (t *Topology) MeshDistance(a, b int) int {
 	if dy < 0 {
 		dy = -dy
 	}
+	if t.Cfg.Topology == TopoTorus {
+		if wrap := t.Cfg.MeshW - dx; wrap < dx {
+			dx = wrap
+		}
+		if wrap := t.Cfg.MeshH - dy; wrap < dy {
+			dy = wrap
+		}
+	}
 	return dx + dy
 }
 
-// Adjacent reports whether two controllers share a mesh link.
+// Adjacent reports whether two controllers share an intra-layer link.
+// TopoTree has no intra-layer links at all.
 func (t *Topology) Adjacent(a, b int) bool {
+	if t.Cfg.Topology == TopoTree {
+		return false
+	}
 	return a != b && a < t.N && b < t.N && MeshDistanceOne(t, a, b)
+}
+
+// MeshStep returns the controller one intra-layer link from a toward b
+// (x first, then y; torus steps wrap when the wraparound direction is
+// shorter). a == b returns a.
+func (t *Topology) MeshStep(a, b int) int {
+	ax, ay := t.Coord(a)
+	bx, by := t.Coord(b)
+	w, h := t.Cfg.MeshW, t.Cfg.MeshH
+	step := func(from, to, size int) int {
+		if from == to {
+			return from
+		}
+		fwd := to - from
+		if fwd < 0 {
+			fwd = -fwd
+		}
+		dir := 1
+		if to < from {
+			dir = -1
+		}
+		if t.Cfg.Topology == TopoTorus && size-fwd < fwd {
+			dir = -dir // wrapping is shorter
+		}
+		return ((from+dir)%size + size) % size
+	}
+	if ax != bx {
+		return ay*w + step(ax, bx, w)
+	}
+	if ay != by {
+		return step(ay, by, h)*w + ax
+	}
+	return a
+}
+
+// TreePath returns the node sequence from a to b through their lowest
+// common ancestor, endpoints included. It is the hop-by-hop form of
+// TreePathHops: len(TreePath(a,b))-1 == TreePathHops(a,b).
+func (t *Topology) TreePath(a, b int) []int {
+	var up []int
+	var down []int
+	da, db := t.depth[a], t.depth[b]
+	for da > db {
+		up = append(up, a)
+		a = t.parent[a]
+		da--
+	}
+	for db > da {
+		down = append(down, b)
+		b = t.parent[b]
+		db--
+	}
+	for a != b {
+		up = append(up, a)
+		down = append(down, b)
+		a, b = t.parent[a], t.parent[b]
+	}
+	path := append(up, a)
+	for i := len(down) - 1; i >= 0; i-- {
+		path = append(path, down[i])
+	}
+	return path
 }
 
 // MeshDistanceOne reports Manhattan distance exactly 1.
@@ -218,6 +361,33 @@ func (t *Topology) Leaves(r int) []int {
 		out = append(out, t.Leaves(c)...)
 	}
 	return out
+}
+
+// EdgeIndex returns the index of router r's edge to neighbor — children
+// count 0..k-1 in child order, the parent edge is k. -1 if the nodes do
+// not share a tree edge. Port contention maps edges onto physical ports
+// with this index.
+func (t *Topology) EdgeIndex(r, neighbor int) int {
+	cs := t.Children(r)
+	for i, c := range cs {
+		if c == neighbor {
+			return i
+		}
+	}
+	if t.parent[r] == neighbor {
+		return len(cs)
+	}
+	return -1
+}
+
+// NumEdges returns how many tree edges router r terminates (children plus
+// parent; the root has no parent edge).
+func (t *Topology) NumEdges(r int) int {
+	n := len(t.Children(r))
+	if t.parent[r] >= 0 {
+		n++
+	}
+	return n
 }
 
 // TreePathHops counts tree edges on the path between two nodes via their

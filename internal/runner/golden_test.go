@@ -1,0 +1,133 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dhisq/internal/circuit"
+	"dhisq/internal/machine"
+	"dhisq/internal/workloads"
+)
+
+// The golden fixtures pin the end-to-end observable behavior of the whole
+// stack — compiler, fabric, controllers, chip backend, shot merge — for
+// three canonical workloads at fixed seeds. Any change that shifts a
+// makespan by one cycle or flips one measurement outcome fails the
+// byte-for-byte diff, so results cannot drift silently between PRs.
+//
+// Refresh intentionally-changed fixtures with:
+//
+//	go test ./internal/runner -run TestGolden -update
+//
+// and justify the diff in the PR description.
+var update = flag.Bool("update", false, "rewrite golden fixtures")
+
+// goldenShot is one shot's pinned observables.
+type goldenShot struct {
+	Seed     int64  `json:"seed"`
+	Makespan int64  `json:"makespan_cycles"`
+	Bits     string `json:"bits"`
+}
+
+// goldenRun is the committed fixture: everything a regression should catch.
+type goldenRun struct {
+	Name      string         `json:"name"`
+	Qubits    int            `json:"qubits"`
+	MeshW     int            `json:"mesh_w"`
+	MeshH     int            `json:"mesh_h"`
+	Seed      int64          `json:"seed"`
+	Shots     int            `json:"shots"`
+	Histogram map[string]int `json:"histogram"`
+	PerShot   []goldenShot   `json:"per_shot"`
+}
+
+// goldenCases lists the pinned workloads. Sizes are chosen so the auto
+// backend resolves to the dense state vector (<= 14 qubits): real sampled
+// quantum outcomes, not just timing, are under regression.
+func goldenCases() []struct {
+	name  string
+	build func() *circuit.Circuit
+} {
+	return []struct {
+		name  string
+		build func() *circuit.Circuit
+	}{
+		{"ghz_n9", func() *circuit.Circuit { return workloads.GHZ(9) }},
+		{"bv_n10", func() *circuit.Circuit { return workloads.BV(10, workloads.AlternatingSecret) }},
+		{"qft_n8", func() *circuit.Circuit { return workloads.QFT(8) }},
+	}
+}
+
+func goldenRunFor(t *testing.T, name string, c *circuit.Circuit) goldenRun {
+	t.Helper()
+	const (
+		seed  = 7
+		shots = 24
+	)
+	cfg := machine.DefaultConfig(c.NumQubits)
+	cfg.Seed = seed
+	set, err := Run(Spec{
+		Circuit: c,
+		MeshW:   cfg.Net.MeshW,
+		MeshH:   cfg.Net.MeshH,
+		Cfg:     cfg,
+	}, shots, 1)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	g := goldenRun{
+		Name:      name,
+		Qubits:    c.NumQubits,
+		MeshW:     cfg.Net.MeshW,
+		MeshH:     cfg.Net.MeshH,
+		Seed:      seed,
+		Shots:     shots,
+		Histogram: set.Histogram(),
+	}
+	for _, s := range set.Shots {
+		g.PerShot = append(g.PerShot, goldenShot{
+			Seed:     s.Seed,
+			Makespan: int64(s.Result.Makespan),
+			Bits:     s.Key(),
+		})
+	}
+	return g
+}
+
+// TestGoldenFixtures re-runs every pinned workload and diffs the serialized
+// result byte-for-byte against the committed fixture.
+func TestGoldenFixtures(t *testing.T) {
+	for _, tc := range goldenCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			got := goldenRunFor(t, tc.name, tc.build())
+			data, err := json.MarshalIndent(got, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			data = append(data, '\n')
+			path := filepath.Join("testdata", "golden_"+tc.name+".json")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden fixture %s (run with -update to create): %v", path, err)
+			}
+			if !bytes.Equal(data, want) {
+				t.Errorf("%s drifted from its golden fixture.\nIf this change is intentional, refresh with:\n  go test ./internal/runner -run TestGolden -update\ngot:\n%swant:\n%s", tc.name, data, want)
+			}
+		})
+	}
+}

@@ -20,6 +20,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -127,6 +128,17 @@ type Stats struct {
 	BatchedJobs    uint64         `json:"batched_jobs"`
 	PooledReplicas int            `json:"pooled_replicas"`
 	Cache          artifact.Stats `json:"artifact_cache"`
+	// Congestion counters, aggregated across every shot of every
+	// completed job. All zero unless jobs ran with the fabric's
+	// contention model enabled (network.Config.LinkSerialization > 0).
+	// NetStallCycles counts queueing at every link and router port —
+	// all traffic, router-originated hops included — matching
+	// BENCH_fabric.json's total_stall_cycles, not its narrower
+	// controller-charged net_stall_cycles.
+	NetStallCycles uint64 `json:"net_total_stall_cycles"`
+	NetMaxQueue    int    `json:"net_max_queue"`
+	NetMessages    uint64 `json:"net_messages"`
+	NetOverflows   uint64 `json:"net_overflows"`
 }
 
 // ErrQueueFull is returned by Submit when the bounded queue is at depth.
@@ -308,13 +320,26 @@ func (s *Service) Get(id string) (JobStatus, bool) {
 // Wait blocks until the job reaches a terminal state and returns its
 // final snapshot (the "stream the result" path; Get is the poll path).
 func (s *Service) Wait(id string) (JobStatus, bool) {
+	return s.WaitContext(context.Background(), id)
+}
+
+// WaitContext is Wait with a deadline: it blocks until the job reaches a
+// terminal state or the context is done, whichever comes first, and
+// returns the job's snapshot at that moment. A cancelled context does not
+// fail the lookup — the boolean still reports whether the job exists, and
+// the caller distinguishes "finished" from "gave up waiting" by
+// JobStatus.Done(). An already-cancelled context degrades to Get.
+func (s *Service) WaitContext(ctx context.Context, id string) (JobStatus, bool) {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
 	s.mu.Unlock()
 	if !ok {
 		return JobStatus{}, false
 	}
-	<-j.done
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+	}
 	return j.status(), true
 }
 
@@ -378,9 +403,30 @@ func (s *Service) worker() {
 			if batched {
 				s.stats.BatchedJobs++
 			}
+			s.accountCongestion(set)
 		}
 		s.retire(j.id)
 		s.mu.Unlock()
+	}
+}
+
+// accountCongestion folds a finished job's per-shot fabric congestion
+// counters into the service totals (/v1/stats). Called with s.mu held.
+func (s *Service) accountCongestion(set *runner.ShotSet) {
+	if set == nil {
+		return
+	}
+	for _, shot := range set.Shots {
+		net := shot.Result.Net
+		if !net.Enabled {
+			continue
+		}
+		s.stats.NetStallCycles += uint64(net.TotalStall())
+		s.stats.NetMessages += net.LinkMessages + net.PortMessages
+		s.stats.NetOverflows += net.LinkOverflows + net.PortOverflows
+		if q := net.MaxQueue(); q > s.stats.NetMaxQueue {
+			s.stats.NetMaxQueue = q
+		}
 	}
 }
 

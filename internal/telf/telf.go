@@ -28,6 +28,7 @@ const (
 	Violation        // timing violation: event enqueued after its commit time; B = slip cycles
 	Stall            // pipeline stalled: A = reason code, B = duration
 	Halt             // core halted
+	NetStall         // message queued at a busy link/port: A = source node (-1 router-originated), B = wait cycles
 )
 
 var kindNames = [...]string{
@@ -43,6 +44,7 @@ var kindNames = [...]string{
 	Violation:   "violation",
 	Stall:       "stall",
 	Halt:        "halt",
+	NetStall:    "net_stall",
 }
 
 func (k Kind) String() string {
