@@ -8,9 +8,9 @@
 //
 // Usage:
 //
-//	dhisq-bench -exp table1|fig11|fig13|fig14|fig15|fig16|ablation|shots|cache|fabric|all
+//	dhisq-bench -exp table1|fig11|fig13|fig14|fig15|fig16|ablation|shots|cache|fabric|placement|all
 //	            [-scale N] [-seed S] [-shots N] [-workers W] [-jobs N] [-out DIR]
-//	            [-topo mesh|torus|tree|all] [-link-bw N]
+//	            [-topo mesh|torus|tree|all] [-link-bw N] [-placement P|all]
 package main
 
 import (
@@ -33,7 +33,7 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table1, fig11, fig13, fig14, fig15, fig16, ablation, shots, cache, fabric, all")
+	which := flag.String("exp", "all", "experiment: table1, fig11, fig13, fig14, fig15, fig16, ablation, shots, cache, fabric, placement, all")
 	scale := flag.Int("scale", 1, "divide Fig. 15 benchmark sizes by this factor")
 	seed := flag.Int64("seed", 1, "measurement outcome seed")
 	shots := flag.Int("shots", 200, "repetitions for the shots experiment")
@@ -41,6 +41,7 @@ func main() {
 	jobs := flag.Int("jobs", 40, "repeat submissions for the cache experiment")
 	topo := flag.String("topo", "all", "fabric experiment topology: mesh, torus, tree, or all")
 	linkBW := flag.Int64("link-bw", 0, "fabric link bandwidth as cycles per message (0 = sweep 0,1,2,4,8,16)")
+	placePolicy := flag.String("placement", "all", "placement experiment policy (all = rowmajor vs interaction)")
 	outDir := flag.String("out", ".", "directory for BENCH_*.json files")
 	flag.Parse()
 
@@ -142,6 +143,37 @@ func main() {
 	run("fabric", func() error {
 		return benchFabric(*outDir, *seed, *topo, *linkBW)
 	})
+	run("placement", func() error {
+		return benchPlacement(*outDir, *seed, *placePolicy, *linkBW)
+	})
+}
+
+// benchPlacement runs the placement-policy sweep under finite link
+// bandwidth, asserts the interaction placer's not-worse/strictly-better
+// invariants, and emits BENCH_placement.json.
+func benchPlacement(outDir string, seed int64, policy string, linkBW int64) error {
+	opt := exp.PlacementOptions{Seed: seed, LinkBW: sim.Time(linkBW)}
+	fullSweep := policy == "" || policy == "all"
+	if !fullSweep {
+		// A single named policy still sweeps against the row-major
+		// baseline so the table stays comparative.
+		opt.Policies = []string{"rowmajor"}
+		if policy != "rowmajor" {
+			opt.Policies = append(opt.Policies, policy)
+		}
+	}
+	points, err := exp.PlacementSweep(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.RenderPlacement(points))
+	if fullSweep || policy == "interaction" {
+		if err := exp.CheckPlacementImproves(points); err != nil {
+			return err
+		}
+		fmt.Println("interaction-aware placement never worse than row-major on the hotspot; strictly better somewhere")
+	}
+	return writeBenchJSON(outDir, "placement", points)
 }
 
 // benchFabric runs the topology × bandwidth congestion sweep, asserts the

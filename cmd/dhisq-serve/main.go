@@ -9,9 +9,12 @@
 //	POST /v1/jobs        submit {"qasm": "..."} or {"bench": "name", "scale": N}
 //	                     plus "shots" (required) and optional "seed", "mapping",
 //	                     "topo" (mesh|torus|tree), "link_bw" (cycles/message,
-//	                     0 = infinite), "router_ports"
+//	                     0 = infinite), "router_ports", "placement"
+//	                     (identity|rowmajor|interaction)
 //	                     -> {"id": "job-000042", "state": "queued"}
-//	GET  /v1/jobs/{id}   poll a job; ?wait=1 long-polls until it finishes
+//	GET  /v1/jobs/{id}   poll a job; ?wait=1 long-polls until it finishes,
+//	                     echoing the resolved mesh dimensions, placement
+//	                     policy and final qubit→controller mapping
 //	GET  /v1/stats       queue depth, job counters, artifact-cache hit/miss
 //	GET  /healthz        liveness
 //
@@ -23,7 +26,7 @@
 // Usage:
 //
 //	dhisq-serve [-addr :8080] [-workers N] [-queue N] [-shot-workers W]
-//	            [-seed S] [-cache N]
+//	            [-seed S] [-cache N] [-placement P]
 package main
 
 import (
@@ -43,6 +46,7 @@ import (
 	"dhisq/internal/circuit"
 	"dhisq/internal/machine"
 	"dhisq/internal/network"
+	"dhisq/internal/placement"
 	"dhisq/internal/service"
 	"dhisq/internal/workloads"
 )
@@ -54,14 +58,19 @@ func main() {
 	shotWorkers := flag.Int("shot-workers", 1, "machine replicas per job's shot fan-out")
 	seed := flag.Int64("seed", 1, "service base seed for jobs without one")
 	cacheCap := flag.Int("cache", artifact.DefaultCapacity, "artifact cache capacity (entries)")
+	placePolicy := flag.String("placement", "", "default placement policy for jobs that don't name one: identity, rowmajor, or interaction")
 	flag.Parse()
 
+	if err := placement.Valid(*placePolicy); err != nil {
+		fmt.Fprintln(os.Stderr, "dhisq-serve:", err)
+		os.Exit(2)
+	}
 	artifact.Shared.Resize(*cacheCap)
 	svc := service.New(service.Config{
 		Workers: *workers, QueueDepth: *queue,
 		ShotWorkers: *shotWorkers, Seed: *seed,
 	})
-	srv := &http.Server{Addr: *addr, Handler: newHandler(svc)}
+	srv := &http.Server{Addr: *addr, Handler: newHandler(svc, *placePolicy)}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -107,33 +116,46 @@ type submitRequest struct {
 	// contention off); RouterPorts caps physical ports per router.
 	LinkBW      int64 `json:"link_bw,omitempty"`
 	RouterPorts int   `json:"router_ports,omitempty"`
+	// Placement names the placement policy for unmapped circuits
+	// ("identity", "rowmajor", "interaction"; "" = the daemon's
+	// -placement default, itself defaulting to identity).
+	Placement string `json:"placement,omitempty"`
 }
 
 // jobResponse is the wire form of a job snapshot.
 type jobResponse struct {
-	ID          string         `json:"id"`
-	State       string         `json:"state"`
-	Shots       int            `json:"shots"`
-	Seed        int64          `json:"seed"`
-	Fingerprint string         `json:"fingerprint,omitempty"`
-	CacheHit    bool           `json:"cache_hit"`
-	Batched     bool           `json:"batched"`
-	Makespan    int64          `json:"makespan_cycles,omitempty"`
-	Histogram   map[string]int `json:"histogram,omitempty"`
-	Error       string         `json:"error,omitempty"`
+	ID          string `json:"id"`
+	State       string `json:"state"`
+	Shots       int    `json:"shots"`
+	Seed        int64  `json:"seed"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	CacheHit    bool   `json:"cache_hit"`
+	Batched     bool   `json:"batched"`
+	// MeshW/MeshH, Placement and Mapping echo the resolved placement so a
+	// remote user can see why two submissions hit different replica pools
+	// (mapping is omitted for identity placement).
+	MeshW     int            `json:"mesh_w,omitempty"`
+	MeshH     int            `json:"mesh_h,omitempty"`
+	Placement string         `json:"placement,omitempty"`
+	Mapping   []int          `json:"mapping,omitempty"`
+	Makespan  int64          `json:"makespan_cycles,omitempty"`
+	Histogram map[string]int `json:"histogram,omitempty"`
+	Error     string         `json:"error,omitempty"`
 }
 
 func toResponse(st service.JobStatus) jobResponse {
 	return jobResponse{
 		ID: st.ID, State: string(st.State), Shots: st.Shots, Seed: st.Seed,
 		Fingerprint: st.Fingerprint, CacheHit: st.CacheHit, Batched: st.Batched,
+		MeshW: st.MeshW, MeshH: st.MeshH, Placement: st.Placement, Mapping: st.Mapping,
 		Makespan: st.Makespan, Histogram: st.Histogram, Error: st.Err,
 	}
 }
 
 // newHandler builds the JSON API over a running service (separate from
-// main so tests drive it through httptest).
-func newHandler(svc *service.Service) http.Handler {
+// main so tests drive it through httptest). defaultPlacement is applied
+// to submissions that don't name a policy (the -placement flag).
+func newHandler(svc *service.Service, defaultPlacement string) http.Handler {
 	mux := http.NewServeMux()
 
 	writeJSON := func(w http.ResponseWriter, code int, v any) {
@@ -162,6 +184,9 @@ func newHandler(svc *service.Service) http.Handler {
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
 			return
+		}
+		if req.Placement == "" {
+			req.Placement = defaultPlacement
 		}
 		sreq, err := buildRequest(req)
 		if err != nil {
@@ -243,6 +268,10 @@ func buildRequest(req submitRequest) (service.Request, error) {
 	default:
 		return service.Request{}, fmt.Errorf("submission needs qasm or bench")
 	}
+	if err := placement.Valid(req.Placement); err != nil {
+		return service.Request{}, err
+	}
+	sreq.Placement = req.Placement
 	if err := applyFabric(req, &sreq); err != nil {
 		return service.Request{}, err
 	}

@@ -28,7 +28,7 @@ measure q[3] -> c[3];
 func newTestServer(t *testing.T) (*httptest.Server, *service.Service) {
 	t.Helper()
 	svc := service.New(service.Config{Workers: 2, QueueDepth: 8})
-	ts := httptest.NewServer(newHandler(svc))
+	ts := httptest.NewServer(newHandler(svc, ""))
 	t.Cleanup(func() { ts.Close(); svc.Close() })
 	return ts, svc
 }
@@ -243,5 +243,48 @@ func TestSubmitWithFabricOverrides(t *testing.T) {
 	_, resp = postJob(t, ts, submitRequest{QASM: ghzQASM, Shots: 1, LinkBW: -3})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("negative link_bw accepted: %d", resp.StatusCode)
+	}
+}
+
+// A submission naming a placement policy gets it applied, and the job
+// response echoes the resolved mesh, policy, and final mapping.
+func TestSubmitWithPlacement(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	id, resp := postJob(t, ts, submitRequest{QASM: ghzQASM, Shots: 5, Seed: 3, Placement: "interaction"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST status %d, want 202", resp.StatusCode)
+	}
+	jr := getJob(t, ts, id, true)
+	if jr.State != "done" {
+		t.Fatalf("state %q, error %q", jr.State, jr.Error)
+	}
+	if jr.Placement != "interaction" {
+		t.Fatalf("placement %q, want interaction", jr.Placement)
+	}
+	if jr.MeshW != 2 || jr.MeshH != 2 {
+		t.Fatalf("mesh %dx%d, want 2x2", jr.MeshW, jr.MeshH)
+	}
+	if len(jr.Mapping) != 4 {
+		t.Fatalf("mapping %v, want 4 entries", jr.Mapping)
+	}
+
+	// Identity default: policy echoed, mapping omitted.
+	id2, _ := postJob(t, ts, submitRequest{QASM: ghzQASM, Shots: 5, Seed: 3})
+	jr2 := getJob(t, ts, id2, true)
+	if jr2.Placement != "identity" || jr2.Mapping != nil {
+		t.Fatalf("default job echoed placement %q mapping %v", jr2.Placement, jr2.Mapping)
+	}
+	if jr2.Fingerprint == jr.Fingerprint {
+		t.Fatal("placement variants shared an artifact fingerprint")
+	}
+}
+
+// An unknown placement policy is a 400 at submission time.
+func TestSubmitRejectsUnknownPlacement(t *testing.T) {
+	ts, _ := newTestServer(t)
+	_, resp := postJob(t, ts, submitRequest{QASM: ghzQASM, Shots: 5, Placement: "bogus"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("POST status %d, want 400", resp.StatusCode)
 	}
 }

@@ -16,6 +16,7 @@
 //	dhisq-sim -bench qft_n30 [-scale N]  run a Figure 15 benchmark
 //	dhisq-sim -shots 100 -workers 4 ...  multi-shot execution
 //	dhisq-sim -topo torus -link-bw 4 ..  alternate topology + finite link bandwidth
+//	dhisq-sim -placement interaction ..  interaction-aware qubit placement
 //	dhisq-sim -serve http://host:8080 .. submit to a dhisq-serve daemon
 //	dhisq-sim -list                      list benchmark names
 package main
@@ -33,6 +34,7 @@ import (
 	"dhisq/internal/circuit"
 	"dhisq/internal/machine"
 	"dhisq/internal/network"
+	"dhisq/internal/placement"
 	"dhisq/internal/runner"
 	"dhisq/internal/sim"
 	"dhisq/internal/workloads"
@@ -48,6 +50,7 @@ func main() {
 	topoName := flag.String("topo", "mesh", "fabric topology: mesh, torus, or tree")
 	linkBW := flag.Int64("link-bw", 0, "link bandwidth as cycles per message (0 = infinite, contention off)")
 	routerPorts := flag.Int("router-ports", 0, "physical ports per router (0 = one per tree edge)")
+	placePolicy := flag.String("placement", "", "placement policy for unmapped circuits: identity, rowmajor, or interaction (default identity)")
 	serve := flag.String("serve", "", "dhisq-serve base URL: submit as a job instead of running in-process")
 	list := flag.Bool("list", false, "list benchmark names")
 	flag.Parse()
@@ -61,7 +64,7 @@ func main() {
 
 	if *serve != "" {
 		must(submitRemote(*serve, *qasm, *bench, *scale, *shots, *seed,
-			*topoName, *linkBW, *routerPorts))
+			*topoName, *linkBW, *routerPorts, *placePolicy))
 		return
 	}
 
@@ -75,7 +78,7 @@ func main() {
 		cc, err := circuit.ParseQASM(string(data))
 		must(err)
 		c = cc
-		meshW, meshH = network.NearSquareMesh(c.NumQubits)
+		meshW, meshH = placement.AutoMesh(c.NumQubits)
 	case *bench != "":
 		b, err := workloads.BuildScaled(*bench, *scale)
 		must(err)
@@ -88,9 +91,11 @@ func main() {
 		*shots = 1
 	}
 
+	must(placement.Valid(*placePolicy))
 	cfg := machine.DefaultConfig(c.NumQubits)
 	cfg.Seed = *seed
 	cfg.Net.MeshW, cfg.Net.MeshH = meshW, meshH
+	cfg.Placement = *placePolicy
 	topoKind, err := network.ParseTopology(*topoName)
 	must(err)
 	cfg.Net.Topology = topoKind
@@ -155,10 +160,22 @@ func must(err error) {
 // submitRemote is the -serve client mode: POST the circuit to a running
 // dhisq-serve daemon, long-poll the job, and print its histogram. The
 // circuit travels as QASM text or as a benchmark name the daemon rebuilds
-// locally, and the fabric flags (-topo/-link-bw/-router-ports) travel
-// alongside it; results are identical to an in-process run with the same
-// seed and fabric.
-func submitRemote(base, qasmPath, bench string, scale, shots int, seed int64, topo string, linkBW int64, routerPorts int) error {
+// locally, and the fabric/placement flags (-topo/-link-bw/-router-ports/
+// -placement) travel alongside it; results are identical to an in-process
+// run with the same seed and fabric.
+//
+// The flag values are validated locally before anything travels: an
+// invalid -topo or -placement fails here with the parser's own message
+// instead of round-tripping to the daemon for a remote rejection.
+func submitRemote(base, qasmPath, bench string, scale, shots int, seed int64, topo string, linkBW int64, routerPorts int, placePolicy string) error {
+	if topo != "" {
+		if _, err := network.ParseTopology(topo); err != nil {
+			return err
+		}
+	}
+	if err := placement.Valid(placePolicy); err != nil {
+		return err
+	}
 	body := map[string]any{"shots": shots, "seed": seed}
 	if topo != "" && topo != "mesh" {
 		body["topo"] = topo
@@ -168,6 +185,9 @@ func submitRemote(base, qasmPath, bench string, scale, shots int, seed int64, to
 	}
 	if routerPorts > 0 {
 		body["router_ports"] = routerPorts
+	}
+	if placePolicy != "" {
+		body["placement"] = placePolicy
 	}
 	switch {
 	case qasmPath != "" && bench != "":
@@ -218,6 +238,10 @@ func submitRemote(base, qasmPath, bench string, scale, shots int, seed int64, to
 		Shots     int            `json:"shots"`
 		CacheHit  bool           `json:"cache_hit"`
 		Batched   bool           `json:"batched"`
+		MeshW     int            `json:"mesh_w"`
+		MeshH     int            `json:"mesh_h"`
+		Placement string         `json:"placement"`
+		Mapping   []int          `json:"mapping"`
 		Makespan  int64          `json:"makespan_cycles"`
 		Histogram map[string]int `json:"histogram"`
 		Error     string         `json:"error"`
@@ -232,6 +256,12 @@ func submitRemote(base, qasmPath, bench string, scale, shots int, seed int64, to
 
 	fmt.Printf("state:         %s (seed %d, cache hit %v, batched %v)\n",
 		job.State, job.Seed, job.CacheHit, job.Batched)
+	if job.MeshW > 0 && job.MeshH > 0 {
+		fmt.Printf("placement:     %s on %dx%d mesh\n", job.Placement, job.MeshW, job.MeshH)
+	}
+	if len(job.Mapping) > 0 {
+		fmt.Printf("mapping:       %v\n", job.Mapping)
+	}
 	fmt.Printf("makespan:      %d cycles (%d ns)\n", job.Makespan, sim.Nanoseconds(sim.Time(job.Makespan)))
 	fmt.Printf("shots:         %d in %v (%.1f shots/s)\n",
 		job.Shots, elapsed.Round(time.Millisecond), float64(job.Shots)/elapsed.Seconds())

@@ -43,6 +43,7 @@ import (
 	"dhisq/internal/isa"
 	"dhisq/internal/machine"
 	"dhisq/internal/network"
+	"dhisq/internal/placement"
 	"dhisq/internal/runner"
 	"dhisq/internal/service"
 	"dhisq/internal/sim"
@@ -182,15 +183,32 @@ func RunShots(c *Circuit, meshW, meshH int, mapping []int, cfg MachineConfig, sh
 // near-square mesh with the default configuration, runs `shots`
 // repetitions in parallel, and returns the outcome histogram.
 func Sample(c *Circuit, shots int, seed int64) (Histogram, error) {
-	meshW, meshH := network.NearSquareMesh(c.NumQubits)
+	return SamplePlaced(c, shots, seed, "")
+}
+
+// SamplePlaced is Sample with an explicit placement policy (see
+// PlacementPolicies; "" = identity). The policy becomes part of the
+// compiled artifact's fingerprint, so variants never share cache entries.
+func SamplePlaced(c *Circuit, shots int, seed int64, policy string) (Histogram, error) {
+	if err := placement.Valid(policy); err != nil {
+		return nil, err
+	}
+	meshW, meshH := placement.AutoMesh(c.NumQubits)
 	cfg := machine.DefaultConfig(c.NumQubits)
 	cfg.Seed = seed
+	cfg.Placement = policy
 	set, err := RunShots(c, meshW, meshH, nil, cfg, shots, 0)
 	if err != nil {
 		return nil, err
 	}
 	return set.Histogram(), nil
 }
+
+// PlacementPolicies lists the registered placement policies of the
+// compilation pipeline's Place pass ("identity", "rowmajor",
+// "interaction"); MachineConfig.Placement and JobRequest.Placement accept
+// any of them.
+func PlacementPolicies() []string { return placement.Names() }
 
 // ---------------------------------------------------------------------------
 // Request serving (internal/artifact + internal/service)

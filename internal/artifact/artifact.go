@@ -45,8 +45,11 @@ func (f Fingerprint) Short() string { return hex.EncodeToString(f[:6]) }
 // keyVersion is bumped whenever the encoding below (or the compiler's
 // input surface) changes shape, so stale fingerprints can never collide
 // across versions of the code. v2: topology kind and contention fields
-// joined the network-config section.
-const keyVersion = 2
+// joined the network-config section. v3: the placement policy name joined
+// the compiler options — the Place pass resolves nil mappings through the
+// named policy, so artifacts (and the replica pools keyed on them) from
+// different policies must never alias.
+const keyVersion = 3
 
 // Key fingerprints a compilation request. Two requests share a key iff
 // the compiler is guaranteed to produce identical output for both: the
@@ -135,6 +138,11 @@ func Key(c *circuit.Circuit, mapping []int, net network.Config, opt compiler.Opt
 	wb(opt.InitialBarrier)
 	wi(opt.PipeGuard)
 	wb(opt.AdvanceBooking)
+	// Placement policy: length-prefixed name bytes. "" and "identity"
+	// resolve to the same pass behavior but hash differently — one
+	// redundant compile at most, never an aliased artifact.
+	wi(int64(len(opt.Placement)))
+	buf = append(buf, opt.Placement...)
 
 	return sha256.Sum256(buf)
 }

@@ -85,6 +85,15 @@ func TestKeyDiscriminates(t *testing.T) {
 	o3 := opt
 	o3.Durations.TwoQubit++
 	check("different durations", artifact.Key(base.Circuit, nil, base.Cfg.Net, o3))
+
+	// keyVersion 3: the placement policy is compile-relevant (the Place
+	// pass resolves nil mappings through it) and must never alias — not
+	// even "" vs the "identity" it resolves to.
+	o4 := opt
+	o4.Placement = "identity"
+	check("identity placement name", artifact.Key(base.Circuit, nil, base.Cfg.Net, o4))
+	o4.Placement = "interaction"
+	check("interaction placement", artifact.Key(base.Circuit, nil, base.Cfg.Net, o4))
 }
 
 // Identical submissions hit; the second compile never runs.

@@ -1,0 +1,247 @@
+package compiler
+
+import (
+	"fmt"
+
+	"dhisq/internal/chip"
+	"dhisq/internal/circuit"
+	"dhisq/internal/isa"
+)
+
+// compileMonolithic is the pre-pipeline compiler, kept verbatim (in this
+// test-only file, so production binaries don't ship it) as the reference
+// implementation the pass pipeline is proven against: the equivalence
+// tests assert that the default pipeline produces byte-for-byte identical
+// programs, tables, bit owners and stats for every workload × topology
+// cell. When the pipeline and the monolith ever need to diverge
+// intentionally, the monolith is deleted and the golden fixtures take
+// over as the sole byte-level anchor.
+// legacyStream restores the monolith's inline codeword interning on top
+// of the scheduled-stream type (the pipeline interns in Lower instead, so
+// production streams no longer carry the intern map).
+type legacyStream struct {
+	stream
+	tableIdx map[chip.TableEntry]int
+}
+
+func newStream(id int) *legacyStream {
+	return &legacyStream{stream: stream{id: id}, tableIdx: map[chip.TableEntry]int{}}
+}
+
+func (s *legacyStream) cwInstrs(e chip.TableEntry) []isa.Instr {
+	idx, ok := s.tableIdx[e]
+	if !ok {
+		idx = len(s.table)
+		s.table = append(s.table, e)
+		s.tableIdx[e] = idx
+	}
+	return cwTrigger(idx, uint8(e.Port()))
+}
+
+func compileMonolithic(c *circuit.Circuit, mapping []int, fab Windows, opt Options) (*Compiled, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Controllers <= 0 {
+		return nil, fmt.Errorf("compiler: no controllers")
+	}
+	if opt.PipeGuard <= 0 {
+		opt.PipeGuard = 6
+	}
+	ctrlOf := func(q int) int {
+		if mapping == nil {
+			return q
+		}
+		return mapping[q]
+	}
+	for q := 0; q < c.NumQubits; q++ {
+		if m := ctrlOf(q); m < 0 || m >= opt.Controllers {
+			return nil, fmt.Errorf("compiler: qubit %d maps to controller %d of %d", q, m, opt.Controllers)
+		}
+	}
+
+	streams := make([]*legacyStream, opt.Controllers)
+	for i := range streams {
+		streams[i] = newStream(i)
+	}
+	st := Stats{}
+	bitOwner := make([]int, c.NumBits)
+	bitMeasured := make([]bool, c.NumBits)
+	for i := range bitOwner {
+		bitOwner[i] = -1
+	}
+
+	barrier := func() {
+		for _, s := range streams {
+			s.insertSyncBack(opt.Root, fab.RegionWindow(s.id, opt.Root), opt.AdvanceBooking)
+			st.RegionSyncs++
+		}
+	}
+	if opt.InitialBarrier {
+		barrier()
+	}
+
+	d := opt.Durations
+	for opIdx, op := range c.Ops {
+		switch {
+		case op.Kind == circuit.Barrier:
+			barrier()
+
+		case op.Kind == circuit.Delay:
+			streams[ctrlOf(op.Qubits[0])].wait(int64(op.Param))
+
+		case op.Kind == circuit.Measure:
+			if op.Cond != nil {
+				return nil, fmt.Errorf("compiler: op %d: conditioned measurement unsupported", opIdx)
+			}
+			q := op.Qubits[0]
+			s := streams[ctrlOf(q)]
+			entry := chip.TableEntry{Role: chip.RoleMeasure, Kind: circuit.Measure, Qubit: q, Channel: 0}
+			s.guard(opt.PipeGuard, 1)
+			s.push(unit{ins: s.cwInstrs(entry), det: true})
+			// Fetch the result (pipeline blocks until MeasLatency elapses,
+			// which re-anchors the timing point past the window) and store
+			// it at the bit's home address.
+			s.push(unit{ins: []isa.Instr{{Op: isa.OpFMR, Rd: regScratch, Imm: 0}}})
+			s.anchor()
+			store := append(loadImm(regAddr, int32(4*op.CBit)),
+				isa.Instr{Op: isa.OpSW, Rs1: regAddr, Rs2: regScratch})
+			s.push(unit{ins: store, det: true})
+			// Timing point already advanced to the result time by the fmr
+			// anchor; nothing further to wait for.
+			bitOwner[op.CBit] = s.id
+			bitMeasured[op.CBit] = true
+
+		case op.Cond != nil:
+			if op.Kind.IsTwoQubit() {
+				return nil, fmt.Errorf("compiler: op %d: conditioned two-qubit gate unsupported", opIdx)
+			}
+			q := op.Qubits[0]
+			actor := ctrlOf(q)
+			s := streams[actor]
+			for _, b := range op.Cond.Bits {
+				if !bitMeasured[b] {
+					return nil, fmt.Errorf("compiler: op %d uses bit %d before it is measured", opIdx, b)
+				}
+			}
+			// Owners forward remote bits at this consumption site. Send units
+			// are slide-stops (det: false): a later sync must never be booked
+			// before them, because the simulated pipeline parks at a pending
+			// sync and a deferred send can deadlock the consumer whose
+			// progress that very sync transitively needs.
+			for _, b := range op.Cond.Bits {
+				owner := bitOwner[b]
+				if owner == actor {
+					continue
+				}
+				os := streams[owner]
+				ins := append(loadImm(regAddr, int32(4*b)),
+					isa.Instr{Op: isa.OpLW, Rd: regScratch, Rs1: regAddr},
+					isa.Instr{Op: isa.OpSEND, Rs1: regScratch, Imm: int32(actor)})
+				os.push(unit{ins: ins})
+				st.Sends++
+			}
+			// Actor gathers, xors, branches, and conditionally commits.
+			var ins []isa.Instr
+			ins = append(ins, isa.Instr{Op: isa.OpADDI, Rd: regParity}) // r2 = 0
+			anchored := false
+			for _, b := range op.Cond.Bits {
+				if bitOwner[b] == actor {
+					ins = append(ins, loadImm(regAddr, int32(4*b))...)
+					ins = append(ins, isa.Instr{Op: isa.OpLW, Rd: regScratch, Rs1: regAddr})
+				} else {
+					ins = append(ins, isa.Instr{Op: isa.OpRECV, Rd: regScratch, Imm: int32(bitOwner[b])})
+					anchored = true
+					st.Recvs++
+				}
+				ins = append(ins, isa.Instr{Op: isa.OpXOR, Rd: regParity, Rs1: regParity, Rs2: regScratch})
+			}
+			// Branch over the conditional body.
+			brOp := isa.OpBEQ // parity==1 required: skip when parity == 0
+			if op.Cond.Parity == 0 {
+				brOp = isa.OpBNE
+			}
+			entry := tableEntryFor(op, q, ctrlOf)
+			// The in-branch guard wait covers every instruction that can
+			// retire between the last pipeline anchor and the commit.
+			guardAmt := opt.PipeGuard + s.instrSum + int64(len(ins)) + 8
+			if anchored {
+				guardAmt = opt.PipeGuard + int64(len(ins)) + 8
+			}
+			body := waitInstrs(guardAmt)
+			body = append(body, s.cwInstrs(entry)...)
+			body = append(body, waitInstrs(gateDur(op, d))...)
+			ins = append(ins, isa.Instr{Op: brOp, Rs1: regParity, Imm: int32(4 * (len(body) + 1))})
+			ins = append(ins, body...)
+			s.push(unit{ins: ins})
+			if anchored {
+				s.anchor()
+				// The body retires after the anchor; seed the counters so the
+				// next guard still covers it.
+				s.instrSum = int64(len(body)) + 4
+			}
+
+		case op.Kind.IsTwoQubit():
+			a, b := op.Qubits[0], op.Qubits[1]
+			ca, cb := ctrlOf(a), ctrlOf(b)
+			ctrlEntry := chip.TableEntry{Role: chip.RoleControl, Kind: op.Kind, Param: op.Param, Qubit: a, Partner: b}
+			partEntry := chip.TableEntry{Role: chip.RoleParticipant, Kind: op.Kind, Param: op.Param, Qubit: b, Partner: a}
+			if ca == cb {
+				// Both halves on one node commit at the same timing point.
+				s := streams[ca]
+				s.guard(opt.PipeGuard, 2)
+				ins := append(s.cwInstrs(ctrlEntry), s.cwInstrs(partEntry)...)
+				s.push(unit{ins: ins, det: true})
+				s.wait(d.TwoQubit)
+				break
+			}
+			sa, sb := streams[ca], streams[cb]
+			n := fab.NearbyWindow(ca, cb)
+			// Guards first so the sync window measured backwards from the
+			// commit point is identical (= n) on both sides.
+			sa.guard(opt.PipeGuard, 1)
+			sb.guard(opt.PipeGuard, 1)
+			sa.insertSyncBack(cb, n, opt.AdvanceBooking)
+			sb.insertSyncBack(ca, n, opt.AdvanceBooking)
+			st.NearbySyncs += 2
+			// The synchronized commit belongs to its sync's window: nothing —
+			// in particular no later sync — may be inserted between them, or
+			// the parked pipeline would delay the commit past foreign events.
+			sa.push(unit{ins: sa.cwInstrs(ctrlEntry), det: true, window: true})
+			sb.push(unit{ins: sb.cwInstrs(partEntry), det: true, window: true})
+			sa.wait(d.TwoQubit)
+			sb.wait(d.TwoQubit)
+
+		default: // unconditioned one-qubit gate
+			q := op.Qubits[0]
+			s := streams[ctrlOf(q)]
+			entry := tableEntryFor(op, q, ctrlOf)
+			s.guard(opt.PipeGuard, 1)
+			s.push(unit{ins: s.cwInstrs(entry), det: true})
+			s.wait(gateDur(op, d))
+		}
+	}
+
+	out := &Compiled{
+		Programs: make([]*isa.Program, opt.Controllers),
+		Tables:   make([][]chip.TableEntry, opt.Controllers),
+		BitOwner: bitOwner,
+		MemBytes: 4*c.NumBits + 4096,
+	}
+	for i, s := range streams {
+		p := &isa.Program{}
+		for _, u := range s.units {
+			p.Instrs = append(p.Instrs, u.ins...)
+		}
+		p.Instrs = append(p.Instrs, isa.Instr{Op: isa.OpHALT})
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("compiler: controller %d: %w", i, err)
+		}
+		out.Programs[i] = p
+		out.Tables[i] = s.table
+		st.Instructions += p.Len()
+		st.TableEntries += len(s.table)
+	}
+	out.Stats = st
+	return out, nil
+}

@@ -1,0 +1,40 @@
+package compiler
+
+import (
+	"fmt"
+
+	"dhisq/internal/placement"
+)
+
+// Place resolves the qubit→controller mapping. An explicit caller mapping
+// always wins (benchmark suites and hand-placed circuits keep their
+// layouts); otherwise the policy named by Options.Placement computes one.
+// The identity policy keeps the nil-mapping convention — byte-identical to
+// the pre-pipeline compiler, and hash-identical in the artifact cache.
+type Place struct{}
+
+// Name implements Pass.
+func (Place) Name() string { return "place" }
+
+// Run implements Pass.
+func (Place) Run(st *State) error {
+	pol, err := placement.Get(st.Opt.Placement)
+	if err != nil {
+		return err
+	}
+	if st.Mapping != nil || pol.Name() == placement.Default {
+		// Explicit mapping, or identity: nothing to compute. Identity skips
+		// the policy call entirely so topology-less callers (unit tests
+		// driving Compile with stub windows) stay supported.
+		return nil
+	}
+	if st.Topo == nil {
+		return fmt.Errorf("compiler: placement policy %q needs a topology (use the State entry point)", pol.Name())
+	}
+	mapping, err := pol.Place(st.Circuit, st.Topo)
+	if err != nil {
+		return err
+	}
+	st.Mapping = mapping
+	return nil
+}

@@ -1,0 +1,81 @@
+package compiler
+
+import (
+	"fmt"
+
+	"dhisq/internal/isa"
+)
+
+// Schedule resolves each controller's directive stream into a timed unit
+// stream: guard padding so commits never trail the classical pipeline,
+// the Fig. 6 backward sync slide (insertSyncBack) against the calibrated
+// windows Lower recorded, anchor accounting at blocking fmr/recv points,
+// and branch-body assembly for conditioned commits (whose in-branch guard
+// wait depends on the instruction count accumulated here).
+//
+// Streams are independent — no directive reads another controller's state
+// — so replaying them one at a time reproduces the monolithic compiler's
+// interleaved emission exactly.
+type Schedule struct{}
+
+// Name implements Pass.
+func (Schedule) Name() string { return "schedule" }
+
+// Run implements Pass.
+func (Schedule) Run(st *State) error {
+	if st.lowered == nil {
+		return fmt.Errorf("compiler: schedule before lower")
+	}
+	opt := st.Opt
+	st.scheduled = make([]*stream, len(st.lowered))
+	for i, l := range st.lowered {
+		s := &stream{id: l.id}
+		for _, d := range l.dirs {
+			switch d.kind {
+			case dUnit:
+				s.push(d.u)
+			case dWait:
+				s.wait(d.amt)
+			case dGuard:
+				s.guard(opt.PipeGuard, d.amt)
+			case dAnchor:
+				s.anchor()
+			case dSync:
+				s.insertSyncBack(d.target, d.window, opt.AdvanceBooking)
+			case dCond:
+				scheduleCond(s, d.cond, opt.PipeGuard)
+			default:
+				return fmt.Errorf("compiler: controller %d: unknown directive kind %d", l.id, d.kind)
+			}
+		}
+		// The scheduled stream inherits the table interned at lowering time.
+		s.table = l.table
+		st.scheduled[i] = s
+	}
+	return nil
+}
+
+// scheduleCond assembles a conditioned commit. The in-branch guard wait
+// covers every instruction that can retire between the last pipeline
+// anchor and the commit; a recv inside the gather sequence re-anchors the
+// stream, shrinking the guard to the local instruction count.
+func scheduleCond(s *stream, c *condSite, pipeGuard int64) {
+	guardAmt := pipeGuard + s.instrSum + int64(len(c.pre)) + 8
+	if c.anchored {
+		guardAmt = pipeGuard + int64(len(c.pre)) + 8
+	}
+	body := waitInstrs(guardAmt)
+	body = append(body, c.cw...)
+	body = append(body, waitInstrs(c.gateWait)...)
+	ins := make([]isa.Instr, 0, len(c.pre)+1+len(body))
+	ins = append(ins, c.pre...)
+	ins = append(ins, isa.Instr{Op: c.brOp, Rs1: regParity, Imm: int32(4 * (len(body) + 1))})
+	ins = append(ins, body...)
+	s.push(unit{ins: ins})
+	if c.anchored {
+		s.anchor()
+		// The body retires after the anchor; seed the counters so the
+		// next guard still covers it.
+		s.instrSum = int64(len(body)) + 4
+	}
+}

@@ -1,0 +1,220 @@
+package exp
+
+import (
+	"fmt"
+
+	"dhisq/internal/circuit"
+	"dhisq/internal/machine"
+	"dhisq/internal/network"
+	"dhisq/internal/placement"
+	"dhisq/internal/runner"
+	"dhisq/internal/sim"
+	"dhisq/internal/workloads"
+)
+
+// The placement experiment measures what the compilation pipeline's Place
+// pass buys under finite link bandwidth: the same workloads compiled with
+// the row-major baseline versus the interaction-aware partitioner, on the
+// same contended fabric. Better placement shortens calibrated sync windows
+// and keeps feed-forward traffic local, which shows up as lower makespan
+// and fewer queueing stall cycles.
+
+// PlacementPoint is one (workload, policy) cell of the sweep.
+type PlacementPoint struct {
+	Workload string `json:"workload"`
+	Qubits   int    `json:"qubits"`
+	Policy   string `json:"policy"`
+	// LinkSerialization is the cycles one message occupies a link or
+	// router port — finite bandwidth is the regime placement matters in.
+	LinkSerialization int64 `json:"link_serialization_cycles"`
+	// MappingCost is the placer's objective: total interaction weight ×
+	// mesh distance of the mapping the artifact compiled with.
+	MappingCost       int64   `json:"mapping_cost"`
+	Makespan          int64   `json:"makespan_cycles"`
+	NetStall          int64   `json:"net_stall_cycles"`   // charged to controller traffic
+	TotalStall        int64   `json:"total_stall_cycles"` // links + router ports, all traffic
+	SyncStall         int64   `json:"sync_stall_cycles"`
+	MaxQueue          int     `json:"max_queue_depth"`
+	RouterUtilization float64 `json:"router_utilization"`
+	Misalignments     int     `json:"misalignments"`
+}
+
+// PlacementOptions parameterizes the sweep. Zero values pick the defaults
+// used by dhisq-bench -exp placement.
+type PlacementOptions struct {
+	Qubits   int      // workload size (default 16)
+	Seed     int64    // backend seed (default 1)
+	LinkBW   sim.Time // link serialization in cycles (default 4)
+	Policies []string // placement policies (default rowmajor, interaction)
+}
+
+// PlacementSweepWorkloads names the circuits the sweep runs. hotspot is
+// the adversarial star circuit — every data qubit talks to a hub that
+// row-major order parks in the mesh corner — the workload the CI smoke
+// holds the interaction placer to.
+func PlacementSweepWorkloads() []string { return []string{"ghz", "qft", "bv", "hotspot"} }
+
+// hotspotCircuit builds the star workload: three rounds of CNOTs from
+// every data qubit into the last qubit, then full measurement.
+func hotspotCircuit(n int) *circuit.Circuit {
+	c := circuit.New(n)
+	hub := n - 1
+	for round := 0; round < 3; round++ {
+		for q := 0; q < n-1; q++ {
+			c.CNOT(q, hub)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.MeasureInto(q, q)
+	}
+	return c
+}
+
+func placementCircuit(name string, n int) (*circuit.Circuit, error) {
+	switch name {
+	case "ghz":
+		return workloads.GHZ(n), nil
+	case "qft":
+		return workloads.QFT(n), nil
+	case "bv":
+		return workloads.BV(n, workloads.AlternatingSecret), nil
+	case "hotspot":
+		return hotspotCircuit(n), nil
+	}
+	return nil, fmt.Errorf("exp: unknown placement workload %q", name)
+}
+
+// PlacementSweep runs every (workload, policy) cell on the contended mesh
+// fabric and returns the points in deterministic order.
+func PlacementSweep(opt PlacementOptions) ([]PlacementPoint, error) {
+	if opt.Qubits <= 0 {
+		opt.Qubits = 16
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	if opt.LinkBW <= 0 {
+		opt.LinkBW = 4
+	}
+	if opt.Policies == nil {
+		opt.Policies = []string{"rowmajor", "interaction"}
+	}
+	var out []PlacementPoint
+	for _, name := range PlacementSweepWorkloads() {
+		for _, policy := range opt.Policies {
+			if err := placement.Valid(policy); err != nil {
+				return nil, err
+			}
+			c, err := placementCircuit(name, opt.Qubits)
+			if err != nil {
+				return nil, err
+			}
+			cfg := machine.DefaultConfig(c.NumQubits)
+			cfg.Backend = machine.BackendSeeded
+			cfg.Seed = opt.Seed
+			cfg.Net.LinkSerialization = opt.LinkBW
+			cfg.Placement = policy
+			set, err := runner.Run(runner.Spec{
+				Circuit: c, MeshW: cfg.Net.MeshW, MeshH: cfg.Net.MeshH, Cfg: cfg,
+			}, 1, 1)
+			if err != nil {
+				return nil, fmt.Errorf("exp: placement %s/%s: %w", name, policy, err)
+			}
+			res := set.Shots[0].Result
+			cost, err := mappingCost(c, policy, cfg.Net)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, PlacementPoint{
+				Workload:          name,
+				Qubits:            c.NumQubits,
+				Policy:            policy,
+				LinkSerialization: int64(opt.LinkBW),
+				MappingCost:       cost,
+				Makespan:          int64(res.Makespan),
+				NetStall:          int64(res.NetStall),
+				TotalStall:        int64(res.Net.TotalStall()),
+				SyncStall:         int64(res.SyncStall),
+				MaxQueue:          res.Net.MaxQueue(),
+				RouterUtilization: res.RouterUtilization,
+				Misalignments:     res.Misalignments,
+			})
+		}
+	}
+	return out, nil
+}
+
+// mappingCost recomputes the weighted-distance objective of the policy's
+// mapping for the report (the compiled artifact records the mapping, but
+// recomputing from the policy keeps this a pure function of the inputs).
+func mappingCost(c *circuit.Circuit, policy string, net network.Config) (int64, error) {
+	topo, err := network.NewTopology(net)
+	if err != nil {
+		return 0, err
+	}
+	pol, err := placement.Get(policy)
+	if err != nil {
+		return 0, err
+	}
+	m, err := pol.Place(c, topo)
+	if err != nil {
+		return 0, err
+	}
+	return placement.CircuitCost(c, m, topo), nil
+}
+
+// CheckPlacementImproves verifies the sweep's headline claims: on the
+// hotspot workload the interaction placer must not exceed row-major in
+// either total stall cycles or makespan, and across the sweep at least
+// one workload must show a strict improvement in one of the two. Points
+// must contain both policies for each workload (PlacementSweep order).
+func CheckPlacementImproves(points []PlacementPoint) error {
+	rows := map[string]map[string]PlacementPoint{}
+	for _, p := range points {
+		if rows[p.Workload] == nil {
+			rows[p.Workload] = map[string]PlacementPoint{}
+		}
+		rows[p.Workload][p.Policy] = p
+	}
+	strict := false
+	for _, w := range PlacementSweepWorkloads() {
+		rm, okR := rows[w]["rowmajor"]
+		in, okI := rows[w]["interaction"]
+		if !okR || !okI {
+			continue
+		}
+		if w == "hotspot" {
+			if in.TotalStall > rm.TotalStall {
+				return fmt.Errorf("exp: hotspot: interaction stalls %d exceed rowmajor %d", in.TotalStall, rm.TotalStall)
+			}
+			if in.Makespan > rm.Makespan {
+				return fmt.Errorf("exp: hotspot: interaction makespan %d exceeds rowmajor %d", in.Makespan, rm.Makespan)
+			}
+		}
+		if in.TotalStall < rm.TotalStall || in.Makespan < rm.Makespan {
+			strict = true
+		}
+	}
+	if !strict {
+		return fmt.Errorf("exp: interaction placer improved no workload over rowmajor")
+	}
+	return nil
+}
+
+// RenderPlacement formats the sweep as a text table.
+func RenderPlacement(points []PlacementPoint) string {
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		rows = append(rows, []string{
+			p.Workload,
+			p.Policy,
+			fmt.Sprint(p.MappingCost),
+			fmt.Sprint(p.Makespan),
+			fmt.Sprint(p.TotalStall),
+			fmt.Sprint(p.SyncStall),
+			fmt.Sprint(p.MaxQueue),
+			fmt.Sprint(p.Misalignments),
+		})
+	}
+	return Table([]string{"workload", "policy", "map cost", "makespan(cy)", "stall(cy)", "sync(cy)", "maxq", "misalign"}, rows)
+}

@@ -1,0 +1,57 @@
+package exp
+
+import "testing"
+
+// TestPlacementSweepImproves runs the (small) sweep end to end and holds
+// it to the headline claims: valid cells for every workload × policy, the
+// hotspot never worse under the interaction placer, and a strict
+// improvement somewhere.
+func TestPlacementSweepImproves(t *testing.T) {
+	points, err := PlacementSweep(PlacementOptions{Qubits: 12, Seed: 1, LinkBW: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := len(PlacementSweepWorkloads()) * 2
+	if len(points) != wantCells {
+		t.Fatalf("got %d points, want %d", len(points), wantCells)
+	}
+	for _, p := range points {
+		if p.Makespan <= 0 {
+			t.Errorf("%s/%s: makespan %d", p.Workload, p.Policy, p.Makespan)
+		}
+		if p.LinkSerialization != 4 {
+			t.Errorf("%s/%s: serialization %d, want 4", p.Workload, p.Policy, p.LinkSerialization)
+		}
+	}
+	if err := CheckPlacementImproves(points); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlacementSweepRejectsUnknownPolicy: bad policy names fail before
+// any machine is built.
+func TestPlacementSweepRejectsUnknownPolicy(t *testing.T) {
+	if _, err := PlacementSweep(PlacementOptions{Qubits: 4, Policies: []string{"bogus"}}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+// TestCheckPlacementImprovesCatchesRegression: a doctored sweep where the
+// interaction placer lost on the hotspot must fail the check.
+func TestCheckPlacementImprovesCatchesRegression(t *testing.T) {
+	points := []PlacementPoint{
+		{Workload: "hotspot", Policy: "rowmajor", TotalStall: 10, Makespan: 100},
+		{Workload: "hotspot", Policy: "interaction", TotalStall: 50, Makespan: 100},
+	}
+	if err := CheckPlacementImproves(points); err == nil {
+		t.Fatal("regression not caught")
+	}
+	// No strict improvement anywhere is also a failure.
+	points = []PlacementPoint{
+		{Workload: "hotspot", Policy: "rowmajor", TotalStall: 10, Makespan: 100},
+		{Workload: "hotspot", Policy: "interaction", TotalStall: 10, Makespan: 100},
+	}
+	if err := CheckPlacementImproves(points); err == nil {
+		t.Fatal("no-improvement sweep passed")
+	}
+}

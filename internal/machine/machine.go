@@ -43,6 +43,11 @@ type Config struct {
 	// Deadline bounds the run in cycles (0 = 4 billion cycles ≈ 17 s of
 	// device time, effectively unbounded for our workloads).
 	Deadline sim.Time
+	// Placement names the placement policy the compiler's Place pass uses
+	// for circuits submitted without an explicit mapping ("" = identity,
+	// the legacy byte-identical behavior; see internal/placement). Part of
+	// the compile fingerprint via CompileOptions.
+	Placement string
 }
 
 // DefaultConfig sizes a machine for n qubits with the paper's constants.
@@ -158,6 +163,7 @@ func (m *Machine) CompileOptions() compiler.Options {
 	opt := compiler.DefaultOptions(m.Topo.Root, m.Topo.N)
 	opt.Durations = m.Cfg.Durations
 	opt.MeasLatency = m.Cfg.MeasLatency
+	opt.Placement = m.Cfg.Placement
 	return opt
 }
 
@@ -173,6 +179,7 @@ func CompileOptionsFor(cfg Config) (compiler.Options, error) {
 	opt := compiler.DefaultOptions(topo.Root, topo.N)
 	opt.Durations = cfg.Durations
 	opt.MeasLatency = cfg.MeasLatency
+	opt.Placement = cfg.Placement
 	return opt, nil
 }
 
@@ -201,9 +208,18 @@ func (m *Machine) Compile(c *circuit.Circuit, mapping []int) (*compiler.Compiled
 func (m *Machine) CompileWith(c *circuit.Circuit, mapping []int, opt compiler.Options) (*compiler.Compiled, error) {
 	fp := artifact.Key(c, mapping, m.Cfg.Net, opt)
 	cp, _, err := artifact.Shared.GetOrCompile(fp, func() (*compiler.Compiled, error) {
-		return compiler.Compile(c, mapping, m.Fab, opt)
+		return m.compile(c, mapping, opt)
 	})
 	return cp, err
+}
+
+// compile runs the standard pass pipeline with this machine's topology —
+// the entry point that lets the Place pass resolve non-identity placement
+// policies (they need mesh distances, which the Windows interface hides).
+func (m *Machine) compile(c *circuit.Circuit, mapping []int, opt compiler.Options) (*compiler.Compiled, error) {
+	return compiler.NewPipeline().Run(&compiler.State{
+		Circuit: c, Mapping: mapping, Topo: m.Topo, Windows: m.Fab, Opt: opt,
+	})
 }
 
 // CompileFresh lowers a circuit without consulting the artifact cache.
@@ -211,7 +227,7 @@ func (m *Machine) CompileWith(c *circuit.Circuit, mapping []int, opt compiler.Op
 // every time — runner.RunRebuild's legacy baseline and the cold side of
 // cache benchmarks.
 func (m *Machine) CompileFresh(c *circuit.Circuit, mapping []int, opt compiler.Options) (*compiler.Compiled, error) {
-	return compiler.Compile(c, mapping, m.Fab, opt)
+	return m.compile(c, mapping, opt)
 }
 
 // ArtifactKey is the shared-cache fingerprint Compile would use for this

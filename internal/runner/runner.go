@@ -43,6 +43,12 @@ type Spec struct {
 	MeshH   int
 	Mapping []int // qubit -> controller; nil = identity
 	Cfg     machine.Config
+	// Placement names the placement policy applied when Mapping is nil
+	// ("" defers to Cfg.Placement, whose zero value is the legacy identity
+	// policy). Carried on the spec so callers that don't build a
+	// machine.Config by hand can still select a placer; build() folds it
+	// into the config before construction, keeping one source of truth.
+	Placement string
 	// Options overrides the machine-derived compiler options when non-nil
 	// (ablations toggle scheduling policies this way).
 	Options *compiler.Options
@@ -121,6 +127,9 @@ func (h Histogram) String() string {
 // freshly when fresh is set; the compiled artifact is returned either
 // way).
 func build(spec Spec, cp *compiler.Compiled, fresh bool) (*machine.Machine, *compiler.Compiled, error) {
+	if spec.Placement != "" {
+		spec.Cfg.Placement = spec.Placement
+	}
 	m, err := machine.NewForCircuit(spec.Circuit, spec.MeshW, spec.MeshH, spec.Cfg)
 	if err != nil {
 		return nil, nil, err
@@ -129,6 +138,12 @@ func build(spec Spec, cp *compiler.Compiled, fresh bool) (*machine.Machine, *com
 		opt := m.CompileOptions()
 		if spec.Options != nil {
 			opt = *spec.Options
+			if opt.Placement == "" {
+				// An explicit Options override (the ablation knob) names no
+				// policy of its own: keep the spec's placement rather than
+				// silently reverting to identity.
+				opt.Placement = spec.Cfg.Placement
+			}
 		}
 		if fresh || spec.FreshCompile {
 			cp, err = m.CompileFresh(spec.Circuit, spec.Mapping, opt)

@@ -30,7 +30,7 @@ import (
 	"dhisq/internal/circuit"
 	"dhisq/internal/compiler"
 	"dhisq/internal/machine"
-	"dhisq/internal/network"
+	"dhisq/internal/placement"
 	"dhisq/internal/runner"
 	"dhisq/internal/sim"
 )
@@ -82,8 +82,12 @@ type Request struct {
 	Mapping      []int // qubit -> controller; nil = identity
 	// Cfg overrides the machine configuration when non-nil (the mesh
 	// fields are taken from MeshW/MeshH either way).
-	Cfg   *machine.Config
-	Shots int
+	Cfg *machine.Config
+	// Placement names the placement policy the compiler applies when
+	// Mapping is nil ("" defers to Cfg.Placement, then to identity).
+	// Unknown names are rejected at admission, before any work queues.
+	Placement string
+	Shots     int
 	// Seed, when non-zero, is the job's base seed; 0 lets the service
 	// derive a per-job seed from its own seed stream.
 	Seed int64
@@ -103,6 +107,14 @@ type JobStatus struct {
 	Fingerprint string // artifact fingerprint (hex)
 	CacheHit    bool   // compilation was served from the artifact cache
 	Batched     bool   // ran on pooled replicas warmed by an earlier job
+	// MeshW/MeshH are the resolved controller-mesh dimensions and
+	// Placement the resolved policy name — echoed so remote users can see
+	// why two submissions landed in different replica pools.
+	MeshW, MeshH int
+	Placement    string
+	// Mapping is the final qubit→controller mapping the job compiled with
+	// (nil = identity), as resolved by the compiler's Place pass.
+	Mapping []int
 	// Set and Histogram are populated once State == StateDone.
 	Set       *runner.ShotSet
 	Histogram runner.Histogram
@@ -161,21 +173,36 @@ type poolKey struct {
 }
 
 type job struct {
-	id   string
-	req  Request
-	spec runner.Spec
-	fp   artifact.Fingerprint
-	pk   poolKey
-	seed int64
+	id        string
+	req       Request
+	spec      runner.Spec
+	fp        artifact.Fingerprint
+	pk        poolKey
+	seed      int64
+	placement string // resolved policy name (never "")
 
 	mu       sync.Mutex
 	state    State
 	cacheHit bool
 	batched  bool
+	mapping  []int // final qubit→controller mapping (nil = identity)
 	set      *runner.ShotSet
 	hist     runner.Histogram // computed once at finish, not per poll
 	err      error
 	done     chan struct{}
+}
+
+// setMapping records the final mapping the job's artifact was compiled
+// with (the Place pass may have computed it from the policy). Copied:
+// the artifact is cached process-wide, and JobStatus hands the slice to
+// callers who are free to mutate their snapshot.
+func (j *job) setMapping(cp *compiler.Compiled) {
+	if cp == nil || cp.Mapping == nil {
+		return
+	}
+	j.mu.Lock()
+	j.mapping = append([]int(nil), cp.Mapping...)
+	j.mu.Unlock()
 }
 
 // Service is the job manager. Construct with New, stop with Close.
@@ -242,7 +269,7 @@ func (s *Service) Submit(req Request) (string, error) {
 		return "", fmt.Errorf("service: shots %d < 1", req.Shots)
 	}
 	if req.MeshW <= 0 || req.MeshH <= 0 {
-		req.MeshW, req.MeshH = network.NearSquareMesh(req.Circuit.NumQubits)
+		req.MeshW, req.MeshH = placement.AutoMesh(req.Circuit.NumQubits)
 	}
 	var cfg machine.Config
 	if req.Cfg != nil {
@@ -251,6 +278,19 @@ func (s *Service) Submit(req Request) (string, error) {
 		cfg = machine.DefaultConfig(req.Circuit.NumQubits)
 	}
 	cfg.Net.MeshW, cfg.Net.MeshH = req.MeshW, req.MeshH
+	if req.Placement != "" {
+		cfg.Placement = req.Placement
+	}
+	// Validate the policy the job will actually compile with — whether it
+	// arrived via Request.Placement or a caller-supplied Cfg — so unknown
+	// names are rejected here, before any work queues.
+	resolvedPolicy := cfg.Placement
+	if resolvedPolicy == "" {
+		resolvedPolicy = placement.Default
+	}
+	if err := placement.Valid(resolvedPolicy); err != nil {
+		return "", err
+	}
 
 	// Fingerprint at admission, outside the service lock: KeyFor hashes
 	// every circuit op, so holding s.mu here would serialize all
@@ -264,8 +304,9 @@ func (s *Service) Submit(req Request) (string, error) {
 		return "", err
 	}
 	j := &job{
-		req: req,
-		fp:  fp,
+		req:       req,
+		fp:        fp,
+		placement: resolvedPolicy,
 		pk: poolKey{
 			fp: fp, backend: machine.ResolveBackend(req.Circuit, cfg.Backend),
 			logEvents: cfg.LogEvents, deadline: cfg.Deadline,
@@ -466,6 +507,7 @@ func (s *Service) execute(j *job) (set *runner.ShotSet, cacheHit, batched bool, 
 			}
 			machines = append(machines, m)
 		}
+		j.setMapping(machines[0].Loaded())
 		set, err = runner.RunOn(machines, j.seed, j.req.Shots, j.req.Circuit.NumBits)
 		return set, false, false, err
 	}
@@ -488,6 +530,10 @@ func (s *Service) execute(j *job) (set *runner.ShotSet, cacheHit, batched bool, 
 		cp = built
 		machines = append(machines, m)
 	}
+	// Echo the final mapping off the loaded artifact — it is there even
+	// when every replica came warm from the pool and the cache probe
+	// missed (an evicted artifact can outlive its cache entry in the pool).
+	j.setMapping(machines[0].Loaded())
 
 	set, err = runner.RunOn(machines, j.seed, j.req.Shots, j.req.Circuit.NumBits)
 	s.pool.checkin(j.pk, machines)
@@ -517,6 +563,8 @@ func (j *job) status() JobStatus {
 	st := JobStatus{
 		ID: j.id, State: j.state, Shots: j.req.Shots, Seed: j.seed,
 		Fingerprint: j.fp.String(), CacheHit: j.cacheHit, Batched: j.batched,
+		MeshW: j.req.MeshW, MeshH: j.req.MeshH,
+		Placement: j.placement, Mapping: j.mapping,
 	}
 	if j.err != nil {
 		st.Err = j.err.Error()

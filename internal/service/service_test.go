@@ -315,3 +315,73 @@ func TestConcurrentSubmissions(t *testing.T) {
 		}
 	}
 }
+
+// Placement is resolved at admission and echoed on the job status: the
+// policy name, the auto-picked mesh, and the final mapping the compiler's
+// Place pass produced.
+func TestPlacementEchoedOnStatus(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	id, err := s.Submit(Request{Circuit: ghz(6), Shots: 2, Seed: 7, Placement: "interaction"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := s.Wait(id)
+	if st.State != StateDone {
+		t.Fatalf("state %s, err %q", st.State, st.Err)
+	}
+	if st.Placement != "interaction" {
+		t.Fatalf("placement %q, want interaction", st.Placement)
+	}
+	if st.MeshW != 3 || st.MeshH != 2 {
+		t.Fatalf("mesh %dx%d, want the 3x2 auto mesh", st.MeshW, st.MeshH)
+	}
+	if len(st.Mapping) != 6 {
+		t.Fatalf("mapping %v, want 6 resolved entries", st.Mapping)
+	}
+	seen := map[int]bool{}
+	for _, ctrl := range st.Mapping {
+		if ctrl < 0 || ctrl >= 6 || seen[ctrl] {
+			t.Fatalf("mapping %v is not a valid permutation", st.Mapping)
+		}
+		seen[ctrl] = true
+	}
+
+	// Default placement: identity policy, nil mapping, same auto mesh.
+	id2, err := s.Submit(Request{Circuit: ghz(6), Shots: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := s.Wait(id2)
+	if st2.Placement != "identity" {
+		t.Fatalf("default placement %q, want identity", st2.Placement)
+	}
+	if st2.Mapping != nil {
+		t.Fatalf("identity mapping %v, want nil", st2.Mapping)
+	}
+	if st2.Fingerprint == st.Fingerprint {
+		t.Fatal("identity and interaction jobs shared a fingerprint")
+	}
+}
+
+// An unknown placement policy is rejected at Submit, before any queueing.
+func TestPlacementValidatedAtSubmit(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	if _, err := s.Submit(Request{Circuit: ghz(4), Shots: 1, Placement: "bogus"}); err == nil {
+		t.Fatal("unknown placement accepted")
+	}
+}
+
+// A bogus policy smuggled in via an explicit Cfg is rejected at Submit
+// too — validation covers the policy the job will actually compile with.
+func TestCfgPlacementValidatedAtSubmit(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	cfg := machine.DefaultConfig(4)
+	cfg.Placement = "bogus"
+	if _, err := s.Submit(Request{Circuit: ghz(4), Shots: 1, Cfg: &cfg}); err == nil {
+		t.Fatal("unknown Cfg.Placement accepted")
+	}
+}
