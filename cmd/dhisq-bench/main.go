@@ -8,8 +8,8 @@
 //
 // Usage:
 //
-//	dhisq-bench -exp table1|fig11|fig13|fig14|fig15|fig16|ablation|shots|cache|fabric|placement|all
-//	            [-scale N] [-seed S] [-shots N] [-workers W] [-jobs N] [-out DIR]
+//	dhisq-bench -exp table1|fig11|fig13|fig14|fig15|fig16|ablation|shots|cache|sweep|fabric|placement|all
+//	            [-scale N] [-seed S] [-shots N] [-workers W] [-jobs N] [-points N] [-out DIR]
 //	            [-topo mesh|torus|tree|all] [-link-bw N] [-placement P|all]
 package main
 
@@ -19,13 +19,17 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"time"
 
 	"dhisq/internal/artifact"
+	"dhisq/internal/circuit"
+	"dhisq/internal/compiler"
 	"dhisq/internal/exp"
 	"dhisq/internal/machine"
 	"dhisq/internal/network"
+	"dhisq/internal/placement"
 	"dhisq/internal/runner"
 	"dhisq/internal/service"
 	"dhisq/internal/sim"
@@ -33,12 +37,13 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table1, fig11, fig13, fig14, fig15, fig16, ablation, shots, cache, fabric, placement, all")
+	which := flag.String("exp", "all", "experiment: table1, fig11, fig13, fig14, fig15, fig16, ablation, shots, cache, sweep, fabric, placement, all")
 	scale := flag.Int("scale", 1, "divide Fig. 15 benchmark sizes by this factor")
 	seed := flag.Int64("seed", 1, "measurement outcome seed")
 	shots := flag.Int("shots", 200, "repetitions for the shots experiment")
 	workers := flag.Int("workers", 4, "worker replicas for the shots experiment")
 	jobs := flag.Int("jobs", 40, "repeat submissions for the cache experiment")
+	points := flag.Int("points", 64, "parameter points for the sweep experiment")
 	topo := flag.String("topo", "all", "fabric experiment topology: mesh, torus, tree, or all")
 	linkBW := flag.Int64("link-bw", 0, "fabric link bandwidth as cycles per message (0 = sweep 0,1,2,4,8,16)")
 	placePolicy := flag.String("placement", "all", "placement experiment policy (all = rowmajor vs interaction)")
@@ -140,6 +145,9 @@ func main() {
 	run("cache", func() error {
 		return benchCache(*outDir, *seed, *jobs)
 	})
+	run("sweep", func() error {
+		return benchSweep(*outDir, *seed, *points, *workers)
+	})
 	run("fabric", func() error {
 		return benchFabric(*outDir, *seed, *topo, *linkBW)
 	})
@@ -233,6 +241,141 @@ func writeBenchJSON(dir, name string, v any) error {
 	}
 	fmt.Printf("wrote %s\n", path)
 	return nil
+}
+
+// sweepRecord is one BENCH_sweep.json entry: the per-point cost of the
+// two strategies for serving an angle sweep — a full Place→Lower→Schedule
+// →Assemble compile of every bound circuit versus one structural compile
+// plus a BindParams table patch per point — with the byte-equivalence and
+// compile-once assertions baked in.
+type sweepRecord struct {
+	Name               string  `json:"name"`
+	Points             int     `json:"points"`
+	Params             int     `json:"params"`
+	CompileUsPerPoint  float64 `json:"compile_us_per_point"`
+	BindUsPerPoint     float64 `json:"bind_us_per_point"`
+	Speedup            float64 `json:"bind_speedup_vs_compile"`
+	CacheMisses        uint64  `json:"cache_misses"`
+	CacheHits          uint64  `json:"cache_hits"`
+	IdenticalArtifacts bool    `json:"identical_artifacts"`
+}
+
+// benchSweep measures the parameter-sweep workload the binding layer
+// exists for (VQE outer loops, spectroscopy-style phase sweeps): it
+// verifies that BindParams on the structural artifact is byte-for-byte
+// identical to a fresh full compile of each bound circuit, requires the
+// bind path to be >= 10x cheaper per point, runs the sweep end-to-end
+// through runner.RunSweep asserting the skeleton compiled exactly once
+// (misses == 1), and emits BENCH_sweep.json.
+func benchSweep(outDir string, seed int64, points, workers int) error {
+	if points < 2 {
+		points = 2
+	}
+	cases := []struct {
+		name  string
+		circ  *circuit.Circuit
+		point func(k int) map[string]float64
+	}{
+		{"vqe_n12x2", workloads.VQEAnsatz(12, 2), func(k int) map[string]float64 { return workloads.VQEAnsatzPoint(12, 2, k) }},
+		{"qft_sweep_n16", workloads.QFTSweep(16), func(k int) map[string]float64 { return workloads.QFTSweepPoint(16, k) }},
+	}
+	records := make([]sweepRecord, 0, len(cases))
+	for _, cs := range cases {
+		pts := make([]map[string]float64, points)
+		for k := range pts {
+			pts[k] = cs.point(k)
+		}
+		cfg := machine.DefaultConfig(cs.circ.NumQubits)
+		cfg.Backend = machine.BackendSeeded
+		cfg.Seed = seed
+		meshW, meshH := placement.AutoMesh(cs.circ.NumQubits)
+		cfg.Net.MeshW, cfg.Net.MeshH = meshW, meshH
+		m, err := machine.NewForCircuit(cs.circ, meshW, meshH, cfg)
+		if err != nil {
+			return err
+		}
+
+		// Both strategies time best-of-rounds: the bind loop's whole
+		// window is a few hundred microseconds, so a single scheduler
+		// deschedule or GC pause inside one round must not flip the
+		// CI-gating speedup assertion below.
+		const rounds = 3
+		opt := m.CompileOptions()
+		full := make([]*compiler.Compiled, points)
+		var compileUs float64
+		for r := 0; r < rounds; r++ {
+			start := time.Now()
+			for k, p := range pts {
+				bc, err := cs.circ.Bind(p)
+				if err != nil {
+					return err
+				}
+				if full[k], err = m.CompileFresh(bc, nil, opt); err != nil {
+					return err
+				}
+			}
+			if us := float64(time.Since(start).Microseconds()) / float64(points); r == 0 || us < compileUs {
+				compileUs = us
+			}
+		}
+
+		// Bind path: one structural compile, one table patch per point.
+		skel, err := m.CompileSkeleton(cs.circ, nil)
+		if err != nil {
+			return err
+		}
+		bound := make([]*compiler.Compiled, points)
+		var bindUs float64
+		for r := 0; r < rounds; r++ {
+			start := time.Now()
+			for k, p := range pts {
+				if bound[k], err = skel.BindParams(p); err != nil {
+					return err
+				}
+			}
+			if us := float64(time.Since(start).Microseconds()) / float64(points); r == 0 || us < bindUs {
+				bindUs = us
+			}
+		}
+
+		// Equivalence proof, point by point: the patched artifact must be
+		// indistinguishable from the full compile of the bound circuit.
+		for k := range pts {
+			if !reflect.DeepEqual(full[k], bound[k]) {
+				return fmt.Errorf("%s: point %d: bound artifact differs from full compile — bind contract broken", cs.name, k)
+			}
+		}
+
+		// End-to-end compile-once invariant: the whole sweep through
+		// runner.RunSweep costs exactly one compile on a cold cache.
+		artifact.Shared.Clear()
+		spec := runner.Spec{Circuit: cs.circ, MeshW: meshW, MeshH: meshH, Cfg: cfg}
+		if _, err := runner.RunSweep(spec, pts, 1, workers); err != nil {
+			return err
+		}
+		cacheStats := artifact.Shared.Stats()
+		if cacheStats.Misses != 1 {
+			return fmt.Errorf("%s: %d-point sweep compiled %d times, want exactly 1", cs.name, points, cacheStats.Misses)
+		}
+
+		speedup := compileUs / bindUs
+		if speedup < 10 {
+			return fmt.Errorf("%s: bind only %.1fx faster than full compile (%.1fus vs %.1fus per point), want >= 10x",
+				cs.name, speedup, bindUs, compileUs)
+		}
+		records = append(records, sweepRecord{
+			Name: cs.name, Points: points, Params: len(pts[0]),
+			CompileUsPerPoint: compileUs, BindUsPerPoint: bindUs, Speedup: speedup,
+			CacheMisses: cacheStats.Misses, CacheHits: cacheStats.Hits,
+			IdenticalArtifacts: true,
+		})
+	}
+	for _, r := range records {
+		fmt.Printf("%-16s %4d points  compile %8.1f us/pt  bind %6.2f us/pt  %7.1fx  misses=%d\n",
+			r.Name, r.Points, r.CompileUsPerPoint, r.BindUsPerPoint, r.Speedup, r.CacheMisses)
+	}
+	fmt.Println("bound artifacts byte-identical to full compiles; skeleton compiled once per sweep")
+	return writeBenchJSON(outDir, "sweep", records)
 }
 
 // benchShots measures multi-shot throughput on one benchmark under the

@@ -10,12 +10,19 @@
 //	                     plus "shots" (required) and optional "seed", "mapping",
 //	                     "topo" (mesh|torus|tree), "link_bw" (cycles/message,
 //	                     0 = infinite), "router_ports", "placement"
-//	                     (identity|rowmajor|interaction)
+//	                     (identity|rowmajor|interaction); parameterized
+//	                     circuits (QASM angles written as identifiers, e.g.
+//	                     "rz(theta0) q[0];") take "params" {"theta0": 0.5} or
+//	                     "sweep" [{"theta0": 0.1}, ...] — a sweep compiles the
+//	                     skeleton once and patches angles per point
 //	                     -> {"id": "job-000042", "state": "queued"}
-//	GET  /v1/jobs/{id}   poll a job; ?wait=1 long-polls until it finishes,
-//	                     echoing the resolved mesh dimensions, placement
-//	                     policy and final qubit→controller mapping
-//	GET  /v1/stats       queue depth, job counters, artifact-cache hit/miss
+//	GET  /v1/jobs/{id}   poll a job; ?wait=1/true long-polls until it
+//	                     finishes, ?wait=0/false (or no wait) polls once;
+//	                     echoes the resolved mesh dimensions, placement
+//	                     policy and final qubit→controller mapping, and for
+//	                     sweep jobs the per-point results as "points"
+//	GET  /v1/stats       queue depth, job counters, artifact-cache hit/miss,
+//	                     binds/bind_hits of the parameter-binding layer
 //	GET  /healthz        liveness
 //
 // Submit a GHZ circuit and read its histogram:
@@ -38,6 +45,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -120,6 +128,13 @@ type submitRequest struct {
 	// ("identity", "rowmajor", "interaction"; "" = the daemon's
 	// -placement default, itself defaulting to identity).
 	Placement string `json:"placement,omitempty"`
+	// Params binds the circuit's symbolic parameters (QASM angles written
+	// as identifiers, e.g. "rz(theta0) q[0];"); Sweep runs the circuit at
+	// every listed binding inside one job — the skeleton compiles once
+	// and each point is a cheap table patch (DESIGN.md §8). Mutually
+	// exclusive with each other.
+	Params map[string]float64   `json:"params,omitempty"`
+	Sweep  []map[string]float64 `json:"sweep,omitempty"`
 }
 
 // jobResponse is the wire form of a job snapshot.
@@ -140,7 +155,10 @@ type jobResponse struct {
 	Mapping   []int          `json:"mapping,omitempty"`
 	Makespan  int64          `json:"makespan_cycles,omitempty"`
 	Histogram map[string]int `json:"histogram,omitempty"`
-	Error     string         `json:"error,omitempty"`
+	// Points carries a sweep job's per-point results (params, histogram,
+	// makespan) in point order; Histogram stays empty for sweep jobs.
+	Points []service.PointStatus `json:"points,omitempty"`
+	Error  string                `json:"error,omitempty"`
 }
 
 func toResponse(st service.JobStatus) jobResponse {
@@ -148,7 +166,7 @@ func toResponse(st service.JobStatus) jobResponse {
 		ID: st.ID, State: string(st.State), Shots: st.Shots, Seed: st.Seed,
 		Fingerprint: st.Fingerprint, CacheHit: st.CacheHit, Batched: st.Batched,
 		MeshW: st.MeshW, MeshH: st.MeshH, Placement: st.Placement, Mapping: st.Mapping,
-		Makespan: st.Makespan, Histogram: st.Histogram, Error: st.Err,
+		Makespan: st.Makespan, Histogram: st.Histogram, Points: st.Points, Error: st.Err,
 	}
 }
 
@@ -216,9 +234,21 @@ func newHandler(svc *service.Service, defaultPlacement string) http.Handler {
 			return
 		}
 		id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+		// ?wait is a proper boolean: "1"/"true" long-polls, "0"/"false"
+		// (and absence) polls — previously any non-empty value long-polled,
+		// so ?wait=0 blocked. Unparseable values are a client error.
+		doWait := false
+		if v := r.URL.Query().Get("wait"); v != "" {
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("bad wait value %q (want 1/true or 0/false)", v))
+				return
+			}
+			doWait = b
+		}
 		var st service.JobStatus
 		var ok bool
-		if r.URL.Query().Get("wait") != "" {
+		if doWait {
 			// Long-poll bounded by the client connection: a dropped or
 			// cancelled request stops waiting instead of leaking a goroutine
 			// until the job finishes.
@@ -272,6 +302,8 @@ func buildRequest(req submitRequest) (service.Request, error) {
 		return service.Request{}, err
 	}
 	sreq.Placement = req.Placement
+	sreq.Params = req.Params
+	sreq.Sweep = req.Sweep
 	if err := applyFabric(req, &sreq); err != nil {
 		return service.Request{}, err
 	}

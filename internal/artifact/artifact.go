@@ -48,8 +48,12 @@ func (f Fingerprint) Short() string { return hex.EncodeToString(f[:6]) }
 // joined the network-config section. v3: the placement policy name joined
 // the compiler options — the Place pass resolves nil mappings through the
 // named policy, so artifacts (and the replica pools keyed on them) from
-// different policies must never alias.
-const keyVersion = 3
+// different policies must never alias. v4: params are canonicalized (-0.0
+// hashes as +0.0 — the programs were always identical), symbolic
+// parameter names are hashed per op, and the structural-key variant
+// (params elided) joined the encoding, so a whole angle sweep shares one
+// skeleton fingerprint.
+const keyVersion = 4
 
 // Key fingerprints a compilation request. Two requests share a key iff
 // the compiler is guaranteed to produce identical output for both: the
@@ -59,15 +63,29 @@ const keyVersion = 3
 // mapping — the artifacts would be identical, but treating them as
 // distinct keys costs one extra compile, never a wrong program.
 func Key(c *circuit.Circuit, mapping []int, net network.Config, opt compiler.Options) Fingerprint {
+	return key(c, mapping, net, opt, false)
+}
+
+// StructuralKey fingerprints the bind-invariant shape of a compilation
+// request: identical to Key except that the Param of every symbolic op is
+// elided, so all bindings of one skeleton — and the skeleton itself —
+// share the fingerprint. It is the cache key of machine.CompileSkeleton:
+// a 1000-point parameter sweep compiles exactly once under it. A
+// structural marker word keeps it from ever colliding with a full Key.
+func StructuralKey(c *circuit.Circuit, mapping []int, net network.Config, opt compiler.Options) Fingerprint {
+	return key(c, mapping, net, opt, true)
+}
+
+func key(c *circuit.Circuit, mapping []int, net network.Config, opt compiler.Options, structural bool) Fingerprint {
 	// Encode into one buffer and hash once: Key sits on the admission
 	// path of every submission, and per-field hasher writes cost more
-	// than the SHA itself on op-heavy circuits. ~7 words per op is a
+	// than the SHA itself on op-heavy circuits. ~8 words per op is a
 	// comfortable overestimate for typical circuits.
-	buf := make([]byte, 0, 64+len(c.Ops)*7*8+len(mapping)*8)
+	buf := make([]byte, 0, 64+len(c.Ops)*8*8+len(mapping)*8)
 	wi := func(v int64) {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
 	}
-	wf := func(v float64) { wi(int64(math.Float64bits(v))) }
+	wf := func(v float64) { wi(int64(math.Float64bits(circuit.CanonParam(v)))) }
 	wb := func(v bool) {
 		if v {
 			wi(1)
@@ -75,8 +93,13 @@ func Key(c *circuit.Circuit, mapping []int, net network.Config, opt compiler.Opt
 			wi(0)
 		}
 	}
+	ws := func(s string) {
+		wi(int64(len(s)))
+		buf = append(buf, s...)
+	}
 
 	wi(keyVersion)
+	wb(structural)
 
 	// Circuit: dimensions plus every op field the compiler reads.
 	wi(int64(c.NumQubits))
@@ -88,7 +111,15 @@ func Key(c *circuit.Circuit, mapping []int, net network.Config, opt compiler.Opt
 		for _, q := range op.Qubits {
 			wi(int64(q))
 		}
-		wf(op.Param)
+		// Symbolic params: the name is structure, the value is not — a
+		// structural key elides it so every binding (and the unbound
+		// skeleton) lands on the same artifact.
+		ws(op.Sym)
+		if structural && op.Sym != "" {
+			wi(-2)
+		} else {
+			wf(op.Param)
+		}
 		wi(int64(op.CBit))
 		if op.Cond == nil {
 			wi(-1)

@@ -40,13 +40,22 @@ const (
 
 // TableEntry is one row of a controller's codeword table: what committing
 // codeword (index+1) on this controller means.
+//
+// Sym carries the symbolic parameter name for entries whose Param is a
+// bindable rotation angle ("" = concrete). It is part of the entry's
+// identity on purpose: the compiler interns table entries by value, and
+// two different symbols must never share a row even when their current
+// Params coincide — otherwise patching one would corrupt the other, and a
+// structural artifact would stop being byte-equivalent to a fresh compile
+// of the bound circuit.
 type TableEntry struct {
 	Role    Role
 	Kind    circuit.Kind
 	Param   float64
-	Qubit   int // acted qubit (global index)
-	Partner int // other qubit for two-qubit gates
-	Channel int // result FIFO channel for measurements
+	Qubit   int    // acted qubit (global index)
+	Partner int    // other qubit for two-qubit gates
+	Channel int    // result FIFO channel for measurements
+	Sym     string // symbolic parameter name ("" = concrete Param)
 }
 
 // Port returns the port class this entry's trigger must arrive on.

@@ -8,7 +8,9 @@ package circuit
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 
 	"dhisq/internal/quantum"
 	"dhisq/internal/stabilizer"
@@ -84,16 +86,33 @@ type Condition struct {
 }
 
 // Op is one circuit operation.
+//
+// Sym names a symbolic parameter for rotation ops (RX/RY/RZ/CPhase): the
+// angle is a free variable resolved by Bind rather than a literal. Sym
+// survives binding — a bound op keeps its symbol name with Bound set and
+// Param holding the bound value — so the compiler's codeword interning
+// treats two different symbols as distinct table entries even when they
+// happen to bind to the same angle, which is what makes BindParams on a
+// structural artifact byte-identical to a fresh compile of the bound
+// circuit (DESIGN.md §8).
 type Op struct {
 	Kind   Kind
 	Qubits []int
 	Param  float64
 	CBit   int // Measure destination; -1 otherwise
 	Cond   *Condition
+	Sym    string // symbolic parameter name ("" = concrete Param)
+	Bound  bool   // Sym has been bound (Param holds the value)
 }
+
+// Symbolic reports whether the op carries an unbound symbolic parameter.
+func (o Op) Symbolic() bool { return o.Sym != "" && !o.Bound }
 
 func (o Op) String() string {
 	s := o.Kind.String()
+	if o.Sym != "" {
+		s += "(" + o.Sym + ")"
+	}
 	for _, q := range o.Qubits {
 		s += fmt.Sprintf(" q%d", q)
 	}
@@ -163,6 +182,107 @@ func (c *Circuit) CPhaseGate(a, b int, theta float64) *Circuit {
 	return c.add(Op{Kind: CPhase, Qubits: []int{a, b}, Param: theta})
 }
 
+// RXSym appends an RX rotation by the symbolic parameter sym; the angle is
+// supplied later via Bind.
+func (c *Circuit) RXSym(q int, sym string) *Circuit {
+	return c.add(Op{Kind: RX, Qubits: []int{q}, Sym: sym})
+}
+
+// RYSym appends a symbolic RY rotation.
+func (c *Circuit) RYSym(q int, sym string) *Circuit {
+	return c.add(Op{Kind: RY, Qubits: []int{q}, Sym: sym})
+}
+
+// RZSym appends a symbolic RZ rotation.
+func (c *Circuit) RZSym(q int, sym string) *Circuit {
+	return c.add(Op{Kind: RZ, Qubits: []int{q}, Sym: sym})
+}
+
+// CPhaseSym appends a symbolic controlled-phase rotation.
+func (c *Circuit) CPhaseSym(a, b int, sym string) *Circuit {
+	return c.add(Op{Kind: CPhase, Qubits: []int{a, b}, Sym: sym})
+}
+
+// Params returns the sorted set of symbolic parameter names appearing in
+// the circuit, bound or not.
+func (c *Circuit) Params() []string {
+	return c.collectSyms(func(op Op) bool { return op.Sym != "" })
+}
+
+// UnboundParams returns the sorted set of symbolic parameters still
+// awaiting a Bind. A circuit with unbound parameters is a skeleton: it can
+// be compiled structurally (machine.CompileSkeleton) but not simulated or
+// run directly.
+func (c *Circuit) UnboundParams() []string {
+	return c.collectSyms(Op.Symbolic)
+}
+
+func (c *Circuit) collectSyms(match func(Op) bool) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, op := range c.Ops {
+		if match(op) && !seen[op.Sym] {
+			seen[op.Sym] = true
+			out = append(out, op.Sym)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CanonParam normalizes an angle for fingerprinting and table emission:
+// -0.0 becomes +0.0, so the two zero encodings — which compile to
+// identical programs — never fingerprint as different circuits.
+func CanonParam(v float64) float64 {
+	if v == 0 {
+		return 0
+	}
+	return v
+}
+
+// Bind returns a copy of the circuit with every unbound symbolic parameter
+// replaced by its value from vals. All unbound symbols must be supplied and
+// every supplied name must appear in the circuit; values must not be NaN.
+// Symbols survive binding (with Bound set), so compiling the bound circuit
+// interns codeword-table entries exactly as the structural compile of the
+// skeleton does — the property the BindParams equivalence proof rests on.
+func (c *Circuit) Bind(vals map[string]float64) (*Circuit, error) {
+	syms := map[string]bool{}
+	for _, op := range c.Ops {
+		if op.Sym != "" {
+			syms[op.Sym] = true
+		}
+	}
+	for name, v := range vals {
+		if !syms[name] {
+			return nil, fmt.Errorf("circuit: bind: unknown parameter %q", name)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("circuit: bind: parameter %q is %v (angles must be finite)", name, v)
+		}
+	}
+	out := &Circuit{NumQubits: c.NumQubits, NumBits: c.NumBits, Ops: make([]Op, len(c.Ops))}
+	for i, op := range c.Ops {
+		cp := op
+		cp.Qubits = append([]int(nil), op.Qubits...)
+		if op.Cond != nil {
+			cc := *op.Cond
+			cc.Bits = append([]int(nil), op.Cond.Bits...)
+			cp.Cond = &cc
+		}
+		if op.Sym != "" {
+			if v, ok := vals[op.Sym]; ok {
+				cp.Param = CanonParam(v)
+				cp.Bound = true
+			} else if !op.Bound {
+				return nil, fmt.Errorf("circuit: bind: parameter %q left unbound", op.Sym)
+			}
+		}
+		out.Ops[i] = cp
+	}
+	return out, nil
+}
+
 // MeasureInto measures qubit q into classical bit b (allocating bits as
 // needed).
 func (c *Circuit) MeasureInto(q, b int) *Circuit {
@@ -212,9 +332,45 @@ func (c *Circuit) Append(o *Circuit) *Circuit {
 	return c
 }
 
-// Validate checks qubit/bit indices and arities.
+// symbolicKinds are the ops that may carry a symbolic parameter: the
+// rotation angles, which never affect placement, guards, scheduling or
+// sync arithmetic (the bind contract, DESIGN.md §8).
+func symbolicOK(k Kind) bool {
+	switch k {
+	case RX, RY, RZ, CPhase:
+		return true
+	}
+	return false
+}
+
+// maxDelay bounds Delay durations to the float64 exact-integer range, so
+// the lowering's int64 conversion is always value-preserving.
+const maxDelay = float64(1 << 53)
+
+// Validate checks qubit/bit indices, arities and parameter sanity: NaN
+// angles are rejected (they would break codeword-table interning, which
+// keys on the parameter), Delay durations must be non-negative integers
+// (the lowering converts them with int64(Param) — a fractional or negative
+// value would silently compile to a garbage wait), and symbolic parameters
+// are only legal on rotation ops.
 func (c *Circuit) Validate() error {
 	for i, op := range c.Ops {
+		if math.IsNaN(op.Param) || math.IsInf(op.Param, 0) {
+			return fmt.Errorf("circuit: op %d (%s): non-finite parameter %v", i, op, op.Param)
+		}
+		if op.Sym != "" && !symbolicOK(op.Kind) {
+			return fmt.Errorf("circuit: op %d (%s): symbolic parameter %q on non-rotation op", i, op, op.Sym)
+		}
+		if op.Kind == Delay {
+			switch p := op.Param; {
+			case p < 0:
+				return fmt.Errorf("circuit: op %d (%s): negative delay %v cycles", i, op, p)
+			case p != math.Trunc(p):
+				return fmt.Errorf("circuit: op %d (%s): fractional delay %v cycles (delays are integer cycle counts)", i, op, p)
+			case p > maxDelay:
+				return fmt.Errorf("circuit: op %d (%s): delay %v exceeds %v cycles", i, op, p, maxDelay)
+			}
+		}
 		want := 1
 		if op.Kind.IsTwoQubit() {
 			want = 2
@@ -305,6 +461,9 @@ func (c *Circuit) RunStateVector(rng *rand.Rand) (*quantum.State, []int, error) 
 	if err := c.Validate(); err != nil {
 		return nil, nil, err
 	}
+	if ub := c.UnboundParams(); len(ub) > 0 {
+		return nil, nil, fmt.Errorf("circuit: cannot simulate with unbound parameters %v (call Bind first)", ub)
+	}
 	st := quantum.NewState(c.NumQubits)
 	bits := make([]int, c.NumBits)
 	for _, op := range c.Ops {
@@ -361,6 +520,9 @@ func (c *Circuit) RunStateVector(rng *rand.Rand) (*quantum.State, []int, error) 
 func (c *Circuit) RunStabilizer(rng *rand.Rand) (*stabilizer.Tableau, []int, error) {
 	if err := c.Validate(); err != nil {
 		return nil, nil, err
+	}
+	if ub := c.UnboundParams(); len(ub) > 0 {
+		return nil, nil, fmt.Errorf("circuit: cannot simulate with unbound parameters %v (call Bind first)", ub)
 	}
 	tb := stabilizer.New(c.NumQubits)
 	bits := make([]int, c.NumBits)

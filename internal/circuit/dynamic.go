@@ -177,6 +177,9 @@ func (e LineEmbedding) Embed(lc *Circuit) (*Circuit, error) {
 		case op.Kind == CZ && op.Cond == nil:
 			phys.LongRangeCZ(loc(op.Qubits[0]), loc(op.Qubits[1]), ancBetween(op.Qubits[0], op.Qubits[1]))
 		case op.Kind == CPhase && op.Cond == nil:
+			if op.Symbolic() {
+				return nil, fmt.Errorf("circuit: cannot route unbound cp(%s) long-range (the decomposition halves the angle; Bind first)", op.Sym)
+			}
 			phys.LongRangeCPhase(loc(op.Qubits[0]), loc(op.Qubits[1]), op.Param, ancBetween(op.Qubits[0], op.Qubits[1]))
 		case op.Kind == SWAP && op.Cond == nil:
 			a, b := loc(op.Qubits[0]), loc(op.Qubits[1])
@@ -186,7 +189,7 @@ func (e LineEmbedding) Embed(lc *Circuit) (*Circuit, error) {
 			phys.LongRangeCNOT(b, a, rev)
 			phys.LongRangeCNOT(a, b, fwd)
 		default:
-			mapped := Op{Kind: op.Kind, Param: op.Param, CBit: op.CBit, Cond: op.Cond}
+			mapped := Op{Kind: op.Kind, Param: op.Param, CBit: op.CBit, Cond: op.Cond, Sym: op.Sym, Bound: op.Bound}
 			for _, q := range op.Qubits {
 				mapped.Qubits = append(mapped.Qubits, loc(q))
 			}
@@ -255,8 +258,11 @@ func (DualRailEmbedding) Embed(lc *Circuit) (*Circuit, error) {
 				d = -d
 			}
 			if d == 1 {
-				phys.add(Op{Kind: op.Kind, Qubits: []int{a, b}, Param: op.Param, CBit: -1})
+				phys.add(Op{Kind: op.Kind, Qubits: []int{a, b}, Param: op.Param, CBit: -1, Sym: op.Sym, Bound: op.Bound})
 				continue
+			}
+			if op.Symbolic() {
+				return nil, fmt.Errorf("circuit: cannot route unbound %s(%s) long-range (the decomposition halves the angle; Bind first)", op.Kind, op.Sym)
 			}
 			switch op.Kind {
 			case CNOT:
@@ -272,7 +278,7 @@ func (DualRailEmbedding) Embed(lc *Circuit) (*Circuit, error) {
 			}
 			continue
 		}
-		mapped := Op{Kind: op.Kind, Param: op.Param, CBit: op.CBit, Cond: op.Cond}
+		mapped := Op{Kind: op.Kind, Param: op.Param, CBit: op.CBit, Cond: op.Cond, Sym: op.Sym, Bound: op.Bound}
 		mapped.Qubits = append(mapped.Qubits, op.Qubits...)
 		phys.Ops = append(phys.Ops, mapped)
 		if op.Kind.IsTwoQubit() {

@@ -65,8 +65,14 @@ func qasmBody(op Op) (string, error) {
 	case Tdg:
 		return "tdg " + q(0), nil
 	case RX, RY, RZ:
+		if op.Symbolic() {
+			return fmt.Sprintf("%s(%s) %s", op.Kind, op.Sym, q(0)), nil
+		}
 		return fmt.Sprintf("%s(%.17g) %s", op.Kind, op.Param, q(0)), nil
 	case CPhase:
+		if op.Symbolic() {
+			return fmt.Sprintf("cp(%s) %s,%s", op.Sym, q(0), q(1)), nil
+		}
 		return fmt.Sprintf("cp(%.17g) %s,%s", op.Param, q(0), q(1)), nil
 	case CNOT:
 		return fmt.Sprintf("cx %s,%s", q(0), q(1)), nil
@@ -175,14 +181,24 @@ func parseStmt(c *Circuit, bitOf map[string]int, stmt string) error {
 
 	name, rest, _ := strings.Cut(stmt, " ")
 	var param float64
+	var sym string
 	if open := strings.Index(name, "("); open >= 0 {
-		pstr := name[open+1 : strings.LastIndex(name, ")")]
-		v, err := parseAngle(pstr)
+		// Take the paren group from the whole statement, not the first
+		// space-split token: "rz( pi / 2 ) q[0]" is legal QASM, and an
+		// unterminated "rz(0" must be an error, not a slice panic (the
+		// angle-grammar fuzzer found the latter).
+		open = strings.Index(stmt, "(")
+		close := strings.Index(stmt, ")")
+		if close < open {
+			return fmt.Errorf("unterminated angle in %q", stmt)
+		}
+		v, s, err := parseAngle(stmt[open+1 : close])
 		if err != nil {
 			return err
 		}
-		param = v
-		name = name[:open]
+		param, sym = v, s
+		name = stmt[:open]
+		rest = strings.TrimSpace(stmt[close+1:])
 	}
 	args := strings.Split(rest, ",")
 	qubits := make([]int, 0, 2)
@@ -201,7 +217,7 @@ func parseStmt(c *Circuit, bitOf map[string]int, stmt string) error {
 		"cx": CNOT, "CX": CNOT, "cz": CZ, "swap": SWAP,
 	}
 	if k, ok := kinds[name]; ok {
-		op := Op{Kind: k, Qubits: qubits, Param: param, CBit: -1, Cond: cond}
+		op := Op{Kind: k, Qubits: qubits, Param: param, CBit: -1, Cond: cond, Sym: sym}
 		c.Ops = append(c.Ops, op)
 		return nil
 	}
@@ -254,41 +270,103 @@ func parseIndex(ref string) (int, error) {
 	return strconv.Atoi(ref[open+1 : close])
 }
 
-// parseAngle evaluates the tiny angle grammar QASM files use: a float, "pi",
-// "pi/N", "-pi/N", "N*pi/M".
-func parseAngle(s string) (float64, error) {
-	s = strings.ReplaceAll(strings.TrimSpace(s), " ", "")
-	if v, err := strconv.ParseFloat(s, 64); err == nil {
+// isIdent reports whether s is a legal parameter identifier:
+// [A-Za-z_][A-Za-z0-9_]*.
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// parseAngle evaluates the QASM angle grammar: an optional leading sign
+// followed by a product/quotient chain whose factors are float literals or
+// "pi" — so "pi", "pi/2", "-pi/4", "2*pi", "pi*2", "3*pi/2" and plain
+// numbers like "0.25" or "1e-3" all evaluate. A bare identifier that is
+// not "pi" names a symbolic parameter and is returned as sym (val 0).
+// Errors name the offending token and its offset within the angle text.
+func parseAngle(s string) (val float64, sym string, err error) {
+	expr := strings.ReplaceAll(strings.TrimSpace(s), " ", "")
+	if expr == "" {
+		return 0, "", fmt.Errorf("empty angle")
+	}
+	if expr != "pi" && isIdent(expr) {
+		// Reserved words never become symbols: a misspelled constant must
+		// stay a parse error here, not resurface later as a confusing
+		// "unbound parameter PI" at job admission.
+		switch strings.ToLower(expr) {
+		case "pi":
+			return 0, "", fmt.Errorf("bad angle %q: the constant is lowercase \"pi\"", expr)
+		case "nan", "inf", "infinity":
+			return 0, "", fmt.Errorf("bad angle %q: angles must be finite", expr)
+		}
+		return 0, expr, nil
+	}
+	rest := expr
+	neg := false
+	switch rest[0] {
+	case '-':
+		neg, rest = true, rest[1:]
+	case '+':
+		rest = rest[1:]
+	}
+	badAt := func(tok string) error {
+		off := len(expr) - len(rest)
+		if tok != "" {
+			return fmt.Errorf("bad angle %q: unexpected %q at offset %d", expr, tok, off)
+		}
+		return fmt.Errorf("bad angle %q: missing factor at offset %d", expr, off)
+	}
+	// Evaluate factor (('*'|'/') factor)* left to right. Factors never
+	// contain '*' or '/', so a float's exponent sign ("1e-3") survives.
+	factor := func() (float64, error) {
+		end := strings.IndexAny(rest, "*/")
+		tok := rest
+		if end >= 0 {
+			tok = rest[:end]
+		}
+		if tok == "" {
+			return 0, badAt("")
+		}
+		if tok == "pi" {
+			rest = rest[len(tok):]
+			return math.Pi, nil
+		}
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return 0, badAt(tok)
+		}
+		rest = rest[len(tok):]
 		return v, nil
 	}
-	neg := false
-	if strings.HasPrefix(s, "-") {
-		neg = true
-		s = s[1:]
+	acc, err := factor()
+	if err != nil {
+		return 0, "", err
 	}
-	num, den := 1.0, 1.0
-	if i := strings.Index(s, "/"); i >= 0 {
-		d, err := strconv.ParseFloat(s[i+1:], 64)
+	for rest != "" {
+		op := rest[0]
+		rest = rest[1:]
+		f, err := factor()
 		if err != nil {
-			return 0, fmt.Errorf("bad angle %q", s)
+			return 0, "", err
 		}
-		den = d
-		s = s[:i]
-	}
-	if i := strings.Index(s, "*"); i >= 0 {
-		n, err := strconv.ParseFloat(s[:i], 64)
-		if err != nil {
-			return 0, fmt.Errorf("bad angle %q", s)
+		if op == '*' {
+			acc *= f
+		} else {
+			acc /= f
 		}
-		num = n
-		s = s[i+1:]
 	}
-	if s != "pi" {
-		return 0, fmt.Errorf("bad angle %q", s)
-	}
-	v := num * math.Pi / den
 	if neg {
-		v = -v
+		acc = -acc
 	}
-	return v, nil
+	if math.IsNaN(acc) || math.IsInf(acc, 0) {
+		return 0, "", fmt.Errorf("bad angle %q: evaluates to %v (angles must be finite)", expr, acc)
+	}
+	return acc, "", nil
 }

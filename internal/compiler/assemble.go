@@ -22,10 +22,11 @@ func (Assemble) Run(st *State) error {
 		return fmt.Errorf("compiler: assemble before schedule")
 	}
 	out := &Compiled{
-		Programs: make([]*isa.Program, len(st.scheduled)),
-		Tables:   make([][]chip.TableEntry, len(st.scheduled)),
-		BitOwner: st.bitOwner,
-		MemBytes: 4*st.Circuit.NumBits + 4096,
+		Programs:   make([]*isa.Program, len(st.scheduled)),
+		Tables:     make([][]chip.TableEntry, len(st.scheduled)),
+		BitOwner:   st.bitOwner,
+		MemBytes:   4*st.Circuit.NumBits + 4096,
+		ParamSlots: st.paramSlots,
 	}
 	if st.Mapping != nil {
 		// Copy: the artifact is cached and shared process-wide, and an

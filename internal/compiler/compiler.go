@@ -35,6 +35,10 @@
 package compiler
 
 import (
+	"fmt"
+	"math"
+	"sort"
+
 	"dhisq/internal/chip"
 	"dhisq/internal/circuit"
 	"dhisq/internal/isa"
@@ -88,6 +92,18 @@ func DefaultOptions(root, controllers int) Options {
 	}
 }
 
+// ParamSlot locates one bindable angle inside a compiled artifact: the
+// codeword-table row (Ctrl, Index) whose Param holds the value of symbolic
+// parameter Sym. The Lower pass records one slot per interned symbolic
+// entry, so BindParams can patch a copied artifact without re-running any
+// pass — rotation angles never appear in instruction bytes, guards or sync
+// arithmetic (the bind contract, DESIGN.md §8).
+type ParamSlot struct {
+	Ctrl  int    // controller whose table holds the slot
+	Index int    // row index within that controller's table
+	Sym   string // symbolic parameter name
+}
+
 // Compiled is the result: one program and codeword table per controller.
 type Compiled struct {
 	Programs []*isa.Program
@@ -101,6 +117,64 @@ type Compiled struct {
 	// with, after placement resolution (nil = identity). Job APIs echo it
 	// so remote users can see where the Place pass put their qubits.
 	Mapping []int
+	// ParamSlots locates every bindable angle (empty for fully concrete
+	// circuits). Slots survive binding, so a bound artifact can be re-bound.
+	ParamSlots []ParamSlot
+}
+
+// Params returns the sorted set of symbolic parameter names the artifact's
+// slots reference (nil when the circuit was fully concrete).
+func (c *Compiled) Params() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range c.ParamSlots {
+		if !seen[s.Sym] {
+			seen[s.Sym] = true
+			out = append(out, s.Sym)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BindParams returns a copy of the artifact with every parameter slot
+// patched to its value from vals: programs, bit owners, mapping and stats
+// are shared (they cannot depend on rotation angles), and only the
+// codeword tables containing slots are copied. Every slot symbol must be
+// supplied, every supplied name must name a slot, and values must not be
+// NaN; ±0 is canonicalized exactly as circuit.Bind does, so the result is
+// byte-for-byte identical to a fresh full compile of the pre-bound
+// circuit (the equivalence the compiler tests prove). The receiver — which
+// may be the cached, shared structural artifact — is never mutated.
+func (c *Compiled) BindParams(vals map[string]float64) (*Compiled, error) {
+	need := map[string]bool{}
+	for _, s := range c.ParamSlots {
+		need[s.Sym] = true
+	}
+	for name, v := range vals {
+		if !need[name] {
+			return nil, fmt.Errorf("compiler: bind: unknown parameter %q", name)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("compiler: bind: parameter %q is %v (angles must be finite)", name, v)
+		}
+	}
+	for name := range need {
+		if _, ok := vals[name]; !ok {
+			return nil, fmt.Errorf("compiler: bind: parameter %q left unbound", name)
+		}
+	}
+	out := *c
+	out.Tables = append([][]chip.TableEntry(nil), c.Tables...)
+	copied := map[int]bool{}
+	for _, s := range c.ParamSlots {
+		if !copied[s.Ctrl] {
+			out.Tables[s.Ctrl] = append([]chip.TableEntry(nil), c.Tables[s.Ctrl]...)
+			copied[s.Ctrl] = true
+		}
+		out.Tables[s.Ctrl][s.Index].Param = circuit.CanonParam(vals[s.Sym])
+	}
+	return &out, nil
 }
 
 // Stats summarizes the lowering.
@@ -275,7 +349,7 @@ func Compile(c *circuit.Circuit, mapping []int, fab Windows, opt Options) (*Comp
 }
 
 func tableEntryFor(op circuit.Op, q int, ctrlOf func(int) int) chip.TableEntry {
-	return chip.TableEntry{Role: chip.RoleSingle, Kind: op.Kind, Param: op.Param, Qubit: q}
+	return chip.TableEntry{Role: chip.RoleSingle, Kind: op.Kind, Param: op.Param, Qubit: q, Sym: op.Sym}
 }
 
 func gateDur(op circuit.Op, d circuit.Durations) int64 {

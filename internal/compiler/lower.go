@@ -59,12 +59,14 @@ type condSite struct {
 }
 
 // lowerStream is one controller's lowering output: its directive stream
-// plus the codeword table interned in emission order.
+// plus the codeword table interned in emission order and the parameter
+// slots (table rows holding a symbolic angle) discovered while interning.
 type lowerStream struct {
 	id       int
 	dirs     []directive
 	table    []chip.TableEntry
 	tableIdx map[chip.TableEntry]int
+	slots    []ParamSlot
 }
 
 func newLowerStream(id int) *lowerStream {
@@ -73,13 +75,19 @@ func newLowerStream(id int) *lowerStream {
 
 // cwInstrs interns a table entry and renders its trigger — the same
 // interning the monolithic compiler did on its streams, so indices (and
-// therefore instruction bytes) match exactly.
+// therefore instruction bytes) match exactly. A freshly interned symbolic
+// entry records a parameter slot: that table row's Param is what
+// BindParams patches. Interning keys on (entry, Sym), so two symbols never
+// share a row even while their Params coincide.
 func (l *lowerStream) cwInstrs(e chip.TableEntry) []isa.Instr {
 	idx, ok := l.tableIdx[e]
 	if !ok {
 		idx = len(l.table)
 		l.table = append(l.table, e)
 		l.tableIdx[e] = idx
+		if e.Sym != "" {
+			l.slots = append(l.slots, ParamSlot{Ctrl: l.id, Index: idx, Sym: e.Sym})
+		}
 	}
 	return cwTrigger(idx, uint8(e.Port()))
 }
@@ -236,8 +244,8 @@ func (Lower) Run(st *State) error {
 		case op.Kind.IsTwoQubit():
 			a, b := op.Qubits[0], op.Qubits[1]
 			ca, cb := ctrlOf(a), ctrlOf(b)
-			ctrlEntry := chip.TableEntry{Role: chip.RoleControl, Kind: op.Kind, Param: op.Param, Qubit: a, Partner: b}
-			partEntry := chip.TableEntry{Role: chip.RoleParticipant, Kind: op.Kind, Param: op.Param, Qubit: b, Partner: a}
+			ctrlEntry := chip.TableEntry{Role: chip.RoleControl, Kind: op.Kind, Param: op.Param, Qubit: a, Partner: b, Sym: op.Sym}
+			partEntry := chip.TableEntry{Role: chip.RoleParticipant, Kind: op.Kind, Param: op.Param, Qubit: b, Partner: a, Sym: op.Sym}
 			if ca == cb {
 				// Both halves on one node commit at the same timing point.
 				s := streams[ca]
@@ -274,6 +282,11 @@ func (Lower) Run(st *State) error {
 		}
 	}
 
+	// Collect parameter slots in controller order: a deterministic slot
+	// table is part of the artifact (Assemble packages it).
+	for _, s := range streams {
+		st.paramSlots = append(st.paramSlots, s.slots...)
+	}
 	st.lowered = streams
 	return nil
 }

@@ -24,10 +24,12 @@ type State struct {
 	Opt     Options
 
 	// Produced by Lower: one directive stream per controller, the bit
-	// ownership table, and the lowering-side stats (syncs, sends, recvs).
+	// ownership table, the parameter-slot table (symbolic angles interned
+	// into codeword tables), and the lowering-side stats.
 	lowered     []*lowerStream
 	bitOwner    []int
 	bitMeasured []bool
+	paramSlots  []ParamSlot
 
 	// Produced by Schedule: the timed unit streams.
 	scheduled []*stream

@@ -193,6 +193,18 @@ func KeyFor(c *circuit.Circuit, mapping []int, cfg Config) (artifact.Fingerprint
 	return artifact.Key(c, mapping, cfg.Net, opt), nil
 }
 
+// StructuralKeyFor is the bind-invariant fingerprint CompileSkeleton would
+// use for a machine built from cfg: every binding of one parameterized
+// circuit shares it, so job admission can batch a whole sweep onto one
+// compiled skeleton without building a machine.
+func StructuralKeyFor(c *circuit.Circuit, mapping []int, cfg Config) (artifact.Fingerprint, error) {
+	opt, err := CompileOptionsFor(cfg)
+	if err != nil {
+		return artifact.Fingerprint{}, err
+	}
+	return artifact.StructuralKey(c, mapping, cfg.Net, opt), nil
+}
+
 // Compile lowers a circuit for this machine, consulting the shared
 // artifact cache: a repeat submission of the same (circuit, mapping,
 // topology, options) tuple returns the cached per-controller binaries
@@ -206,7 +218,37 @@ func (m *Machine) Compile(c *circuit.Circuit, mapping []int) (*compiler.Compiled
 // toggle scheduling policies this way). The options are part of the cache
 // fingerprint, so variants never alias each other's artifacts.
 func (m *Machine) CompileWith(c *circuit.Circuit, mapping []int, opt compiler.Options) (*compiler.Compiled, error) {
+	if err := rejectUnbound(c); err != nil {
+		return nil, err
+	}
 	fp := artifact.Key(c, mapping, m.Cfg.Net, opt)
+	cp, _, err := artifact.Shared.GetOrCompile(fp, func() (*compiler.Compiled, error) {
+		return m.compile(c, mapping, opt)
+	})
+	return cp, err
+}
+
+// rejectUnbound keeps skeleton circuits out of the run-oriented compile
+// paths: a table Param defaulting to 0 would silently execute as an
+// angle-0 rotation. CompileSkeleton is the deliberate entry point.
+func rejectUnbound(c *circuit.Circuit) error {
+	if ub := c.UnboundParams(); len(ub) > 0 {
+		return fmt.Errorf("machine: circuit has unbound parameters %v (Bind them, or compile via CompileSkeleton)", ub)
+	}
+	return nil
+}
+
+// CompileSkeleton lowers a parameterized circuit once under its
+// bind-invariant structural fingerprint: the artifact is cached with the
+// symbolic params elided from the key, so every binding of the skeleton —
+// a whole angle sweep — shares one compilation. Patch the returned
+// (shared, immutable) artifact per point with Compiled.BindParams; the
+// result is byte-identical to a full compile of the bound circuit.
+// Concrete circuits are legal too (the structural key then fixes every
+// angle), so callers need not special-case parameter-free submissions.
+func (m *Machine) CompileSkeleton(c *circuit.Circuit, mapping []int) (*compiler.Compiled, error) {
+	opt := m.CompileOptions()
+	fp := artifact.StructuralKey(c, mapping, m.Cfg.Net, opt)
 	cp, _, err := artifact.Shared.GetOrCompile(fp, func() (*compiler.Compiled, error) {
 		return m.compile(c, mapping, opt)
 	})
@@ -227,6 +269,9 @@ func (m *Machine) compile(c *circuit.Circuit, mapping []int, opt compiler.Option
 // every time — runner.RunRebuild's legacy baseline and the cold side of
 // cache benchmarks.
 func (m *Machine) CompileFresh(c *circuit.Circuit, mapping []int, opt compiler.Options) (*compiler.Compiled, error) {
+	if err := rejectUnbound(c); err != nil {
+		return nil, err
+	}
 	return m.compile(c, mapping, opt)
 }
 

@@ -250,3 +250,76 @@ func TestChipRejectsBadCodeword(t *testing.T) {
 		t.Fatal("expected table-range error")
 	}
 }
+
+// TestCompileSkeletonStructuralSharing: every binding of a parameterized
+// circuit shares the skeleton's structural fingerprint and its single
+// cached compile, while the run-oriented compile paths reject unbound
+// skeletons outright.
+func TestCompileSkeletonStructuralSharing(t *testing.T) {
+	c := circuit.New(2)
+	c.RZSym(0, "a").RZSym(1, "b")
+	c.MeasureInto(0, 0)
+	c.MeasureInto(1, 1)
+	cfg := DefaultConfig(2)
+	cfg.Net.MeshW, cfg.Net.MeshH = 2, 1
+
+	skelFP, err := StructuralKeyFor(c, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := c.Bind(map[string]float64{"a": 0.5, "b": 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp1, err := StructuralKeyFor(b1, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != skelFP {
+		t.Fatal("binding changed the structural fingerprint")
+	}
+	full, err := KeyFor(b1, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full == skelFP {
+		t.Fatal("full key collides with structural key")
+	}
+
+	m, err := NewForCircuit(c, 2, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Compile(c, nil); err == nil {
+		t.Fatal("Compile accepted an unbound skeleton")
+	}
+	if _, err := m.CompileFresh(c, nil, m.CompileOptions()); err == nil {
+		t.Fatal("CompileFresh accepted an unbound skeleton")
+	}
+	skel, err := m.CompileSkeleton(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skel.ParamSlots) != 2 {
+		t.Fatalf("skeleton recorded %d slots, want 2", len(skel.ParamSlots))
+	}
+	// A second skeleton compile is a cache hit (same artifact pointer).
+	again, err := m.CompileSkeleton(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skel != again {
+		t.Fatal("skeleton recompiled despite the structural cache entry")
+	}
+	// The bound artifact runs and honors the bound angles end to end.
+	bound, err := skel.BindParams(map[string]float64{"a": 0.5, "b": 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(bound); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

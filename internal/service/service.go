@@ -23,6 +23,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -60,6 +61,11 @@ type Config struct {
 	// long-lived daemon's memory does not grow with total traffic; a
 	// Get/Wait for a forgotten job reports not-found.
 	MaxRetainedJobs int
+	// MaxSweepPoints bounds the points one sweep job may carry
+	// (<= 0 means 4096). The job queue bounds jobs, not work: without
+	// this cap a single submission could monopolize a worker forever and
+	// retain an unbounded Points snapshot past completion.
+	MaxSweepPoints int
 }
 
 // State is a job's lifecycle position.
@@ -96,7 +102,23 @@ type Request struct {
 	// cached or pooled. The baseline knob of the cache experiments and
 	// a diagnostic escape hatch; results are still byte-identical.
 	FreshCompile bool
+	// Params binds the circuit's symbolic parameters for this job. The
+	// job is fingerprinted on the bind-invariant structural key, so every
+	// binding of one skeleton shares a single compiled artifact (patched
+	// per job by BindParams) and one replica pool. The map must supply
+	// every symbolic parameter of the circuit. Mutually exclusive with
+	// Sweep.
+	Params map[string]float64
+	// Sweep runs the circuit at every listed parameter point — Shots
+	// repetitions each, point k seeded from DeriveSeed(jobSeed, k) — all
+	// inside one job against one compiled skeleton. Results arrive as
+	// JobStatus.Points instead of a single ShotSet.
+	Sweep []map[string]float64
 }
+
+// bindJob reports whether the request goes through the parameter-binding
+// path (structural fingerprint + per-point BindParams).
+func (r Request) bindJob() bool { return r.Params != nil || len(r.Sweep) > 0 }
 
 // JobStatus is a point-in-time snapshot of a job, safe to retain.
 type JobStatus struct {
@@ -115,12 +137,23 @@ type JobStatus struct {
 	// Mapping is the final qubit→controller mapping the job compiled with
 	// (nil = identity), as resolved by the compiler's Place pass.
 	Mapping []int
-	// Set and Histogram are populated once State == StateDone.
+	// Set and Histogram are populated once State == StateDone (nil for
+	// sweep jobs, whose results arrive per point in Points).
 	Set       *runner.ShotSet
 	Histogram runner.Histogram
-	// Makespan is shot 0's makespan in cycles (0 until done).
+	// Points holds the per-point outcomes of a sweep job, in point order.
+	Points []PointStatus
+	// Makespan is shot 0's makespan in cycles (0 until done; for sweep
+	// jobs, point 0 shot 0).
 	Makespan int64
 	Err      string
+}
+
+// PointStatus is one sweep point's outcome.
+type PointStatus struct {
+	Params    map[string]float64 `json:"params"`
+	Histogram runner.Histogram   `json:"histogram"`
+	Makespan  int64              `json:"makespan_cycles"`
 }
 
 // Done reports whether the job has reached a terminal state.
@@ -137,7 +170,13 @@ type Stats struct {
 	Running    int    `json:"running"`
 	// BatchedJobs counts jobs that found warm replicas for their
 	// artifact already pooled (no machine construction at all).
-	BatchedJobs    uint64         `json:"batched_jobs"`
+	BatchedJobs uint64 `json:"batched_jobs"`
+	// Binds counts BindParams patch operations performed on the cached
+	// path (one per parameter-bound job, one per sweep point); BindHits
+	// counts parameter-bound jobs whose compiled skeleton was served from
+	// the artifact cache — the compile the binding layer saved.
+	Binds          uint64         `json:"binds"`
+	BindHits       uint64         `json:"bind_hits"`
 	PooledReplicas int            `json:"pooled_replicas"`
 	Cache          artifact.Stats `json:"artifact_cache"`
 	// Congestion counters, aggregated across every shot of every
@@ -188,8 +227,40 @@ type job struct {
 	mapping  []int // final qubit→controller mapping (nil = identity)
 	set      *runner.ShotSet
 	hist     runner.Histogram // computed once at finish, not per poll
+	points   []PointStatus    // sweep jobs: per-point outcomes
+	net      congestionAgg    // sweep jobs: congestion folded at setPoints
 	err      error
 	done     chan struct{}
+}
+
+// setPoints folds a finished sweep's per-point shot sets into retainable
+// snapshots (histogram + makespan; the full sets are dropped so a
+// long-lived daemon's retention bound stays a bound). Fabric congestion
+// is aggregated here, before the per-shot data goes away, so sweep jobs
+// still move the /v1/stats net_* counters.
+func (j *job) setPoints(pts []runner.SweepPoint) {
+	out := make([]PointStatus, len(pts))
+	var agg congestionAgg
+	for i, p := range pts {
+		st := PointStatus{Params: p.Params, Histogram: p.Set.Histogram()}
+		if len(p.Set.Shots) > 0 {
+			st.Makespan = int64(p.Set.Shots[0].Result.Makespan)
+		}
+		out[i] = st
+		agg.add(p.Set)
+	}
+	j.mu.Lock()
+	j.points = out
+	j.net = agg
+	j.mu.Unlock()
+}
+
+// netAgg snapshots the congestion the job aggregated before dropping its
+// per-shot data (sweep jobs; zero for everything else).
+func (j *job) netAgg() congestionAgg {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.net
 }
 
 // setMapping records the final mapping the job's artifact was compiled
@@ -245,6 +316,9 @@ func New(cfg Config) *Service {
 	if cfg.MaxRetainedJobs <= 0 {
 		cfg.MaxRetainedJobs = 4096
 	}
+	if cfg.MaxSweepPoints <= 0 {
+		cfg.MaxSweepPoints = 4096
+	}
 	s := &Service{
 		cfg:   cfg,
 		queue: make(chan *job, cfg.QueueDepth),
@@ -291,6 +365,13 @@ func (s *Service) Submit(req Request) (string, error) {
 	if err := placement.Valid(resolvedPolicy); err != nil {
 		return "", err
 	}
+	if len(req.Sweep) > s.cfg.MaxSweepPoints {
+		return "", fmt.Errorf("service: sweep has %d points, limit %d (split it into multiple jobs — they share the compiled skeleton anyway)",
+			len(req.Sweep), s.cfg.MaxSweepPoints)
+	}
+	if err := validateParams(req); err != nil {
+		return "", err
+	}
 
 	// Fingerprint at admission, outside the service lock: KeyFor hashes
 	// every circuit op, so holding s.mu here would serialize all
@@ -299,7 +380,14 @@ func (s *Service) Submit(req Request) (string, error) {
 	// needs only the topology, so admission never builds a machine. The
 	// resolved backend joins the pool key (execution-relevant but not
 	// compile-relevant). Neither depends on the seed assigned below.
-	fp, err := machine.KeyFor(req.Circuit, req.Mapping, cfg)
+	// Parameter-bound jobs fingerprint on the bind-invariant structural
+	// key instead, so every binding of one skeleton — and every point of
+	// a sweep — shares one artifact and one replica pool.
+	keyFn := machine.KeyFor
+	if req.bindJob() {
+		keyFn = machine.StructuralKeyFor
+	}
+	fp, err := keyFn(req.Circuit, req.Mapping, cfg)
 	if err != nil {
 		return "", err
 	}
@@ -345,6 +433,49 @@ func (s *Service) Submit(req Request) (string, error) {
 	s.stats.Submitted++
 	s.mu.Unlock()
 	return j.id, nil
+}
+
+// validateParams rejects malformed parameter bindings at admission,
+// before any work queues: a bind/sweep job must supply exactly the
+// circuit's symbolic parameter set (NaN-free) at every point, and a plain
+// job must not submit an unbound skeleton — its table angles would
+// silently execute as zero.
+func validateParams(req Request) error {
+	if req.Params != nil && len(req.Sweep) > 0 {
+		return fmt.Errorf("service: give params or sweep, not both")
+	}
+	if !req.bindJob() {
+		if ub := req.Circuit.UnboundParams(); len(ub) > 0 {
+			return fmt.Errorf("service: circuit has unbound parameters %v: supply params or sweep", ub)
+		}
+		return nil
+	}
+	syms := req.Circuit.Params()
+	check := func(where string, vals map[string]float64) error {
+		if len(vals) != len(syms) {
+			return fmt.Errorf("service: %s binds %d parameters, circuit has %d (%v)",
+				where, len(vals), len(syms), syms)
+		}
+		for _, name := range syms {
+			v, ok := vals[name]
+			if !ok {
+				return fmt.Errorf("service: %s missing parameter %q", where, name)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("service: %s parameter %q is %v (angles must be finite)", where, name, v)
+			}
+		}
+		return nil
+	}
+	if req.Params != nil {
+		return check("params", req.Params)
+	}
+	for i, pt := range req.Sweep {
+		if err := check(fmt.Sprintf("sweep point %d", i), pt); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Get snapshots a job by ID.
@@ -444,10 +575,43 @@ func (s *Service) worker() {
 			if batched {
 				s.stats.BatchedJobs++
 			}
+			if j.req.bindJob() && !j.req.FreshCompile {
+				n := uint64(1)
+				if len(j.req.Sweep) > 0 {
+					n = uint64(len(j.req.Sweep))
+				}
+				s.stats.Binds += n
+				if cacheHit {
+					s.stats.BindHits++
+				}
+			}
 			s.accountCongestion(set)
+			s.foldCongestion(j.netAgg())
 		}
 		s.retire(j.id)
 		s.mu.Unlock()
+	}
+}
+
+// congestionAgg accumulates per-shot fabric congestion so it can outlive
+// the shot sets it came from (sweep jobs drop theirs at setPoints).
+type congestionAgg struct {
+	stall, messages, overflows uint64
+	maxQueue                   int
+}
+
+func (a *congestionAgg) add(set *runner.ShotSet) {
+	for _, shot := range set.Shots {
+		net := shot.Result.Net
+		if !net.Enabled {
+			continue
+		}
+		a.stall += uint64(net.TotalStall())
+		a.messages += net.LinkMessages + net.PortMessages
+		a.overflows += net.LinkOverflows + net.PortOverflows
+		if q := net.MaxQueue(); q > a.maxQueue {
+			a.maxQueue = q
+		}
 	}
 }
 
@@ -457,17 +621,19 @@ func (s *Service) accountCongestion(set *runner.ShotSet) {
 	if set == nil {
 		return
 	}
-	for _, shot := range set.Shots {
-		net := shot.Result.Net
-		if !net.Enabled {
-			continue
-		}
-		s.stats.NetStallCycles += uint64(net.TotalStall())
-		s.stats.NetMessages += net.LinkMessages + net.PortMessages
-		s.stats.NetOverflows += net.LinkOverflows + net.PortOverflows
-		if q := net.MaxQueue(); q > s.stats.NetMaxQueue {
-			s.stats.NetMaxQueue = q
-		}
+	var a congestionAgg
+	a.add(set)
+	s.foldCongestion(a)
+}
+
+// foldCongestion merges aggregated congestion into the service stats.
+// Called with s.mu held.
+func (s *Service) foldCongestion(a congestionAgg) {
+	s.stats.NetStallCycles += a.stall
+	s.stats.NetMessages += a.messages
+	s.stats.NetOverflows += a.overflows
+	if a.maxQueue > s.stats.NetMaxQueue {
+		s.stats.NetMaxQueue = a.maxQueue
 	}
 }
 
@@ -491,6 +657,9 @@ func (s *Service) retire(id string) {
 // so the hit/miss counters reflect per-job artifact reuse even when the
 // replica pool made the lookup unnecessary for execution.
 func (s *Service) execute(j *job) (set *runner.ShotSet, cacheHit, batched bool, err error) {
+	if j.req.bindJob() {
+		return s.executeBind(j)
+	}
 	want := s.cfg.ShotWorkers
 	if want > j.req.Shots {
 		want = j.req.Shots
@@ -543,6 +712,124 @@ func (s *Service) execute(j *job) (set *runner.ShotSet, cacheHit, batched bool, 
 	return set, cacheHit, batched, nil
 }
 
+// executeBind runs a parameter-bound job: resolve the compiled *skeleton*
+// through the shared cache under the structural fingerprint, patch it with
+// BindParams (per point for sweeps), and run on pooled replicas. Replicas
+// pool under the structural key, so a 1000-point sweep — or 1000 separate
+// single-binding jobs — compiles once and reuses the same warm machines;
+// only the cheap bind+load is per point. FreshCompile keeps its baseline
+// meaning: the circuit is bound up front and every point pays a full
+// compile on private machines.
+func (s *Service) executeBind(j *job) (set *runner.ShotSet, cacheHit, batched bool, err error) {
+	numBits := j.req.Circuit.NumBits
+	if j.req.FreshCompile {
+		set, err = s.executeBindFresh(j)
+		return set, false, false, err
+	}
+
+	want := s.cfg.ShotWorkers
+	if len(j.req.Sweep) > 0 {
+		// Sweeps fan points (not shots) across replicas; each point's
+		// shots run on one machine.
+		if want > len(j.req.Sweep) {
+			want = len(j.req.Sweep)
+		}
+	} else if want > j.req.Shots {
+		want = j.req.Shots
+	}
+	if want < 1 {
+		want = 1
+	}
+	machines := s.pool.checkout(j.pk, want)
+	batched = len(machines) > 0
+
+	var skel *compiler.Compiled
+	skel, cacheHit = artifact.Shared.Get(j.fp)
+	for len(machines) < want {
+		m, built, buildErr := runner.BuildSkeleton(j.spec, skel)
+		if buildErr != nil {
+			s.pool.checkin(j.pk, machines)
+			return nil, false, false, buildErr
+		}
+		skel = built
+		machines = append(machines, m)
+	}
+	if skel == nil {
+		// Every replica came warm from the pool and the cache entry was
+		// evicted: the loaded artifact is a previous binding of the same
+		// skeleton, and its parameter slots survive re-binding.
+		skel = machines[0].Loaded()
+	}
+	j.setMapping(skel)
+
+	if len(j.req.Sweep) > 0 {
+		pts, runErr := runner.RunSweepOn(machines, skel, j.req.Sweep, j.seed, j.req.Shots, numBits)
+		s.pool.checkin(j.pk, machines)
+		if runErr != nil {
+			return nil, cacheHit, batched, runErr
+		}
+		j.setPoints(pts)
+		return nil, cacheHit, batched, nil
+	}
+
+	bound, bindErr := skel.BindParams(j.req.Params)
+	if bindErr != nil {
+		s.pool.checkin(j.pk, machines)
+		return nil, cacheHit, batched, bindErr
+	}
+	for _, m := range machines {
+		if loadErr := m.Load(bound); loadErr != nil {
+			s.pool.checkin(j.pk, machines)
+			return nil, cacheHit, batched, loadErr
+		}
+	}
+	set, err = runner.RunOn(machines, j.seed, j.req.Shots, numBits)
+	s.pool.checkin(j.pk, machines)
+	return set, cacheHit, batched, err
+}
+
+// executeBindFresh is the FreshCompile baseline of the binding layer:
+// bind the circuit itself, then pay the full compile (and private machine
+// builds) per binding — exactly what a stack without BindParams would do.
+func (s *Service) executeBindFresh(j *job) (*runner.ShotSet, error) {
+	runBound := func(params map[string]float64, seed int64) (*runner.ShotSet, *compiler.Compiled, error) {
+		bc, err := j.req.Circuit.Bind(params)
+		if err != nil {
+			return nil, nil, err
+		}
+		spec := j.spec
+		spec.Circuit = bc
+		spec.Cfg.Seed = seed
+		m, cp, err := runner.Build(spec, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		set, err := runner.RunOn([]*machine.Machine{m}, seed, j.req.Shots, j.req.Circuit.NumBits)
+		return set, cp, err
+	}
+	if len(j.req.Sweep) > 0 {
+		pts := make([]runner.SweepPoint, len(j.req.Sweep))
+		for k, params := range j.req.Sweep {
+			set, cp, err := runBound(params, machine.DeriveSeed(j.seed, k))
+			if err != nil {
+				return nil, fmt.Errorf("sweep point %d: %w", k, err)
+			}
+			if k == 0 {
+				j.setMapping(cp)
+			}
+			pts[k] = runner.SweepPoint{Index: k, Params: params, Set: set}
+		}
+		j.setPoints(pts)
+		return nil, nil
+	}
+	set, cp, err := runBound(j.req.Params, j.seed)
+	if err != nil {
+		return nil, err
+	}
+	j.setMapping(cp)
+	return set, nil
+}
+
 func (j *job) finish(set *runner.ShotSet, err error) {
 	j.mu.Lock()
 	if err != nil {
@@ -550,8 +837,10 @@ func (j *job) finish(set *runner.ShotSet, err error) {
 		j.err = err
 	} else {
 		j.state = StateDone
-		j.set = set
-		j.hist = set.Histogram()
+		if set != nil { // sweep jobs deliver per-point results instead
+			j.set = set
+			j.hist = set.Histogram()
+		}
 	}
 	j.mu.Unlock()
 	close(j.done)
@@ -575,6 +864,10 @@ func (j *job) status() JobStatus {
 		if len(j.set.Shots) > 0 {
 			st.Makespan = int64(j.set.Shots[0].Result.Makespan)
 		}
+	}
+	if j.points != nil {
+		st.Points = j.points
+		st.Makespan = j.points[0].Makespan
 	}
 	return st
 }

@@ -73,6 +73,76 @@ func BV(n int, secret func(i int) bool) *circuit.Circuit {
 // AlternatingSecret is the deterministic secret used by the benchmark suite.
 func AlternatingSecret(i int) bool { return i%2 == 0 }
 
+// VQEAnsatz builds a hardware-efficient variational ansatz skeleton:
+// `layers` rounds of per-qubit symbolic RY rotations followed by a
+// nearest-neighbor CNOT entangler chain, closed by measurements. Every
+// rotation angle is a free parameter named t<layer>_<qubit>; bind them
+// with Circuit.Bind (or submit with a params/sweep field) before running.
+// This is the angle-sweep workload the parameter-binding layer exists for:
+// a VQE outer loop re-runs the same skeleton at thousands of parameter
+// points, so the circuit compiles once and each point is a table patch.
+func VQEAnsatz(n, layers int) *circuit.Circuit {
+	if n < 2 {
+		panic("workloads: VQEAnsatz needs >= 2 qubits")
+	}
+	if layers < 1 {
+		layers = 1
+	}
+	c := circuit.New(n)
+	for l := 0; l < layers; l++ {
+		for q := 0; q < n; q++ {
+			c.RYSym(q, fmt.Sprintf("t%d_%d", l, q))
+		}
+		for q := 0; q < n-1; q++ {
+			c.CNOT(q, q+1)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.MeasureInto(q, q)
+	}
+	return c
+}
+
+// VQEAnsatzPoint returns a deterministic full binding for a VQEAnsatz
+// skeleton: point k of a sweep, with angles spread over (0, 2π) by a
+// golden-ratio stride so no two points coincide.
+func VQEAnsatzPoint(n, layers, k int) map[string]float64 {
+	out := make(map[string]float64, n*layers)
+	for l := 0; l < layers; l++ {
+		for q := 0; q < n; q++ {
+			x := float64(k)*0.6180339887498949 + float64(l*n+q)/float64(n*layers)
+			out[fmt.Sprintf("t%d_%d", l, q)] = 2 * math.Pi * (x - math.Floor(x))
+		}
+	}
+	return out
+}
+
+// QFTSweep builds a parameterized QFT workload: a layer of symbolic RZ
+// phase preparations (phi0..phi<n-1>) followed by the full QFT and
+// measurements — the "estimate the spectrum at many phase settings" sweep.
+// The QFT's own controlled-phase angles stay concrete; only the
+// preparation layer is bindable.
+func QFTSweep(n int) *circuit.Circuit {
+	c := circuit.New(n)
+	for q := 0; q < n; q++ {
+		c.H(q)
+		c.RZSym(q, fmt.Sprintf("phi%d", q))
+	}
+	c.Append(QFT(n))
+	return c
+}
+
+// QFTSweepPoint returns a deterministic full binding for a QFTSweep
+// skeleton (point k).
+func QFTSweepPoint(n, k int) map[string]float64 {
+	out := make(map[string]float64, n)
+	for q := 0; q < n; q++ {
+		x := float64(k)*0.6180339887498949 + float64(q)/float64(n)
+		out[fmt.Sprintf("phi%d", q)] = 2 * math.Pi * (x - math.Floor(x))
+	}
+	return out
+}
+
 // CCX appends a Toffoli decomposed into the standard 7-T construction
 // (2 H, 6 CNOT, 7 T/T†) — the form control hardware executes.
 func CCX(c *circuit.Circuit, a, b, t int) {

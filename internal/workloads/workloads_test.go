@@ -344,3 +344,43 @@ func TestWStateTreeHasLongRangeGates(t *testing.T) {
 		t.Fatal("tree W-state should contain long-range CNOTs")
 	}
 }
+
+func TestVQEAnsatzAndQFTSweepSkeletons(t *testing.T) {
+	vqe := VQEAnsatz(6, 2)
+	if err := vqe.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(vqe.UnboundParams()); got != 12 {
+		t.Fatalf("VQEAnsatz(6,2) has %d params, want 12", got)
+	}
+	p0, p1 := VQEAnsatzPoint(6, 2, 0), VQEAnsatzPoint(6, 2, 1)
+	if len(p0) != 12 || len(p1) != 12 {
+		t.Fatalf("point sizes %d/%d, want 12", len(p0), len(p1))
+	}
+	same := true
+	for k, v := range p0 {
+		if v < 0 || v >= 2*math.Pi {
+			t.Fatalf("angle %s=%v outside [0, 2pi)", k, v)
+		}
+		if p1[k] != v {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("consecutive sweep points coincide")
+	}
+	if _, err := vqe.Bind(p0); err != nil {
+		t.Fatal(err)
+	}
+
+	qs := QFTSweep(8)
+	if err := qs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(qs.UnboundParams()); got != 8 {
+		t.Fatalf("QFTSweep(8) has %d params, want 8", got)
+	}
+	if _, err := qs.Bind(QFTSweepPoint(8, 3)); err != nil {
+		t.Fatal(err)
+	}
+}
