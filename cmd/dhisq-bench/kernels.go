@@ -1,0 +1,365 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"time"
+
+	"dhisq/internal/circuit"
+	"dhisq/internal/machine"
+	"dhisq/internal/placement"
+	"dhisq/internal/quantum"
+	"dhisq/internal/runner"
+	"dhisq/internal/stabilizer"
+	"dhisq/internal/workloads"
+)
+
+// The kernels experiment measures the two rewritten simulation kernels
+// against the retained reference implementations (the same oracles the
+// property tests compare amplitudes and stabilizer rows against), plus the
+// batched-shot path, and emits BENCH_kernels.json. Two of its numbers are
+// CI gates: the statevec gate microbench must hold a >= 2x geometric-mean
+// speedup over the reference kernels, and the batched bv_n400/8 seeded run
+// must stay strictly under 0.52 ms/shot (the recorded pre-batching cost of
+// one event-simulation replay per shot on that workload).
+
+// kernelGate is one microbench cell: ns/gate for the reference and the
+// rewritten kernel on the same gate kind at the same size.
+type kernelGate struct {
+	Kind         string  `json:"kind"`
+	N            int     `json:"n"`
+	RefNsPerGate float64 `json:"ref_ns_per_gate"`
+	NewNsPerGate float64 `json:"new_ns_per_gate"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// kernelShot is one end-to-end shot-throughput row: plain compile-once
+// runner versus the batched-shot path on the same spec.
+type kernelShot struct {
+	Name               string  `json:"name"`
+	Backend            string  `json:"backend"`
+	Shots              int     `json:"shots"`
+	Lanes              int     `json:"lanes"`
+	Batchable          bool    `json:"batchable"`
+	UnbatchedMsPerShot float64 `json:"unbatched_ms_per_shot"`
+	BatchedMsPerShot   float64 `json:"batched_ms_per_shot"`
+	Speedup            float64 `json:"speedup"`
+}
+
+type kernelReport struct {
+	StatevecGates          []kernelGate `json:"statevec_gates"`
+	StatevecGeomeanSpeedup float64      `json:"statevec_geomean_speedup"`
+	StabilizerGates        []kernelGate `json:"stabilizer_gates"`
+	Shots                  []kernelShot `json:"shots"`
+}
+
+// bestNsPer runs fn(iters) for a few rounds and keeps the cheapest
+// per-iteration cost, so a scheduler deschedule in one round cannot flip
+// the CI-gating speedup assertions.
+func bestNsPer(rounds, iters int, fn func(iters int)) float64 {
+	best := math.MaxFloat64
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		fn(iters)
+		if ns := float64(time.Since(start).Nanoseconds()) / float64(iters); ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// benchKernelsStatevec times each gate kind on dense states of 2^n
+// amplitudes, reference versus rewritten, and returns the rows plus the
+// geometric-mean speedup across every (kind, n) cell.
+func benchKernelsStatevec() ([]kernelGate, float64) {
+	is2 := complex(1/math.Sqrt2, 0)
+	tph := cmplx.Exp(1i * math.Pi / 4)
+	kinds := []struct {
+		name  string
+		newFn func(s *quantum.State, a, b int)
+		refFn func(s *quantum.State, a, b int)
+	}{
+		{"h",
+			func(s *quantum.State, a, _ int) { s.H(a) },
+			func(s *quantum.State, a, _ int) { quantum.RefApply1(s, a, is2, is2, is2, -is2) }},
+		{"x",
+			func(s *quantum.State, a, _ int) { s.X(a) },
+			func(s *quantum.State, a, _ int) { quantum.RefApply1(s, a, 0, 1, 1, 0) }},
+		{"t",
+			func(s *quantum.State, a, _ int) { s.T(a) },
+			func(s *quantum.State, a, _ int) { quantum.RefApply1(s, a, 1, 0, 0, tph) }},
+		{"rz",
+			func(s *quantum.State, a, _ int) { s.RZ(a, 0.3) },
+			func(s *quantum.State, a, _ int) {
+				quantum.RefApply1(s, a, cmplx.Exp(-0.15i), 0, 0, cmplx.Exp(0.15i))
+			}},
+		{"cnot",
+			func(s *quantum.State, a, b int) { s.CNOT(a, b) },
+			func(s *quantum.State, a, b int) { quantum.RefCNOT(s, a, b) }},
+		{"cz",
+			func(s *quantum.State, a, b int) { s.CZ(a, b) },
+			func(s *quantum.State, a, b int) { quantum.RefCZ(s, a, b) }},
+		{"cphase",
+			func(s *quantum.State, a, b int) { s.CPhase(a, b, 0.3) },
+			func(s *quantum.State, a, b int) { quantum.RefCPhase(s, a, b, 0.3) }},
+		{"swap",
+			func(s *quantum.State, a, b int) { s.SWAP(a, b) },
+			func(s *quantum.State, a, b int) { quantum.RefSWAP(s, a, b) }},
+	}
+	const rounds = 3
+	var rows []kernelGate
+	logSum, cells := 0.0, 0
+	for _, n := range []int{12, 16, 20} {
+		s := quantum.NewState(n)
+		for q := 0; q < n; q++ {
+			s.H(q) // dense state: every amplitude nonzero
+		}
+		iters := 1 << uint(26-n) // ~2^26 amplitude-pairs per round
+		for _, k := range kinds {
+			loop := func(fn func(s *quantum.State, a, b int)) float64 {
+				return bestNsPer(rounds, iters, func(it int) {
+					for i := 0; i < it; i++ {
+						a := i % n
+						fn(s, a, (a+1)%n)
+					}
+				})
+			}
+			refNs := loop(k.refFn)
+			newNs := loop(k.newFn)
+			sp := refNs / newNs
+			rows = append(rows, kernelGate{Kind: k.name, N: n, RefNsPerGate: refNs, NewNsPerGate: newNs, Speedup: sp})
+			logSum += math.Log(sp)
+			cells++
+		}
+	}
+	return rows, math.Exp(logSum / float64(cells))
+}
+
+// benchKernelsStabilizer times the column-major tableau against the
+// retained row-major reference at adder-scale qubit counts. Informational:
+// the word-parallel rewrite's wins here are large and layout-dependent, so
+// no CI gate — the statevec geomean is the gated number.
+func benchKernelsStabilizer() []kernelGate {
+	kinds := []struct {
+		name  string
+		newFn func(t *stabilizer.Tableau, a, b int)
+		refFn func(t *stabilizer.RefTableau, a, b int)
+	}{
+		{"h",
+			func(t *stabilizer.Tableau, a, _ int) { t.H(a) },
+			func(t *stabilizer.RefTableau, a, _ int) { t.H(a) }},
+		{"s",
+			func(t *stabilizer.Tableau, a, _ int) { t.S(a) },
+			func(t *stabilizer.RefTableau, a, _ int) { t.S(a) }},
+		{"cnot",
+			func(t *stabilizer.Tableau, a, b int) { t.CNOT(a, b) },
+			func(t *stabilizer.RefTableau, a, b int) { t.CNOT(a, b) }},
+		{"cz",
+			func(t *stabilizer.Tableau, a, b int) { t.CZ(a, b) },
+			func(t *stabilizer.RefTableau, a, b int) { t.CZ(a, b) }},
+		{"swap",
+			func(t *stabilizer.Tableau, a, b int) { t.SWAP(a, b) },
+			func(t *stabilizer.RefTableau, a, b int) { t.SWAP(a, b) }},
+	}
+	const rounds = 3
+	var rows []kernelGate
+	for _, n := range []int{256, 1024} {
+		nt := stabilizer.New(n)
+		rt := stabilizer.NewRef(n)
+		iters := 1 << 13
+		for _, k := range kinds {
+			refNs := bestNsPer(rounds, iters, func(it int) {
+				for i := 0; i < it; i++ {
+					a := i % n
+					k.refFn(rt, a, (a+1)%n)
+				}
+			})
+			newNs := bestNsPer(rounds, iters, func(it int) {
+				for i := 0; i < it; i++ {
+					a := i % n
+					k.newFn(nt, a, (a+1)%n)
+				}
+			})
+			rows = append(rows, kernelGate{Kind: k.name, N: n, RefNsPerGate: refNs, NewNsPerGate: newNs, Speedup: refNs / newNs})
+		}
+
+		// Deterministic measurement on a collapsed GHZ state — the op that
+		// dominates stabilizer shots (see the ghz_n577 row). The reference
+		// clones the whole tableau per call; the rewrite is read-only.
+		mt, mr := stabilizer.New(n), stabilizer.NewRef(n)
+		mt.H(0)
+		mr.H(0)
+		for q := 1; q < n; q++ {
+			mt.CNOT(q-1, q)
+			mr.CNOT(q-1, q)
+		}
+		mt.MeasureZ(0, rand.New(rand.NewSource(7)))
+		mr.MeasureZ(0, rand.New(rand.NewSource(7)))
+		mIters := 1 << 8
+		refNs := bestNsPer(rounds, mIters, func(it int) {
+			for i := 0; i < it; i++ {
+				mr.MeasureDeterministic(i % n)
+			}
+		})
+		newNs := bestNsPer(rounds, mIters, func(it int) {
+			for i := 0; i < it; i++ {
+				mt.MeasureDeterministic(i % n)
+			}
+		})
+		rows = append(rows, kernelGate{Kind: "measure_det", N: n, RefNsPerGate: refNs, NewNsPerGate: newNs, Speedup: refNs / newNs})
+	}
+	return rows
+}
+
+// ghzBenchmark builds an adder-scale pure-Clifford workload for the
+// stabilizer shot row: a GHZ chain with full readout. (The paper's adder
+// itself lowers T gates, which the tableau cannot hold.)
+func ghzBenchmark(n int) runner.Spec {
+	c := circuit.New(n)
+	c.H(0)
+	for q := 1; q < n; q++ {
+		c.CNOT(q-1, q)
+	}
+	for q := 0; q < n; q++ {
+		c.MeasureInto(q, q)
+	}
+	w, h := placement.AutoMesh(n)
+	cfg := machine.DefaultConfig(n)
+	cfg.Backend = machine.BackendStabilizer
+	return runner.Spec{Circuit: c, MeshW: w, MeshH: h, Cfg: cfg}
+}
+
+// benchShotRow times the plain compile-once runner against the batched
+// path on one spec, best-of-rounds, verifying the histograms agree.
+// Feed-forward circuits (the dynamically-converted Fig. 15 workloads)
+// are not batchable — their block replay would need outcome-dependent
+// control flow — so they run the plain path in both columns and the row
+// records Batchable: false.
+func benchShotRow(name, backend string, spec runner.Spec, shots, lanes int) (kernelShot, error) {
+	const rounds = 2
+	batchable := runner.Batchable(spec.Circuit)
+	if !batchable {
+		lanes = 1 // RunBatched defers to the plain path at one lane
+	}
+	var plain *runner.ShotSet
+	plainMs := math.MaxFloat64
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		set, err := runner.Run(spec, shots, 1)
+		if err != nil {
+			return kernelShot{}, err
+		}
+		if ms := float64(time.Since(start).Microseconds()) / 1000 / float64(shots); ms < plainMs {
+			plainMs = ms
+		}
+		plain = set
+	}
+	var batched *runner.ShotSet
+	batchMs := math.MaxFloat64
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		set, err := runner.RunBatched(spec, shots, lanes)
+		if err != nil {
+			return kernelShot{}, err
+		}
+		if ms := float64(time.Since(start).Microseconds()) / 1000 / float64(shots); ms < batchMs {
+			batchMs = ms
+		}
+		batched = set
+	}
+	if plain.Histogram().String() != batched.Histogram().String() {
+		return kernelShot{}, fmt.Errorf("%s: batched histogram diverged from unbatched — determinism invariant broken", name)
+	}
+	return kernelShot{
+		Name: name, Backend: backend, Shots: shots, Lanes: lanes, Batchable: batchable,
+		UnbatchedMsPerShot: plainMs, BatchedMsPerShot: batchMs, Speedup: plainMs / batchMs,
+	}, nil
+}
+
+// benchKernels runs the full kernels experiment and enforces its two CI
+// gates: statevec geomean >= 2x and batched bv_n400/8 under 0.52 ms/shot.
+func benchKernels(outDir string, seed int64) error {
+	svRows, geomean := benchKernelsStatevec()
+	for _, r := range svRows {
+		fmt.Printf("statevec   %-8s n=%-3d ref %9.1f ns/gate  new %9.1f ns/gate  %6.2fx\n",
+			r.Kind, r.N, r.RefNsPerGate, r.NewNsPerGate, r.Speedup)
+	}
+	fmt.Printf("statevec geomean speedup: %.2fx\n", geomean)
+
+	stRows := benchKernelsStabilizer()
+	for _, r := range stRows {
+		fmt.Printf("stabilizer %-8s n=%-3d ref %9.1f ns/gate  new %9.1f ns/gate  %6.2fx\n",
+			r.Kind, r.N, r.RefNsPerGate, r.NewNsPerGate, r.Speedup)
+	}
+
+	var shotRows []kernelShot
+	bv, err := workloads.BuildScaled("bv_n400", 8)
+	if err != nil {
+		return err
+	}
+	bvCfg := machine.DefaultConfig(bv.Qubits)
+	bvCfg.Backend = machine.BackendSeeded
+	bvCfg.Seed = seed
+	bvSpec := runner.Spec{Circuit: bv.Circuit, MeshW: bv.MeshW, MeshH: bv.MeshH, Mapping: bv.Mapping, Cfg: bvCfg}
+	row, err := benchShotRow("bv_n400/8", "seeded", bvSpec, 64, 16)
+	if err != nil {
+		return err
+	}
+	shotRows = append(shotRows, row)
+
+	qft, err := workloads.BuildScaled("qft_n30", 1)
+	if err != nil {
+		return err
+	}
+	qftCfg := machine.DefaultConfig(qft.Qubits)
+	qftCfg.Backend = machine.BackendSeeded
+	qftCfg.Seed = seed
+	qftSpec := runner.Spec{Circuit: qft.Circuit, MeshW: qft.MeshW, MeshH: qft.MeshH, Mapping: qft.Mapping, Cfg: qftCfg}
+	row, err = benchShotRow("qft_n30", "seeded", qftSpec, 32, 8)
+	if err != nil {
+		return err
+	}
+	shotRows = append(shotRows, row)
+
+	ghzSpec := ghzBenchmark(577)
+	ghzSpec.Cfg.Seed = seed
+	row, err = benchShotRow("ghz_n577", "stabilizer", ghzSpec, 16, 8)
+	if err != nil {
+		return err
+	}
+	shotRows = append(shotRows, row)
+
+	// The same adder-scale circuit on the timing-only backend isolates the
+	// event-simulation replay — the cost batching amortizes across lanes.
+	ghzSeeded := ghzBenchmark(577)
+	ghzSeeded.Cfg.Backend = machine.BackendSeeded
+	ghzSeeded.Cfg.Seed = seed
+	row, err = benchShotRow("ghz_n577", "seeded", ghzSeeded, 32, 16)
+	if err != nil {
+		return err
+	}
+	shotRows = append(shotRows, row)
+
+	for _, r := range shotRows {
+		fmt.Printf("shots %-12s %-10s %5.3f ms/shot unbatched  %5.3f ms/shot batched (%d lanes)  %5.2fx\n",
+			r.Name, r.Backend, r.UnbatchedMsPerShot, r.BatchedMsPerShot, r.Lanes, r.Speedup)
+	}
+
+	if geomean < 2.0 {
+		return fmt.Errorf("statevec kernel geomean speedup %.2fx, CI gate requires >= 2.0x", geomean)
+	}
+	if bvMs := shotRows[0].BatchedMsPerShot; bvMs >= 0.52 {
+		return fmt.Errorf("bv_n400/8 seeded batched cost %.3f ms/shot, CI gate requires < 0.52", bvMs)
+	}
+	fmt.Printf("gates hold: statevec geomean %.2fx >= 2.0x; bv_n400/8 batched %.3f ms/shot < 0.52\n",
+		geomean, shotRows[0].BatchedMsPerShot)
+
+	return writeBenchJSON(outDir, "kernels", kernelReport{
+		StatevecGates:          svRows,
+		StatevecGeomeanSpeedup: geomean,
+		StabilizerGates:        stRows,
+		Shots:                  shotRows,
+	})
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dhisq/internal/runner"
+)
+
+func TestBestNsPerKeepsCheapestRound(t *testing.T) {
+	calls := 0
+	ns := bestNsPer(3, 1000, func(iters int) {
+		calls++
+		if iters != 1000 {
+			t.Fatalf("iters = %d, want 1000", iters)
+		}
+	})
+	if calls != 3 {
+		t.Fatalf("fn ran %d rounds, want 3", calls)
+	}
+	if ns < 0 {
+		t.Fatalf("negative ns/iter %f", ns)
+	}
+}
+
+func TestGhzBenchmarkSpec(t *testing.T) {
+	spec := ghzBenchmark(17)
+	if spec.Circuit.NumQubits != 17 {
+		t.Fatalf("qubits = %d", spec.Circuit.NumQubits)
+	}
+	if !runner.Batchable(spec.Circuit) {
+		t.Fatal("GHZ chain must be batchable: no feed-forward, single-write bits")
+	}
+	if spec.MeshW*spec.MeshH < 17 {
+		t.Fatalf("mesh %dx%d cannot hold 17 controllers", spec.MeshW, spec.MeshH)
+	}
+}
+
+// The shot-row harness itself is load-bearing for the CI gate: it must
+// fall back to one lane only for non-batchable circuits, agree between
+// paths, and report honest per-shot costs.
+func TestBenchShotRowBatchable(t *testing.T) {
+	spec := ghzBenchmark(9)
+	spec.Cfg.Seed = 11
+	row, err := benchShotRow("ghz_n9", "stabilizer", spec, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.Batchable || row.Lanes != 2 {
+		t.Fatalf("batchable GHZ row = %+v", row)
+	}
+	if row.UnbatchedMsPerShot <= 0 || row.BatchedMsPerShot <= 0 {
+		t.Fatalf("non-positive timing in %+v", row)
+	}
+}
+
+func TestWriteBenchJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := kernelReport{StatevecGeomeanSpeedup: 2.5}
+	if err := writeBenchJSON(dir, "kernels", in); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_kernels.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out kernelReport
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.StatevecGeomeanSpeedup != 2.5 {
+		t.Fatalf("round-trip lost the geomean: %+v", out)
+	}
+}

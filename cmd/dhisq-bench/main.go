@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	dhisq-bench -exp table1|fig11|fig13|fig14|fig15|fig16|ablation|shots|cache|sweep|fabric|placement|all
+//	dhisq-bench -exp table1|fig11|fig13|fig14|fig15|fig16|ablation|shots|cache|sweep|fabric|placement|kernels|all
 //	            [-scale N] [-seed S] [-shots N] [-workers W] [-jobs N] [-points N] [-out DIR]
 //	            [-topo mesh|torus|tree|all] [-link-bw N] [-placement P|all]
 package main
@@ -37,7 +37,7 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table1, fig11, fig13, fig14, fig15, fig16, ablation, shots, cache, sweep, fabric, placement, all")
+	which := flag.String("exp", "all", "experiment: table1, fig11, fig13, fig14, fig15, fig16, ablation, shots, cache, sweep, fabric, placement, kernels, all")
 	scale := flag.Int("scale", 1, "divide Fig. 15 benchmark sizes by this factor")
 	seed := flag.Int64("seed", 1, "measurement outcome seed")
 	shots := flag.Int("shots", 200, "repetitions for the shots experiment")
@@ -153,6 +153,9 @@ func main() {
 	})
 	run("placement", func() error {
 		return benchPlacement(*outDir, *seed, *placePolicy, *linkBW)
+	})
+	run("kernels", func() error {
+		return benchKernels(*outDir, *seed)
 	})
 }
 

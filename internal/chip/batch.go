@@ -1,0 +1,123 @@
+package chip
+
+import (
+	"fmt"
+
+	"dhisq/internal/circuit"
+)
+
+// LaneBackend fans one backend dispatch out to B independent per-lane
+// substrates: the event simulation (controllers, fabric, chip timing) runs
+// once per block, and each committed gate is applied to every lane's
+// state. Lanes differ only in their RNG seeds, so lane l of a block is
+// byte-identical to an unbatched shot run with lane l's seed — valid
+// exactly when the program's control flow is outcome-independent (no
+// feed-forward), which runner.Batchable checks before selecting this path.
+type LaneBackend struct {
+	Lanes []Backend
+	last  []int // per-lane outcomes of the most recent Measure
+}
+
+// NewLanes builds a lane backend over n substrates produced by mk.
+func NewLanes(mk func(lane int) Backend, n int) *LaneBackend {
+	if n < 1 {
+		panic("chip: lane backend needs at least one lane")
+	}
+	b := &LaneBackend{Lanes: make([]Backend, n), last: make([]int, n)}
+	for i := range b.Lanes {
+		b.Lanes[i] = mk(i)
+	}
+	return b
+}
+
+// Apply1 implements Backend: the gate lands on every lane.
+func (b *LaneBackend) Apply1(kind circuit.Kind, param float64, q int) {
+	for _, l := range b.Lanes {
+		l.Apply1(kind, param, q)
+	}
+}
+
+// Apply2 implements Backend.
+func (b *LaneBackend) Apply2(kind circuit.Kind, param float64, x, y int) {
+	for _, l := range b.Lanes {
+		l.Apply2(kind, param, x, y)
+	}
+}
+
+// Measure implements Backend: every lane measures (collapsing its own
+// state and advancing its own RNG), lane 0's outcome is returned — it is
+// the value that flows through the result FIFO into controller memory, so
+// ReadBits after a batched run reads lane 0's bits. The chip records the
+// full per-lane outcome vector in Model.BatchMeas for the other lanes.
+func (b *LaneBackend) Measure(q int) int {
+	for i, l := range b.Lanes {
+		b.last[i] = l.Measure(q)
+	}
+	return b.last[0]
+}
+
+// Reset implements Backend: every lane reseeds with the same seed (the
+// unbatched-compatible hygiene path). Batched blocks use ResetLanes.
+func (b *LaneBackend) Reset(seed int64) {
+	for _, l := range b.Lanes {
+		l.Reset(seed)
+	}
+}
+
+// ResetLanes reseeds lane l with seeds[l] — the per-block entry point that
+// gives every lane its own shot seed.
+func (b *LaneBackend) ResetLanes(seeds []int64) error {
+	if len(seeds) != len(b.Lanes) {
+		return fmt.Errorf("chip: %d seeds for %d lanes", len(seeds), len(b.Lanes))
+	}
+	for i, l := range b.Lanes {
+		l.Reset(seeds[i])
+	}
+	return nil
+}
+
+// BatchMeas records the per-lane outcomes of one measurement commit.
+// Commits from one controller happen in program order, so the k-th record
+// with Node == n corresponds to the k-th measure op lowered to controller
+// n — the mapping runner.RunBatched uses to reconstruct per-lane bits.
+type BatchMeas struct {
+	Node     int
+	Qubit    int
+	Outcomes []int
+}
+
+// ResetBatch is the batched-block counterpart of Reset: chip bookkeeping
+// clears identically, but lane l's substrate reseeds with seeds[l]. It
+// errors when the backend is not lane-structured.
+func (m *Model) ResetBatch(seeds []int64) error {
+	lb, ok := m.backend.(*LaneBackend)
+	if !ok {
+		return fmt.Errorf("chip: ResetBatch on non-lane backend %T", m.backend)
+	}
+	if err := lb.ResetLanes(seeds); err != nil {
+		return err
+	}
+	clear(m.pending)
+	clear(m.busyUntil)
+	clear(m.lastApplied)
+	m.Gates = 0
+	m.Measurements = 0
+	m.Violations = nil
+	m.Overlaps = 0
+	m.OverlapInfo = nil
+	m.OrderInversions = 0
+	m.Errs = nil
+	m.BatchMeas = nil
+	return nil
+}
+
+// recordBatch snapshots the lane outcomes of a measurement commit.
+func (m *Model) recordBatch(node, qubit int) {
+	lb, ok := m.backend.(*LaneBackend)
+	if !ok {
+		return
+	}
+	m.BatchMeas = append(m.BatchMeas, BatchMeas{
+		Node: node, Qubit: qubit, Outcomes: append([]int(nil), lb.last...),
+	})
+}

@@ -1,0 +1,194 @@
+package chip
+
+import (
+	"testing"
+
+	"dhisq/internal/circuit"
+)
+
+// laneModel builds a chip over B statevec lanes of n qubits, seeded per lane.
+func laneModel(n, lanes int) *Model {
+	return model(NewLanes(func(lane int) Backend {
+		return NewStateVec(n, int64(lane+1))
+	}, lanes))
+}
+
+func TestLaneBackendFanOut(t *testing.T) {
+	lb := NewLanes(func(lane int) Backend { return NewStateVec(1, int64(lane)) }, 3)
+	lb.Apply1(circuit.X, 0, 0)
+	for i, l := range lb.Lanes {
+		if l.(*StateVecBackend).State.Prob(0) < 0.999 {
+			t.Fatalf("lane %d: X not applied", i)
+		}
+	}
+	if out := lb.Measure(0); out != 1 {
+		t.Fatalf("measure after X = %d, want 1 (lane 0's outcome)", out)
+	}
+	for i, v := range lb.last {
+		if v != 1 {
+			t.Fatalf("lane %d outcome = %d, want 1", i, v)
+		}
+	}
+	lb.Reset(9)
+	for i, l := range lb.Lanes {
+		if l.(*StateVecBackend).State.Prob(0) > 0.001 {
+			t.Fatalf("lane %d: Reset did not restore |0>", i)
+		}
+	}
+}
+
+func TestLaneBackendApply2(t *testing.T) {
+	lb := NewLanes(func(lane int) Backend { return NewStateVec(2, int64(lane)) }, 2)
+	lb.Apply1(circuit.X, 0, 0)
+	lb.Apply2(circuit.CNOT, 0, 0, 1)
+	for i, l := range lb.Lanes {
+		if l.(*StateVecBackend).State.Prob(1) < 0.999 {
+			t.Fatalf("lane %d: CNOT not applied", i)
+		}
+	}
+}
+
+func TestLaneBackendResetLanes(t *testing.T) {
+	lb := NewLanes(func(lane int) Backend { return NewSeeded(int64(lane)) }, 2)
+	if err := lb.ResetLanes([]int64{7}); err == nil {
+		t.Fatal("seed/lane count mismatch not rejected")
+	}
+	if err := lb.ResetLanes([]int64{7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := lb.Lanes[0].(*SeededBackend).Seed, lb.Lanes[1].(*SeededBackend).Seed; a != 7 || b != 8 {
+		t.Fatalf("per-lane seeds = %d,%d, want 7,8", a, b)
+	}
+}
+
+func TestResetBatch(t *testing.T) {
+	m := laneModel(1, 2)
+	m.SetTable(0, []TableEntry{
+		{Role: RoleSingle, Kind: circuit.X, Qubit: 0},
+		{Role: RoleMeasure, Kind: circuit.Measure, Qubit: 0, Channel: 0},
+	})
+	m.Commit(0, PortXY, 1, 10)
+	m.Commit(0, PortRO, 2, 20)
+	if len(m.BatchMeas) != 1 {
+		t.Fatalf("BatchMeas = %v, want one record", m.BatchMeas)
+	}
+	rec := m.BatchMeas[0]
+	if rec.Node != 0 || rec.Qubit != 0 || len(rec.Outcomes) != 2 {
+		t.Fatalf("record = %+v", rec)
+	}
+	for lane, out := range rec.Outcomes {
+		if out != 1 {
+			t.Fatalf("lane %d outcome = %d after X, want 1", lane, out)
+		}
+	}
+	if err := m.ResetBatch([]int64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Gates != 0 || m.Measurements != 0 || m.BatchMeas != nil {
+		t.Fatal("ResetBatch did not clear chip bookkeeping")
+	}
+	lb := m.Backend().(*LaneBackend)
+	for i, l := range lb.Lanes {
+		if l.(*StateVecBackend).State.Prob(0) > 0.001 {
+			t.Fatalf("lane %d state not reset", i)
+		}
+	}
+	// Seed/lane mismatch surfaces the lane backend's error.
+	if err := m.ResetBatch([]int64{3}); err == nil {
+		t.Fatal("seed count mismatch not rejected")
+	}
+}
+
+func TestResetBatchNonLaneBackend(t *testing.T) {
+	m := model(NewStateVec(1, 1))
+	if err := m.ResetBatch([]int64{1}); err == nil {
+		t.Fatal("ResetBatch on a plain backend must error")
+	}
+	// recordBatch on a non-lane backend is a no-op, not a panic.
+	m.SetTable(0, []TableEntry{{Role: RoleMeasure, Kind: circuit.Measure, Qubit: 0}})
+	m.Commit(0, PortRO, 1, 10)
+	if m.BatchMeas != nil {
+		t.Fatal("plain backend must not record batch outcomes")
+	}
+}
+
+func TestModelReset(t *testing.T) {
+	m := model(NewStateVec(1, 1))
+	m.SetTable(0, []TableEntry{
+		{Role: RoleSingle, Kind: circuit.X, Qubit: 0},
+		{Role: RoleMeasure, Kind: circuit.Measure, Qubit: 0},
+	})
+	m.Commit(0, PortXY, 1, 10)
+	m.Commit(0, PortRO, 2, 10) // overlaps the X window on purpose
+	if m.Gates != 1 || m.Measurements != 1 || m.Overlaps == 0 {
+		t.Fatalf("setup: gates=%d meas=%d overlaps=%d", m.Gates, m.Measurements, m.Overlaps)
+	}
+	m.Reset(5)
+	if m.Gates != 0 || m.Measurements != 0 || m.Overlaps != 0 || len(m.OverlapInfo) != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+	if m.Backend().(*StateVecBackend).State.Prob(0) > 0.001 {
+		t.Fatal("Reset did not reset backend state")
+	}
+	// Tables survive a reset: the same program re-commits cleanly.
+	m.Commit(0, PortXY, 1, 10)
+	if m.Gates != 1 || len(m.Errs) != 0 {
+		t.Fatalf("post-reset commit: gates=%d errs=%v", m.Gates, m.Errs)
+	}
+}
+
+func TestStabilizerBackendRoundTrip(t *testing.T) {
+	b := NewStabilizer(2, 3)
+	b.Apply1(circuit.H, 0, 0)
+	b.Apply2(circuit.CNOT, 0, 0, 1)
+	a := b.Measure(0)
+	if c := b.Measure(1); c != a {
+		t.Fatalf("GHZ pair disagreed: %d vs %d", a, c)
+	}
+	b.Apply2(circuit.SWAP, 0, 0, 1)
+	b.Apply2(circuit.CZ, 0, 0, 1)
+	b.Apply1(circuit.Reset, 0, 0)
+	if out := b.Measure(0); out != 0 {
+		t.Fatalf("reset qubit measured %d", out)
+	}
+	b.Reset(4)
+	if out := b.Measure(1); out != 0 {
+		t.Fatalf("fresh tableau measured %d", out)
+	}
+}
+
+func TestSeededBackendReset(t *testing.T) {
+	b := NewSeeded(11)
+	b.Apply1(circuit.H, 0, 0) // no-op by contract
+	b.Apply2(circuit.CNOT, 0, 0, 1)
+	first := []int{b.Measure(0), b.Measure(0), b.Measure(3)}
+	b.Reset(11)
+	second := []int{b.Measure(0), b.Measure(0), b.Measure(3)}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("outcome %d not reproducible after Reset: %v vs %v", i, first, second)
+		}
+	}
+	b.Reset(12)
+	diff := false
+	for q := 0; q < 64 && !diff; q++ {
+		b2 := NewSeeded(11)
+		if b.Measure(q) != b2.Measure(q) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical outcome streams")
+	}
+}
+
+func TestStateVecBackendReset(t *testing.T) {
+	b := NewStateVec(2, 1)
+	b.Apply1(circuit.RX, 1.1, 0)
+	b.Apply2(circuit.CPhase, 0.7, 0, 1)
+	b.Apply2(circuit.SWAP, 0, 0, 1)
+	b.Reset(2)
+	if b.State.Prob(0) > 1e-12 || b.State.Prob(1) > 1e-12 {
+		t.Fatal("Reset did not restore |00>")
+	}
+}

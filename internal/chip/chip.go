@@ -107,7 +107,9 @@ type Overlap struct {
 type Model struct {
 	eng     *sim.Engine
 	backend Backend
-	tables  map[int][]TableEntry
+	// tables is indexed by controller node id — dense small ints, so a
+	// slice; map hashing here was measurable on the per-commit hot path.
+	tables  [][]TableEntry
 	deliver ResultDelivery
 
 	// MeasLatency is the delay from the measurement trigger commit to the
@@ -115,12 +117,13 @@ type Model struct {
 	MeasLatency sim.Time
 
 	// pending holds the first-arrived half of each two-qubit gate, keyed by
-	// the unordered qubit pair.
-	pending map[[2]int]pendingHalf
+	// the packed unordered qubit pair (low qubit in the high word).
+	pending map[uint64]pendingHalf
 
 	// busyUntil tracks per-qubit occupancy to detect scheduler bugs: a
 	// commit during another operation's window is an overlap violation.
-	busyUntil map[int]sim.Time
+	// Indexed by qubit, grown on demand; zero means free.
+	busyUntil []sim.Time
 	durations circuit.Durations
 
 	Gates        uint64
@@ -132,8 +135,11 @@ type Model struct {
 	// an already-applied operation on the same qubit (would corrupt state
 	// semantics; always zero for compiler-generated programs).
 	OrderInversions int
-	lastApplied     map[int]sim.Time
+	lastApplied     []sim.Time
 	Errs            []error
+	// BatchMeas collects per-lane measurement outcomes in commit order when
+	// the backend is a LaneBackend (batched-shot mode); empty otherwise.
+	BatchMeas []BatchMeas
 }
 
 type pendingHalf struct {
@@ -146,17 +152,19 @@ func New(eng *sim.Engine, backend Backend, durations circuit.Durations, measLate
 	return &Model{
 		eng:         eng,
 		backend:     backend,
-		tables:      map[int][]TableEntry{},
 		MeasLatency: measLatency,
-		pending:     map[[2]int]pendingHalf{},
-		busyUntil:   map[int]sim.Time{},
-		lastApplied: map[int]sim.Time{},
+		pending:     map[uint64]pendingHalf{},
 		durations:   durations,
 	}
 }
 
 // SetTable installs the codeword table for one controller.
-func (m *Model) SetTable(node int, table []TableEntry) { m.tables[node] = table }
+func (m *Model) SetTable(node int, table []TableEntry) {
+	for len(m.tables) <= node {
+		m.tables = append(m.tables, nil)
+	}
+	m.tables[node] = table
+}
 
 // Reset restores the chip to its post-construction state — pending
 // two-qubit halves, occupancy tracking, counters and error lists clear, and
@@ -175,6 +183,7 @@ func (m *Model) Reset(seed int64) {
 	m.OverlapInfo = nil
 	m.OrderInversions = 0
 	m.Errs = nil
+	m.BatchMeas = nil
 }
 
 // SetDelivery installs the result-delivery callback.
@@ -193,7 +202,10 @@ func (m *Model) Commit(node, port int, cw uint32, at sim.Time) {
 	if cw == 0 {
 		return // codeword 0 is reserved as a no-op marker
 	}
-	table := m.tables[node]
+	var table []TableEntry
+	if node >= 0 && node < len(m.tables) {
+		table = m.tables[node]
+	}
 	idx := int(cw) - 1
 	if idx < 0 || idx >= len(table) {
 		m.fail("node %d: codeword %d outside table (%d entries)", node, cw, len(table))
@@ -212,6 +224,7 @@ func (m *Model) Commit(node, port int, cw uint32, at sim.Time) {
 	case RoleMeasure:
 		m.occupyKind(e.Qubit, at, m.durations.Measure, circuit.Measure)
 		out := m.backend.Measure(e.Qubit)
+		m.recordBatch(node, e.Qubit)
 		m.Measurements++
 		if m.deliver != nil {
 			m.deliver(node, e.Channel, uint32(out), at+m.MeasLatency)
@@ -235,7 +248,7 @@ func (m *Model) commit2Q(e TableEntry, at sim.Time) {
 		})
 	}
 	if prev.entry.Role == e.Role {
-		m.fail("two-qubit gate on pair %v committed two %v halves", key, e.Role)
+		m.fail("two-qubit gate on pair (%d,%d) committed two %v halves", e.Qubit, e.Partner, e.Role)
 		return
 	}
 	// The control-role entry carries the gate.
@@ -275,6 +288,10 @@ func (m *Model) occupy(q int, at, dur sim.Time) {
 }
 
 func (m *Model) occupyKind(q int, at, dur sim.Time, kind circuit.Kind) {
+	for len(m.busyUntil) <= q {
+		m.busyUntil = append(m.busyUntil, 0)
+		m.lastApplied = append(m.lastApplied, 0)
+	}
 	if at < m.busyUntil[q] {
 		m.Overlaps++
 		if len(m.OverlapInfo) < 32 {
@@ -290,9 +307,11 @@ func (m *Model) occupyKind(q int, at, dur sim.Time, kind circuit.Kind) {
 	}
 }
 
-func pairKey(a, b int) [2]int {
+// pairKey packs the unordered qubit pair into one word so the pending map
+// hashes a uint64 instead of a 16-byte array.
+func pairKey(a, b int) uint64 {
 	if a > b {
 		a, b = b, a
 	}
-	return [2]int{a, b}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
 }

@@ -109,6 +109,37 @@ type delivered struct {
 	at  sim.Time
 }
 
+// fifo is an in-place queue of delivered values: pops advance a head index
+// instead of reslicing, so the backing array drains back to [:0] and is
+// reused — steady-state message traffic allocates nothing after warm-up.
+type fifo struct {
+	q    []delivered
+	head int
+}
+
+func (f *fifo) push(v delivered) { f.q = append(f.q, v) }
+func (f *fifo) len() int         { return len(f.q) - f.head }
+
+func (f *fifo) pop() delivered {
+	v := f.q[f.head]
+	f.head++
+	if f.head == len(f.q) {
+		f.q, f.head = f.q[:0], 0
+	}
+	return v
+}
+
+func (f *fifo) reset() { f.q, f.head = f.q[:0], 0 }
+
+// growFifos extends qs so index i exists (queues are indexed by dense
+// small ids: source controller, result channel, sync neighbor).
+func growFifos(qs []fifo, i int) []fifo {
+	for len(qs) <= i {
+		qs = append(qs, fifo{})
+	}
+	return qs
+}
+
 // Controller is one HISQ core: classical pipeline + TCU + SyncU + MsgU
 // (Fig. 3a). It executes an assembled HISQ program against a Fabric and a
 // CWSink on a shared simulation engine.
@@ -131,15 +162,25 @@ type Controller struct {
 	tc sim.Time // classical pipeline clock (absolute cycles)
 	tl timeline // TCU timing manager
 
-	mail    map[int][]delivered // MsgU inbox, per source controller
-	results map[int][]delivered // measurement result FIFOs, per channel
-	syncSig map[int][]sim.Time  // SyncU per-neighbor signal arrival FIFOs
+	mail    []fifo // MsgU inbox, per source controller
+	results []fifo // measurement result FIFOs, per channel
+	syncSig []fifo // SyncU per-neighbor signal arrival FIFOs (at only)
 
 	block     BlockReason
 	blockOn   int      // peer/channel/router id while blocked
 	blockAt   sim.Time // pipeline time when the block began
 	pendCondI sim.Time // Condition-I time of an in-flight sync
 	inRun     bool
+
+	// Pre-bound event callbacks and the in-flight codeword commit they
+	// act on. A controller has at most one commit pending (the pipeline
+	// yields until it fires), so binding once at construction removes the
+	// two closure allocations execCW used to pay per yielded commit.
+	runFn    func()
+	commitFn func()
+	pendPort int
+	pendCW   uint32
+	pendCT   sim.Time
 
 	halted bool
 	err    error
@@ -163,17 +204,20 @@ func NewController(eng *sim.Engine, cfg Config, fab Fabric, sink CWSink, log *te
 	if log == nil {
 		log = telf.NewLog()
 	}
-	return &Controller{
-		Cfg:     cfg,
-		eng:     eng,
-		fab:     fab,
-		sink:    sink,
-		log:     log,
-		mem:     make([]byte, cfg.MemSize),
-		mail:    map[int][]delivered{},
-		results: map[int][]delivered{},
-		syncSig: map[int][]sim.Time{},
+	c := &Controller{
+		Cfg:  cfg,
+		eng:  eng,
+		fab:  fab,
+		sink: sink,
+		log:  log,
+		mem:  make([]byte, cfg.MemSize),
 	}
+	c.runFn = c.run
+	c.commitFn = func() {
+		c.doCommit()
+		c.run()
+	}
+	return c
 }
 
 // Load installs a program and resets execution state (registers, memory,
@@ -185,20 +229,26 @@ func (c *Controller) Load(p *isa.Program) {
 
 // Reset restores the core to its just-loaded state — registers, data
 // memory, clocks, mailboxes, result FIFOs, stall state and counters clear,
-// while the installed program stays in place. Memory and queue maps are
-// reused, not reallocated, so resetting a loaded core is cheap; together
-// with Engine.Reset it is what lets a machine re-run the same compiled
-// program shot after shot.
+// while the installed program stays in place. Memory and every queue's
+// backing array are reused, not reallocated, so resetting a loaded core is
+// cheap; together with Engine.Reset it is what lets a machine re-run the
+// same compiled program shot after shot.
 func (c *Controller) Reset() {
 	c.regs = [32]uint32{}
 	clear(c.mem[:c.memHigh])
 	c.memHigh = 0
 	c.pc = 0
 	c.tc = 0
-	c.tl = timeline{}
-	clear(c.mail)
-	clear(c.results)
-	clear(c.syncSig)
+	c.tl.reset()
+	for i := range c.mail {
+		c.mail[i].reset()
+	}
+	for i := range c.results {
+		c.results[i].reset()
+	}
+	for i := range c.syncSig {
+		c.syncSig[i].reset()
+	}
 	c.block = NotBlocked
 	c.blockOn = 0
 	c.blockAt = 0
@@ -211,7 +261,7 @@ func (c *Controller) Reset() {
 // Start schedules the controller's first execution turn at the current
 // engine time.
 func (c *Controller) Start() {
-	c.eng.After(0, sim.PriResume, c.run)
+	c.eng.After(0, sim.PriResume, c.runFn)
 }
 
 // Halted reports whether the core has stopped (halt instruction, program
@@ -285,7 +335,8 @@ func (c *Controller) scheduleAt(t sim.Time, pri sim.Priority, fn func()) {
 // DeliverMessage appends a classical message from src arriving at cycle
 // `arrival` and wakes the pipeline if it is blocked in recv on that source.
 func (c *Controller) DeliverMessage(src int, val uint32, arrival sim.Time) {
-	c.mail[src] = append(c.mail[src], delivered{val: val, at: arrival})
+	c.mail = growFifos(c.mail, src)
+	c.mail[src].push(delivered{val: val, at: arrival})
 	if c.block == BlockRecv && c.blockOn == src && !c.halted {
 		c.block = NotBlocked
 		c.run()
@@ -295,11 +346,10 @@ func (c *Controller) DeliverMessage(src int, val uint32, arrival sim.Time) {
 // DeliverSyncSignal records a nearby-sync 1-bit signal from neighbor src
 // (SyncU flag set, §4.1) and completes an in-flight sync if one is waiting.
 func (c *Controller) DeliverSyncSignal(src int, arrival sim.Time) {
-	c.syncSig[src] = append(c.syncSig[src], arrival)
+	c.syncSig = growFifos(c.syncSig, src)
+	c.syncSig[src].push(delivered{at: arrival})
 	if c.block == BlockSyncNear && c.blockOn == src && !c.halted {
-		q := c.syncSig[src]
-		a := q[0]
-		c.syncSig[src] = q[1:]
+		a := c.syncSig[src].pop().at
 		c.block = NotBlocked
 		c.finishSync(src, c.pendCondI, a)
 		c.run()
@@ -334,7 +384,8 @@ func (c *Controller) AddNetStall(d sim.Time) { c.Stats.StallNet += d }
 // cycle availAt (measurement window + discrimination latency already
 // applied by the chip model).
 func (c *Controller) PushResult(ch int, val uint32, availAt sim.Time) {
-	c.results[ch] = append(c.results[ch], delivered{val: val, at: availAt})
+	c.results = growFifos(c.results, ch)
+	c.results[ch].push(delivered{val: val, at: availAt})
 	if c.block == BlockFMR && c.blockOn == ch && !c.halted {
 		c.block = NotBlocked
 		c.run()
@@ -377,7 +428,7 @@ func (c *Controller) run() {
 	}
 	for budget := c.Cfg.BurstBudget; !c.halted; budget-- {
 		if budget <= 0 {
-			c.scheduleAt(c.tc, sim.PriResume, c.run)
+			c.scheduleAt(c.tc, sim.PriResume, c.runFn)
 			return
 		}
 		if c.pc < 0 || c.pc >= len(c.prog.Instrs) {
@@ -398,13 +449,11 @@ func (c *Controller) step() bool {
 	switch in.Op {
 	case isa.OpRECV:
 		src := int(in.Imm)
-		q := c.mail[src]
-		if len(q) == 0 {
+		if src >= len(c.mail) || c.mail[src].len() == 0 {
 			c.block, c.blockOn, c.blockAt = BlockRecv, src, c.tc
 			return false
 		}
-		m := q[0]
-		c.mail[src] = q[1:]
+		m := c.mail[src].pop()
 		c.tc++
 		if m.at > c.tc {
 			c.Stats.StallRecv += m.at - c.tc
@@ -416,13 +465,11 @@ func (c *Controller) step() bool {
 		c.pc++
 	case isa.OpFMR:
 		ch := int(in.Imm)
-		q := c.results[ch]
-		if len(q) == 0 {
+		if ch >= len(c.results) || c.results[ch].len() == 0 {
 			c.block, c.blockOn, c.blockAt = BlockFMR, ch, c.tc
 			return false
 		}
-		m := q[0]
-		c.results[ch] = q[1:]
+		m := c.results[ch].pop()
 		c.tc++
 		if m.at > c.tc {
 			c.Stats.StallFMR += m.at - c.tc
@@ -504,19 +551,21 @@ func (c *Controller) execCW(in isa.Instr) bool {
 	}
 	c.Stats.Commits++
 	c.pc++
-	commit := func() {
-		c.sink.Commit(c.Cfg.ID, port, cw, ct)
-		c.log.Add(telf.Event{Time: ct, Node: c.Cfg.ID, Kind: telf.CWCommit, A: int64(cw), B: int64(port)})
-	}
+	c.pendPort, c.pendCW, c.pendCT = port, cw, ct
 	if ct > c.eng.Now() {
-		c.eng.At(ct, sim.PriResume, func() {
-			commit()
-			c.run()
-		})
+		c.eng.At(ct, sim.PriResume, c.commitFn)
 		return false
 	}
-	commit()
+	c.doCommit()
 	return true
+}
+
+// doCommit delivers the pending codeword commit to the sink. The pending
+// fields are stable until the commit fires: execCW yields the pipeline
+// whenever the commit is deferred, so no second commit can overwrite them.
+func (c *Controller) doCommit() {
+	c.sink.Commit(c.Cfg.ID, c.pendPort, c.pendCW, c.pendCT)
+	c.log.Add(telf.Event{Time: c.pendCT, Node: c.Cfg.ID, Kind: telf.CWCommit, A: int64(c.pendCW), B: int64(c.pendPort)})
 }
 
 // execSync books a synchronization (BISP §4.1/§4.3). The booking time is the
@@ -552,9 +601,8 @@ func (c *Controller) execSync(tgt int) bool {
 	condI := bEff + n
 	c.log.Add(telf.Event{Time: bEff, Node: c.Cfg.ID, Kind: telf.SyncBook, A: int64(tgt), B: condI})
 	c.fab.SendSyncSignal(c.Cfg.ID, tgt, bEff)
-	if q := c.syncSig[tgt]; len(q) > 0 {
-		a := q[0]
-		c.syncSig[tgt] = q[1:]
+	if tgt < len(c.syncSig) && c.syncSig[tgt].len() > 0 {
+		a := c.syncSig[tgt].pop().at
 		c.finishSync(tgt, condI, a)
 		return true
 	}

@@ -31,6 +31,14 @@ type syncGate struct {
 type timeline struct {
 	tp    sim.Time
 	gates []syncGate
+	head  int // passed gates below head; backing array reused across shots
+}
+
+// reset rewinds the timeline for a new shot, keeping the gates capacity.
+func (t *timeline) reset() {
+	t.tp = 0
+	t.gates = t.gates[:0]
+	t.head = 0
 }
 
 // Advance moves the timing point forward by n cycles (a wait instruction).
@@ -46,9 +54,12 @@ func (t *timeline) Advance(n sim.Time) {
 // timing point is monotonic (waits are non-negative), so a triggered gate
 // applies to every later event as well.
 func (t *timeline) Point() sim.Time {
-	for len(t.gates) > 0 && t.tp >= t.gates[0].c {
-		t.tp += t.gates[0].r - t.gates[0].c
-		t.gates = t.gates[1:]
+	for t.head < len(t.gates) && t.tp >= t.gates[t.head].c {
+		t.tp += t.gates[t.head].r - t.gates[t.head].c
+		t.head++
+	}
+	if t.head == len(t.gates) && t.head > 0 {
+		t.gates, t.head = t.gates[:0], 0
 	}
 	return t.tp
 }
@@ -57,7 +68,7 @@ func (t *timeline) Point() sim.Time {
 // gates (a second sync booked before the first gate was passed) are clamped
 // to remain ordered: a paused timer cannot un-pause.
 func (t *timeline) AddGate(c, r sim.Time) {
-	if n := len(t.gates); n > 0 {
+	if n := len(t.gates); n > t.head {
 		// A new pause cannot begin before the previous resume: booking a
 		// sync whose Condition I lands inside an earlier pause extends it.
 		if last := t.gates[n-1]; c < last.r {
@@ -74,7 +85,7 @@ func (t *timeline) AddGate(c, r sim.Time) {
 }
 
 // PendingGates reports how many sync gates have not yet been passed.
-func (t *timeline) PendingGates() int { return len(t.gates) }
+func (t *timeline) PendingGates() int { return len(t.gates) - t.head }
 
 // AnchorAt implements the §3.2 external-trigger semantics: after a
 // non-deterministic event resolves at wall time w (a measurement result or

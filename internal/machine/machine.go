@@ -48,6 +48,12 @@ type Config struct {
 	// the legacy byte-identical behavior; see internal/placement). Part of
 	// the compile fingerprint via CompileOptions.
 	Placement string
+	// ShotLanes > 1 builds the chip backend as that many independent state
+	// lanes: one event-simulation replay drives every lane, so a block of
+	// ShotLanes shots costs one Run (see runner.RunBatched). Deliberately
+	// not part of the compile fingerprint — lane count changes nothing
+	// about the compiled artifact. 0 or 1 = the unbatched single substrate.
+	ShotLanes int
 }
 
 // DefaultConfig sizes a machine for n qubits with the paper's constants.
@@ -100,14 +106,21 @@ func New(cfg Config, numQubits int) (*Machine, error) {
 	log.SetEnabled(cfg.LogEvents)
 	fab := network.NewFabric(eng, topo, log)
 
+	mkBackend := func(int) chip.Backend {
+		switch cfg.Backend {
+		case BackendStateVec:
+			return chip.NewStateVec(numQubits, cfg.Seed)
+		case BackendStabilizer:
+			return chip.NewStabilizer(numQubits, cfg.Seed)
+		default:
+			return chip.NewSeeded(cfg.Seed)
+		}
+	}
 	var backend chip.Backend
-	switch cfg.Backend {
-	case BackendStateVec:
-		backend = chip.NewStateVec(numQubits, cfg.Seed)
-	case BackendStabilizer:
-		backend = chip.NewStabilizer(numQubits, cfg.Seed)
-	default:
-		backend = chip.NewSeeded(cfg.Seed)
+	if cfg.ShotLanes > 1 {
+		backend = chip.NewLanes(mkBackend, cfg.ShotLanes)
+	} else {
+		backend = mkBackend(0)
 	}
 	chipModel := chip.New(eng, backend, cfg.Durations, cfg.MeasLatency)
 
@@ -320,6 +333,36 @@ func (m *Machine) Reset(seed int64) {
 		c.Reset()
 	}
 }
+
+// Lanes returns the number of shot lanes this machine's backend carries
+// (1 when unbatched).
+func (m *Machine) Lanes() int {
+	if m.Cfg.ShotLanes > 1 {
+		return m.Cfg.ShotLanes
+	}
+	return 1
+}
+
+// ResetBatch is the batched-block counterpart of Reset: the engine,
+// routers, log and controllers rewind identically, but lane l of the chip
+// backend reseeds with seeds[l] so each lane replays the loaded program as
+// an independent shot. Requires a machine built with Cfg.ShotLanes > 1.
+func (m *Machine) ResetBatch(seeds []int64) error {
+	m.Eng.Reset()
+	m.Log.Reset()
+	m.Fab.Reset()
+	if err := m.Chip.ResetBatch(seeds); err != nil {
+		return err
+	}
+	for _, c := range m.Ctrls {
+		c.Reset()
+	}
+	return nil
+}
+
+// BatchMeas exposes the per-lane measurement records of the last batched
+// run, in commit order (empty for unbatched machines).
+func (m *Machine) BatchMeas() []chip.BatchMeas { return m.Chip.BatchMeas }
 
 // DeriveSeed returns the backend seed for shot number `shot` of a run whose
 // base seed is `base`. Shot 0 uses the base seed itself, so a one-shot run

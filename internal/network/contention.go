@@ -117,6 +117,16 @@ func (f *Fabric) meshArrival(src, dst int, at sim.Time) sim.Time {
 // at + hops*TreeHopLatency + (hops-1)*RouterProc — the MessageLatency
 // formula.
 func (f *Fabric) treeArrival(src, dst int, at sim.Time) sim.Time {
+	if !f.contention() {
+		// Uncontended latency is a pure function of the hop count; skip
+		// materializing the path (three slice allocations per message).
+		hops := f.Topo.TreePathHops(src, dst)
+		t := at + sim.Time(hops)*f.Topo.Cfg.TreeHopLatency
+		if hops > 1 {
+			t += sim.Time(hops-1) * f.Topo.Cfg.RouterProc
+		}
+		return t
+	}
 	path := f.Topo.TreePath(src, dst)
 	t := at
 	for i := 0; i+1 < len(path); i++ {

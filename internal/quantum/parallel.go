@@ -1,0 +1,58 @@
+package quantum
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallelism knobs. Element-wise kernels (gate applications, the
+// collapse pass) fan out across goroutines once a state reaches
+// parallelThreshold amplitudes. The partition is by contiguous index
+// range aligned to the kernel's outer block stride, and every worker runs
+// the identical per-element multiply-add sequence, so the result is
+// bit-identical to the serial path at any worker count — parallelism
+// never enters a floating-point reduction (see probPair). Vars rather
+// than consts so the property tests can force the parallel path on
+// states small enough to cross-check against the reference kernels.
+var (
+	parallelThreshold = 1 << 20
+	parallelWorkers   = runtime.GOMAXPROCS(0)
+)
+
+// setParallel overrides the parallel-path knobs and returns a restore
+// function; tests force the parallel path on small states with it.
+func setParallel(threshold, workers int) func() {
+	oldT, oldW := parallelThreshold, parallelWorkers
+	parallelThreshold, parallelWorkers = threshold, workers
+	return func() { parallelThreshold, parallelWorkers = oldT, oldW }
+}
+
+// forSpan runs fn over [0, n) split into stride-aligned spans. Small
+// spans (or single-worker configs) run serially in place; large ones are
+// partitioned into contiguous block ranges, one goroutine per worker.
+// fn must be safe for concurrent invocation on disjoint ranges.
+func forSpan(n, stride int, fn func(lo, hi int)) {
+	workers := parallelWorkers
+	blocks := n / stride
+	if n < parallelThreshold || workers <= 1 || blocks <= 1 {
+		fn(0, n)
+		return
+	}
+	if workers > blocks {
+		workers = blocks
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := blocks * w / workers * stride
+		hi := blocks * (w + 1) / workers * stride
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

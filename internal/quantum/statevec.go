@@ -3,6 +3,17 @@
 // measurement statistics of programs executed through the full
 // Distributed-HISQ stack (compiler → HISQ binaries → controllers → chip
 // model) against direct simulation here.
+//
+// The kernels are written for throughput (DESIGN.md §9): single-qubit
+// gates iterate pair blocks branch-free (outer stride 2^(q+1), inner run
+// 2^q) instead of testing the qubit bit of every index, diagonal gates
+// (Z/S/T/RZ/Phase/CZ/CPhase) scale amplitudes in place without loading
+// pair partners, measurement is fused into two passes (one probability
+// pass that accumulates both outcome weights, one combined
+// collapse+renormalize pass), and large states fan element-wise kernels
+// out across goroutines with a deterministic index-range partition. The
+// pre-optimization kernels are retained verbatim in reference.go as the
+// oracle the property tests and the kernels benchmark compare against.
 package quantum
 
 import (
@@ -37,9 +48,12 @@ func (s *State) NumQubits() int { return s.n }
 
 // Reset returns the state to |0...0> in place, reusing the amplitude array.
 func (s *State) Reset() {
-	for i := range s.amp {
-		s.amp[i] = 0
-	}
+	forSpan(len(s.amp), 1, func(lo, hi int) {
+		amp := s.amp[lo:hi]
+		for i := range amp {
+			amp[i] = 0
+		}
+	})
 	s.amp[0] = 1
 }
 
@@ -59,17 +73,67 @@ func (s *State) check(q int) {
 	}
 }
 
-// Apply1 applies the 2x2 unitary {{a,b},{c,d}} to qubit q.
+// Apply1 applies the 2x2 unitary {{a,b},{c,d}} to qubit q. Diagonal
+// matrices take the scaling-only fast path; general matrices walk
+// amplitude-pair blocks branch-free. Per-amplitude arithmetic is the same
+// multiply-add sequence as the reference kernel, so results are
+// bit-identical to RefApply1 (modulo the sign of zero terms the reference
+// materializes by multiplying by a zero coefficient).
 func (s *State) Apply1(q int, a, b, c, d complex128) {
 	s.check(q)
-	bit := 1 << uint(q)
-	for i := 0; i < len(s.amp); i++ {
-		if i&bit == 0 {
-			j := i | bit
-			a0, a1 := s.amp[i], s.amp[j]
-			s.amp[i] = a*a0 + b*a1
-			s.amp[j] = c*a0 + d*a1
+	if b == 0 && c == 0 {
+		s.applyDiag1(q, a, d)
+		return
+	}
+	h := 1 << uint(q)
+	amp := s.amp
+	forSpan(len(amp), 2*h, func(lo, hi int) {
+		for base := lo; base < hi; base += 2 * h {
+			p0 := amp[base : base+h : base+h]
+			p1 := amp[base+h : base+2*h : base+2*h]
+			for i := range p0 {
+				a0, a1 := p0[i], p1[i]
+				p0[i] = a*a0 + b*a1
+				p1[i] = c*a0 + d*a1
+			}
 		}
+	})
+}
+
+// applyDiag1 applies diag(d0, d1) to qubit q: pure scaling, no pair loads.
+func (s *State) applyDiag1(q int, d0, d1 complex128) {
+	h := 1 << uint(q)
+	amp := s.amp
+	switch {
+	case d0 == 1 && d1 == -1: // Z: negation beats a full complex multiply
+		forSpan(len(amp), 2*h, func(lo, hi int) {
+			for base := lo; base < hi; base += 2 * h {
+				p1 := amp[base+h : base+2*h]
+				for i := range p1 {
+					p1[i] = -p1[i]
+				}
+			}
+		})
+	case d0 == 1:
+		forSpan(len(amp), 2*h, func(lo, hi int) {
+			for base := lo; base < hi; base += 2 * h {
+				p1 := amp[base+h : base+2*h]
+				for i := range p1 {
+					p1[i] *= d1
+				}
+			}
+		})
+	default:
+		forSpan(len(amp), 2*h, func(lo, hi int) {
+			for base := lo; base < hi; base += 2 * h {
+				p0 := amp[base : base+h : base+h]
+				p1 := amp[base+h : base+2*h : base+2*h]
+				for i := range p0 {
+					p0[i] *= d0
+					p1[i] *= d1
+				}
+			}
+		})
 	}
 }
 
@@ -121,7 +185,9 @@ func (s *State) Phase(q int, theta float64) {
 	s.Apply1(q, 1, 0, 0, cmplx.Exp(complex(0, theta)))
 }
 
-// CNOT applies a controlled-X with the given control and target.
+// CNOT applies a controlled-X with the given control and target. The
+// iteration visits only indices with the control bit set and the target
+// bit clear, swapping contiguous runs with their target-set partners.
 func (s *State) CNOT(ctrl, tgt int) {
 	s.check(ctrl)
 	s.check(tgt)
@@ -129,71 +195,157 @@ func (s *State) CNOT(ctrl, tgt int) {
 		panic("quantum: cnot with ctrl == tgt")
 	}
 	cb, tb := 1<<uint(ctrl), 1<<uint(tgt)
-	for i := range s.amp {
-		if i&cb != 0 && i&tb == 0 {
-			j := i | tb
-			s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
-		}
+	amp := s.amp
+	if ctrl > tgt {
+		forSpan(len(amp), 2*cb, func(lo, hi int) {
+			for base := lo + cb; base < hi; base += 2 * cb {
+				for j := base; j < base+cb; j += 2 * tb {
+					p0 := amp[j : j+tb : j+tb]
+					p1 := amp[j+tb : j+2*tb : j+2*tb]
+					for i := range p0 {
+						p0[i], p1[i] = p1[i], p0[i]
+					}
+				}
+			}
+		})
+		return
 	}
+	forSpan(len(amp), 2*tb, func(lo, hi int) {
+		for base := lo; base < hi; base += 2 * tb {
+			for j := base + cb; j < base+tb; j += 2 * cb {
+				p0 := amp[j : j+cb : j+cb]
+				p1 := amp[j+tb : j+tb+cb : j+tb+cb]
+				for i := range p0 {
+					p0[i], p1[i] = p1[i], p0[i]
+				}
+			}
+		}
+	})
 }
 
-// CZ applies a controlled-Z (symmetric).
+// CZ applies a controlled-Z (symmetric): a pure negation of the quarter of
+// the amplitudes with both bits set, visited directly.
 func (s *State) CZ(a, b int) {
 	s.check(a)
 	s.check(b)
 	if a == b {
 		panic("quantum: cz with a == b")
 	}
-	ab, bb := 1<<uint(a), 1<<uint(b)
-	for i := range s.amp {
-		if i&ab != 0 && i&bb != 0 {
-			s.amp[i] = -s.amp[i]
-		}
+	hb, lb := 1<<uint(a), 1<<uint(b)
+	if hb < lb {
+		hb, lb = lb, hb
 	}
+	amp := s.amp
+	forSpan(len(amp), 2*hb, func(lo, hi int) {
+		for base := lo + hb; base < hi; base += 2 * hb {
+			for j := base + lb; j < base+hb; j += 2 * lb {
+				seg := amp[j : j+lb]
+				for i := range seg {
+					seg[i] = -seg[i]
+				}
+			}
+		}
+	})
 }
 
-// CPhase applies a controlled phase rotation (QFT's primitive).
+// CPhase applies a controlled phase rotation (QFT's primitive): a pure
+// scaling of the both-bits-set quarter, visited directly.
 func (s *State) CPhase(a, b int, theta float64) {
 	s.check(a)
 	s.check(b)
-	ph := cmplx.Exp(complex(0, theta))
-	ab, bb := 1<<uint(a), 1<<uint(b)
-	for i := range s.amp {
-		if i&ab != 0 && i&bb != 0 {
-			s.amp[i] *= ph
-		}
+	if a == b {
+		panic("quantum: cphase with a == b")
 	}
+	ph := cmplx.Exp(complex(0, theta))
+	hb, lb := 1<<uint(a), 1<<uint(b)
+	if hb < lb {
+		hb, lb = lb, hb
+	}
+	amp := s.amp
+	forSpan(len(amp), 2*hb, func(lo, hi int) {
+		for base := lo + hb; base < hi; base += 2 * hb {
+			for j := base + lb; j < base+hb; j += 2 * lb {
+				seg := amp[j : j+lb]
+				for i := range seg {
+					seg[i] *= ph
+				}
+			}
+		}
+	})
 }
 
-// SWAP exchanges two qubits.
+// SWAP exchanges two qubits in a single pass: every amplitude whose bits
+// at (a, b) are (1, 0) trades places with its (0, 1) partner. The legacy
+// three-CNOT scan survives as RefSWAP; both are exact permutations, so
+// the results are bit-identical.
 func (s *State) SWAP(a, b int) {
-	s.CNOT(a, b)
-	s.CNOT(b, a)
-	s.CNOT(a, b)
+	s.check(a)
+	s.check(b)
+	if a == b {
+		panic("quantum: swap with a == b")
+	}
+	hb, lb := 1<<uint(a), 1<<uint(b)
+	if hb < lb {
+		hb, lb = lb, hb
+	}
+	amp := s.amp
+	forSpan(len(amp), 2*hb, func(lo, hi int) {
+		for base := lo + hb; base < hi; base += 2 * hb {
+			for j := base; j < base+hb; j += 2 * lb {
+				p0 := amp[j : j+lb : j+lb]                 // hb set, lb clear
+				p1 := amp[j-hb+lb : j-hb+2*lb : j-hb+2*lb] // hb clear, lb set
+				for i := range p0 {
+					p0[i], p1[i] = p1[i], p0[i]
+				}
+			}
+		}
+	})
 }
 
 // Prob returns the probability of measuring qubit q as 1.
 func (s *State) Prob(q int) float64 {
 	s.check(q)
-	bit := 1 << uint(q)
-	p := 0.0
-	for i, a := range s.amp {
-		if i&bit != 0 {
-			p += real(a)*real(a) + imag(a)*imag(a)
+	_, p1 := s.probPair(q)
+	return p1
+}
+
+// probPair accumulates both outcome weights in one pass. Each class is
+// summed in ascending index order — the same order the reference kernels
+// use — so p1 matches RefProb bit-for-bit and p0 matches the norm
+// RefProject computes for outcome 0. Serial on purpose: splitting a
+// floating-point reduction across goroutines would change the summation
+// order and with it the last-ulp value the measurement draw compares
+// against.
+func (s *State) probPair(q int) (p0, p1 float64) {
+	h := 1 << uint(q)
+	amp := s.amp
+	for base := 0; base < len(amp); base += 2 * h {
+		for _, a := range amp[base : base+h] {
+			p0 += real(a)*real(a) + imag(a)*imag(a)
+		}
+		for _, a := range amp[base+h : base+2*h] {
+			p1 += real(a)*real(a) + imag(a)*imag(a)
 		}
 	}
-	return p
+	return p0, p1
 }
 
 // Measure performs a projective Z measurement of qubit q using rng for the
 // outcome draw, collapsing the state. It returns 0 or 1.
+//
+// Two passes total: probPair reads the state once for both outcome
+// weights, then collapse zeroes the discarded branch and renormalizes the
+// kept one in a single combined pass, reusing the already-computed weight
+// as the norm instead of re-summing it (the reference path takes three
+// passes: probability, zero+norm, scale).
 func (s *State) Measure(q int, rng *rand.Rand) int {
-	p1 := s.Prob(q)
-	outcome := 0
+	s.check(q)
+	p0, p1 := s.probPair(q)
+	outcome, norm := 0, p0
 	if rng.Float64() < p1 {
-		outcome = 1
+		outcome, norm = 1, p1
 	}
-	s.Project(q, outcome)
+	s.collapse(q, outcome, norm)
 	return outcome
 }
 
@@ -202,23 +354,45 @@ func (s *State) Measure(q int, rng *rand.Rand) int {
 // diverged from the state, which is always a bug.
 func (s *State) Project(q int, outcome int) {
 	s.check(q)
-	bit := 1 << uint(q)
+	h := 1 << uint(q)
+	amp := s.amp
+	// One read-only pass over the kept half for the norm (ascending index
+	// order, matching the reference), then the fused zero+scale pass.
 	norm := 0.0
-	for i, a := range s.amp {
-		keep := (i&bit != 0) == (outcome == 1)
-		if keep {
+	off := 0
+	if outcome == 1 {
+		off = h
+	}
+	for base := off; base < len(amp); base += 2 * h {
+		for _, a := range amp[base : base+h] {
 			norm += real(a)*real(a) + imag(a)*imag(a)
-		} else {
-			s.amp[i] = 0
 		}
 	}
+	s.collapse(q, outcome, norm)
+}
+
+// collapse zeroes the discarded outcome branch and scales the kept one by
+// 1/sqrt(norm) in a single pass.
+func (s *State) collapse(q int, outcome int, norm float64) {
 	if norm < 1e-12 {
 		panic(fmt.Sprintf("quantum: projecting qubit %d to impossible outcome %d", q, outcome))
 	}
 	inv := complex(1/math.Sqrt(norm), 0)
-	for i := range s.amp {
-		s.amp[i] *= inv
-	}
+	h := 1 << uint(q)
+	amp := s.amp
+	forSpan(len(amp), 2*h, func(lo, hi int) {
+		for base := lo; base < hi; base += 2 * h {
+			keep := amp[base+h : base+2*h : base+2*h]
+			drop := amp[base : base+h : base+h]
+			if outcome == 0 {
+				keep, drop = drop, keep
+			}
+			for i := range keep {
+				keep[i] *= inv
+				drop[i] = 0
+			}
+		}
+	})
 }
 
 // Fidelity returns |<s|o>|^2.

@@ -74,12 +74,15 @@ func (e Event) String() string {
 type Log struct {
 	Events  []Event
 	enabled bool
-	counts  map[Kind]int
+	// counts is a dense array, not a map: Add sits on the per-event hot
+	// path of every simulation, and a map increment there is pure hashing
+	// overhead for a key space of a dozen kinds.
+	counts [len(kindNames)]int
 }
 
 // NewLog returns an enabled log.
 func NewLog() *Log {
-	return &Log{enabled: true, counts: map[Kind]int{}}
+	return &Log{enabled: true}
 }
 
 // SetEnabled toggles recording; counts are maintained regardless, so large
@@ -90,12 +93,14 @@ func (l *Log) SetEnabled(on bool) { l.enabled = on }
 // and the event storage capacity, so a multi-shot run reuses one log.
 func (l *Log) Reset() {
 	l.Events = l.Events[:0]
-	clear(l.counts)
+	l.counts = [len(kindNames)]int{}
 }
 
 // Add records an event.
 func (l *Log) Add(e Event) {
-	l.counts[e.Kind]++
+	if int(e.Kind) < len(l.counts) {
+		l.counts[e.Kind]++
+	}
 	if l.enabled {
 		l.Events = append(l.Events, e)
 	}
@@ -103,7 +108,12 @@ func (l *Log) Add(e Event) {
 
 // Count returns how many events of kind k were recorded (including while
 // storage was disabled).
-func (l *Log) Count(k Kind) int { return l.counts[k] }
+func (l *Log) Count(k Kind) int {
+	if int(k) >= len(l.counts) {
+		return 0
+	}
+	return l.counts[k]
+}
 
 // Filter returns the events satisfying keep, in log order.
 func (l *Log) Filter(keep func(Event) bool) []Event {
