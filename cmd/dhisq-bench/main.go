@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	dhisq-bench -exp table1|fig11|fig13|fig14|fig15|fig16|ablation|shots|cache|sweep|fabric|placement|kernels|all
+//	dhisq-bench -exp table1|fig11|fig13|fig14|fig15|fig16|ablation|shots|cache|sweep|fabric|placement|kernels|serve-load|all
 //	            [-scale N] [-seed S] [-shots N] [-workers W] [-jobs N] [-points N] [-out DIR]
 //	            [-topo mesh|torus|tree|all] [-link-bw N] [-placement P|all]
 package main
@@ -37,7 +37,7 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table1, fig11, fig13, fig14, fig15, fig16, ablation, shots, cache, sweep, fabric, placement, kernels, all")
+	which := flag.String("exp", "all", "experiment: table1, fig11, fig13, fig14, fig15, fig16, ablation, shots, cache, sweep, fabric, placement, kernels, serve-load, all")
 	scale := flag.Int("scale", 1, "divide Fig. 15 benchmark sizes by this factor")
 	seed := flag.Int64("seed", 1, "measurement outcome seed")
 	shots := flag.Int("shots", 200, "repetitions for the shots experiment")
@@ -157,6 +157,32 @@ func main() {
 	run("kernels", func() error {
 		return benchKernels(*outDir, *seed)
 	})
+	run("serve-load", func() error {
+		return benchServeLoad(*outDir, *seed, *jobs, *workers)
+	})
+}
+
+// benchServeLoad runs the open-loop load sweep against the serving stack
+// and the warm-vs-cold restart comparison through a throwaway store
+// directory, enforces the restart-warm gate, and emits BENCH_serve.json.
+func benchServeLoad(outDir string, seed int64, jobs, workers int) error {
+	storeDir, err := os.MkdirTemp("", "dhisq-serve-load-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(storeDir)
+	res, err := exp.ServeLoad(exp.ServeLoadOptions{
+		Seed: seed, JobsPerRate: jobs, Workers: workers, StoreDir: storeDir,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.RenderServeLoad(res))
+	if err := exp.CheckServeRestart(res); err != nil {
+		return err
+	}
+	fmt.Println("restart-warm gate holds: zero compiles after restart, identical histograms")
+	return writeBenchJSON(outDir, "serve", res)
 }
 
 // benchPlacement runs the placement-policy sweep under finite link

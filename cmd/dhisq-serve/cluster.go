@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"dhisq/internal/service"
+)
+
+// cluster is one shard's view of a consistent-hash dhisq-serve cluster:
+// the ring every member builds identically from the -cluster list, this
+// process's own base URL, and the forwarding policy for submissions that
+// hash to another shard. nil means single-node (no routing at all).
+type cluster struct {
+	ring   *service.Ring
+	self   string
+	proxy  bool
+	client *http.Client
+}
+
+// newCluster parses the -cluster/-self/-proxy flags. An empty list means
+// single-node mode (nil cluster, no error). Members are base URLs; a bare
+// host:port gets an http:// scheme, and trailing slashes are dropped so
+// each member has exactly one canonical name — the ring hashes names, so
+// two spellings of one shard would split its keyspace.
+func newCluster(list, self string, proxy bool) (*cluster, error) {
+	if list == "" {
+		if self != "" {
+			return nil, fmt.Errorf("-self given without -cluster")
+		}
+		return nil, nil
+	}
+	var members []string
+	for _, m := range strings.Split(list, ",") {
+		m = strings.TrimSpace(m)
+		if m == "" {
+			continue
+		}
+		n, err := canonicalURL(m)
+		if err != nil {
+			return nil, fmt.Errorf("-cluster member %q: %w", m, err)
+		}
+		members = append(members, n)
+	}
+	ring, err := service.NewRing(members)
+	if err != nil {
+		return nil, err
+	}
+	if self == "" {
+		return nil, fmt.Errorf("-cluster requires -self (this shard's own entry in the list)")
+	}
+	selfN, err := canonicalURL(self)
+	if err != nil {
+		return nil, fmt.Errorf("-self %q: %w", self, err)
+	}
+	found := false
+	for _, m := range members {
+		if m == selfN {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("-self %s is not in -cluster %v", selfN, members)
+	}
+	return &cluster{
+		ring: ring, self: selfN, proxy: proxy,
+		client: &http.Client{Timeout: 5 * time.Minute},
+	}, nil
+}
+
+// canonicalURL normalizes one shard spelling to scheme://host[:port].
+func canonicalURL(s string) (string, error) {
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	u, err := url.Parse(s)
+	if err != nil {
+		return "", err
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("no host in %q", s)
+	}
+	return u.Scheme + "://" + u.Host, nil
+}
+
+// owner routes a submission: the shard owning its structural key, and
+// whether that is this process. A pure local computation — every member
+// agrees without coordination because the ring is a pure function of the
+// member list and the key a pure function of the request.
+func (c *cluster) owner(req service.Request) (string, bool, error) {
+	fp, err := service.RouteKey(req)
+	if err != nil {
+		return "", false, err
+	}
+	o := c.ring.Route(fp)
+	return o, o == c.self, nil
+}
+
+// forward relays a misrouted submission to its owning shard. In redirect
+// mode the client is answered 307 with the owner's submit URL — clients
+// (Go's http.Client included) replay the POST body there, and the
+// X-Dhisq-Shard header names the owner for clients that want to pin
+// follow-up polls without parsing Location. In proxy mode the shard
+// itself re-posts the body and streams the owner's response back, so
+// dumb clients never see the topology.
+func (c *cluster) forward(w http.ResponseWriter, r *http.Request, owner string, body []byte) {
+	target := owner + "/v1/jobs"
+	w.Header().Set("X-Dhisq-Shard", owner)
+	if !c.proxy {
+		http.Redirect(w, r, target, http.StatusTemporaryRedirect)
+		return
+	}
+	resp, err := c.client.Post(target, "application/json", bytes.NewReader(body))
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadGateway)
+		fmt.Fprintf(w, `{"error":%q}`, fmt.Sprintf("proxy to %s: %v", owner, err))
+		return
+	}
+	defer resp.Body.Close()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}

@@ -21,9 +21,28 @@
 //	                     echoes the resolved mesh dimensions, placement
 //	                     policy and final qubit→controller mapping, and for
 //	                     sweep jobs the per-point results as "points"
-//	GET  /v1/stats       queue depth, job counters, artifact-cache hit/miss,
-//	                     binds/bind_hits of the parameter-binding layer
+//	GET  /v1/jobs/{id}/stream
+//	                     chunked NDJSON: one {"point": ...} line per sweep
+//	                     point as it finishes (completion order — "index"
+//	                     gives the submission position), then exactly one
+//	                     terminal {"job": ...} summary line
+//	GET  /v1/stats       queue depth, job counters, artifact-cache hit/miss
+//	                     (including store_hits/spills of the persistent
+//	                     store), binds/bind_hits of the binding layer
 //	GET  /healthz        liveness
+//
+// -store DIR attaches a persistent on-disk artifact store under the
+// compile cache: every compiled artifact spills to DIR, and a restarted
+// daemon restores from it instead of recompiling — repeat jobs after a
+// restart report cache_hit with zero fresh compiles.
+//
+// -cluster turns the daemon into one shard of a consistent-hash cluster:
+// jobs route by their bind-invariant structural key, so each circuit
+// family is owned by one shard whose cache, replica pool, and store stay
+// hot on it. A submission landing on a non-owner answers 307 (Location =
+// the owner's /v1/jobs, X-Dhisq-Shard = the owner's base URL) — or, with
+// -proxy, forwards server-side. Job IDs are per-shard: poll the shard
+// named by the submit response's "shard" field.
 //
 // Submit a GHZ circuit and read its histogram:
 //
@@ -33,7 +52,9 @@
 // Usage:
 //
 //	dhisq-serve [-addr :8080] [-workers N] [-queue N] [-shot-workers W]
-//	            [-seed S] [-cache N] [-placement P]
+//	            [-seed S] [-cache N] [-placement P] [-store DIR]
+//	            [-store-max-bytes N]
+//	            [-cluster url1,url2,... -self url [-proxy]]
 package main
 
 import (
@@ -42,6 +63,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -56,6 +78,7 @@ import (
 	"dhisq/internal/network"
 	"dhisq/internal/placement"
 	"dhisq/internal/service"
+	"dhisq/internal/store"
 	"dhisq/internal/workloads"
 )
 
@@ -67,6 +90,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "service base seed for jobs without one")
 	cacheCap := flag.Int("cache", artifact.DefaultCapacity, "artifact cache capacity (entries)")
 	placePolicy := flag.String("placement", "", "default placement policy for jobs that don't name one: identity, rowmajor, or interaction")
+	storeDir := flag.String("store", "", "directory for the persistent artifact store (restores compiles across restarts)")
+	storeMax := flag.Int64("store-max-bytes", 0, "artifact store byte budget, oldest spills evicted beyond it (0 = 512 MiB)")
+	clusterList := flag.String("cluster", "", "comma-separated base URLs of every shard, this one included (enables consistent-hash routing)")
+	selfURL := flag.String("self", "", "this shard's own entry in -cluster (required with -cluster)")
+	proxyMode := flag.Bool("proxy", false, "forward misrouted submissions to their owner server-side instead of 307-redirecting")
 	flag.Parse()
 
 	if err := placement.Valid(*placePolicy); err != nil {
@@ -74,11 +102,25 @@ func main() {
 		os.Exit(2)
 	}
 	artifact.Shared.Resize(*cacheCap)
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, *storeMax)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dhisq-serve:", err)
+			os.Exit(2)
+		}
+		artifact.Shared.SetStore(st)
+		fmt.Printf("dhisq-serve: artifact store %s (%d artifacts on disk)\n", st.Dir(), st.Len())
+	}
+	cl, err := newCluster(*clusterList, *selfURL, *proxyMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dhisq-serve:", err)
+		os.Exit(2)
+	}
 	svc := service.New(service.Config{
 		Workers: *workers, QueueDepth: *queue,
 		ShotWorkers: *shotWorkers, Seed: *seed,
 	})
-	srv := &http.Server{Addr: *addr, Handler: newHandler(svc, *placePolicy)}
+	srv := &http.Server{Addr: *addr, Handler: newClusterHandler(svc, *placePolicy, cl)}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -158,7 +200,12 @@ type jobResponse struct {
 	// Points carries a sweep job's per-point results (params, histogram,
 	// makespan) in point order; Histogram stays empty for sweep jobs.
 	Points []service.PointStatus `json:"points,omitempty"`
-	Error  string                `json:"error,omitempty"`
+	// Shard is the base URL of the cluster shard that owns and ran this
+	// job (empty on a single-node daemon). Job IDs are per-shard, so
+	// clients poll the shard a submission reports, not the shard they
+	// happened to submit through.
+	Shard string `json:"shard,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
 func toResponse(st service.JobStatus) jobResponse {
@@ -170,10 +217,18 @@ func toResponse(st service.JobStatus) jobResponse {
 	}
 }
 
-// newHandler builds the JSON API over a running service (separate from
-// main so tests drive it through httptest). defaultPlacement is applied
-// to submissions that don't name a policy (the -placement flag).
+// newHandler builds the single-node JSON API over a running service
+// (separate from main so tests drive it through httptest).
+// defaultPlacement is applied to submissions that don't name a policy
+// (the -placement flag).
 func newHandler(svc *service.Service, defaultPlacement string) http.Handler {
+	return newClusterHandler(svc, defaultPlacement, nil)
+}
+
+// newClusterHandler is newHandler plus consistent-hash routing: with a
+// non-nil cluster, submissions that hash to another shard are redirected
+// (or proxied) there, and every job response names its owning shard.
+func newClusterHandler(svc *service.Service, defaultPlacement string, cl *cluster) http.Handler {
 	mux := http.NewServeMux()
 
 	writeJSON := func(w http.ResponseWriter, code int, v any) {
@@ -198,8 +253,15 @@ func newHandler(svc *service.Service, defaultPlacement string) http.Handler {
 			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
 			return
 		}
+		// The body is buffered (rather than stream-decoded) because proxy
+		// mode re-sends it verbatim to the owning shard.
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+			return
+		}
 		var req submitRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if err := json.Unmarshal(body, &req); err != nil {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
 			return
 		}
@@ -210,6 +272,20 @@ func newHandler(svc *service.Service, defaultPlacement string) http.Handler {
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
 			return
+		}
+		shard := ""
+		if cl != nil {
+			owner, local, routeErr := cl.owner(sreq)
+			if routeErr != nil {
+				writeErr(w, http.StatusBadRequest, routeErr)
+				return
+			}
+			if !local {
+				cl.forward(w, r, owner, body)
+				return
+			}
+			shard = owner
+			w.Header().Set("X-Dhisq-Shard", owner)
 		}
 		id, err := svc.Submit(sreq)
 		switch {
@@ -223,10 +299,21 @@ func newHandler(svc *service.Service, defaultPlacement string) http.Handler {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		writeJSON(w, http.StatusAccepted, map[string]string{
-			"id": id, "state": string(service.StateQueued),
-		})
+		resp := map[string]string{"id": id, "state": string(service.StateQueued)}
+		if shard != "" {
+			resp["shard"] = shard
+		}
+		writeJSON(w, http.StatusAccepted, resp)
 	})
+
+	// withShard stamps the owning shard onto a snapshot's wire form.
+	withShard := func(st service.JobStatus) jobResponse {
+		resp := toResponse(st)
+		if cl != nil {
+			resp.Shard = cl.self
+		}
+		return resp
+	}
 
 	mux.HandleFunc("/v1/jobs/", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -234,6 +321,10 @@ func newHandler(svc *service.Service, defaultPlacement string) http.Handler {
 			return
 		}
 		id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+		if sid, ok := strings.CutSuffix(id, "/stream"); ok {
+			streamJob(w, r, svc, sid, withShard, writeErr)
+			return
+		}
 		// ?wait is a proper boolean: "1"/"true" long-polls, "0"/"false"
 		// (and absence) polls — previously any non-empty value long-polled,
 		// so ?wait=0 blocked. Unparseable values are a client error.
@@ -260,10 +351,52 @@ func newHandler(svc *service.Service, defaultPlacement string) http.Handler {
 			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
 			return
 		}
-		writeJSON(w, http.StatusOK, toResponse(st))
+		writeJSON(w, http.StatusOK, withShard(st))
 	})
 
 	return mux
+}
+
+// streamLine is one NDJSON record of GET /v1/jobs/{id}/stream: a finished
+// sweep point (in completion order, while the job runs) or the terminal
+// job summary. Exactly one summary is emitted, always last — a stream cut
+// short by client disconnect simply ends at the last line written.
+type streamLine struct {
+	Point *service.PointStatus `json:"point,omitempty"`
+	Job   *jobResponse         `json:"job,omitempty"`
+}
+
+// streamJob serves one streaming watch: headers first (the job's
+// existence is checked before the 200 commits), then a flush per line so
+// points reach the client as they finish, not when the job does.
+func streamJob(w http.ResponseWriter, r *http.Request, svc *service.Service,
+	id string, withShard func(service.JobStatus) jobResponse,
+	writeErr func(http.ResponseWriter, int, error)) {
+	if _, ok := svc.Get(id); !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	fl, _ := w.(http.Flusher)
+	emit := func(line streamLine) {
+		enc.Encode(line)
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	final, ok := svc.Stream(r.Context(), id, func(p service.PointStatus) {
+		emit(streamLine{Point: &p})
+	})
+	if !ok {
+		// Retired between the existence check and the watch: nothing to
+		// stream, and the summary below would be empty — end the body.
+		return
+	}
+	resp := withShard(final)
+	emit(streamLine{Job: &resp})
 }
 
 // buildRequest turns a wire submission into a service request, building

@@ -256,6 +256,7 @@ func submitRemote(base, qasmPath, bench string, scale, shots int, seed int64, to
 	defer resp.Body.Close()
 	var submitted struct {
 		ID    string `json:"id"`
+		Shard string `json:"shard"`
 		Error string `json:"error"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
@@ -263,6 +264,13 @@ func submitRemote(base, qasmPath, bench string, scale, shots int, seed int64, to
 	}
 	if resp.StatusCode != http.StatusAccepted {
 		return fmt.Errorf("submit: %s (%s)", resp.Status, submitted.Error)
+	}
+	// Cluster mode: a 307 redirect already landed this submission on its
+	// owning shard (http.Post replays the body there), and that shard's
+	// response names itself. Job IDs are per-shard, so polls must go to
+	// the owner, not whichever member we happened to submit through.
+	if submitted.Shard != "" {
+		base = submitted.Shard
 	}
 	fmt.Printf("job:           %s on %s\n", submitted.ID, base)
 

@@ -25,6 +25,11 @@
 //     get job IDs and per-job seeds, a bounded queue applies admission
 //     control, and jobs sharing an artifact batch onto the same warm
 //     machine replicas;
+//   - persist compiled artifacts across restarts: the in-memory cache can
+//     spill to a checksummed on-disk store (AttachArtifactStore /
+//     internal/store), so a restarted process restores artifacts instead
+//     of recompiling, and dhisq-serve shards jobs across a consistent-hash
+//     cluster while streaming sweep results as NDJSON;
 //   - reproduce the paper's evaluation (Table1, Fig11*, Fig13, Fig14,
 //     Fig15, Fig16).
 //
@@ -47,6 +52,7 @@ import (
 	"dhisq/internal/runner"
 	"dhisq/internal/service"
 	"dhisq/internal/sim"
+	"dhisq/internal/store"
 	"dhisq/internal/telf"
 	"dhisq/internal/workloads"
 )
@@ -286,6 +292,23 @@ func NewJobService(cfg JobConfig) *JobService { return service.New(cfg) }
 // ArtifactCacheStats snapshots the process-wide compiled-artifact cache
 // that Compile, Run, RunShots, Sample and every JobService share.
 func ArtifactCacheStats() CacheStats { return artifact.Shared.Stats() }
+
+// AttachArtifactStore opens (or creates) a persistent on-disk artifact
+// store under dir and attaches it beneath the shared compile cache:
+// every fresh compile spills to it, and a later process restores from it
+// instead of recompiling — cold starts become warm (DESIGN.md §10).
+// maxBytes bounds the store (0 = the 512 MiB default); the least
+// recently written artifacts are evicted beyond it. The store's files
+// are versioned and checksummed; unreadable files are dropped, never
+// served. Pass-through to what `dhisq-serve -store DIR` does at boot.
+func AttachArtifactStore(dir string, maxBytes int64) error {
+	st, err := store.Open(dir, maxBytes)
+	if err != nil {
+		return err
+	}
+	artifact.Shared.SetStore(st)
+	return nil
+}
 
 // Lockstep executes a circuit under the paper's lock-step baseline
 // (§6.4.3) with a seeded outcome source and returns its makespan in cycles.

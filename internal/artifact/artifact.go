@@ -181,15 +181,37 @@ func key(c *circuit.Circuit, mapping []int, net network.Config, opt compiler.Opt
 // Stats is a point-in-time snapshot of cache effectiveness. Hits counts
 // artifact reuses — Get finding an entry, or GetOrCompile being served
 // without compiling (including callers that joined an in-flight
-// compilation of the same key). Misses counts compile attempts: only
-// GetOrCompile charges them, so Misses equals actual compiles and a
-// probing Get for an absent key is not penalized.
+// compilation of the same key, and artifacts restored from the backing
+// store: no compile ran). Misses counts compile attempts: only
+// GetOrCompile charges them, and a store restore never does, so Misses
+// equals actual compiles and "zero fresh compiles after restart" is
+// exactly a Misses delta of zero.
 type Stats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
-	Size      int    `json:"size"`
-	Capacity  int    `json:"capacity"`
+	// Store-tier counters (all zero when no store is attached). StoreHits
+	// are restores from disk — each also counts as a Hit. StoreMisses are
+	// store lookups that found nothing. Spills are artifacts persisted
+	// after a compile; SpillErrors are persists that failed (the artifact
+	// still serves from memory — spilling is strictly best-effort).
+	StoreHits   uint64 `json:"store_hits"`
+	StoreMisses uint64 `json:"store_misses"`
+	Spills      uint64 `json:"spills"`
+	SpillErrors uint64 `json:"spill_errors"`
+	Size        int    `json:"size"`
+	Capacity    int    `json:"capacity"`
+}
+
+// Store is a persistence tier under the cache: artifacts spill to it
+// after compilation and restore from it on a memory miss, which is what
+// makes a cold process start warm. internal/store implements it on disk.
+// Load reports false for any artifact it cannot produce (absent,
+// unreadable, corrupt) — the cache then falls back to compiling.
+// Implementations must be safe for concurrent use.
+type Store interface {
+	Load(Fingerprint) (*compiler.Compiled, bool)
+	Save(Fingerprint, *compiler.Compiled) error
 }
 
 // Cache is an LRU-bounded, concurrency-safe map from fingerprint to
@@ -202,6 +224,7 @@ type Cache struct {
 	entries  map[Fingerprint]*list.Element
 	order    *list.List // front = most recently used
 	inflight map[Fingerprint]*flight
+	store    Store // optional persistence tier; nil = memory only
 	stats    Stats
 }
 
@@ -240,20 +263,51 @@ func New(capacity int) *Cache {
 	}
 }
 
-// Get returns the cached artifact for fp, counting a hit and marking it
-// most recently used when found. An absent key counts nothing — the
-// caller may go on to compile through GetOrCompile, which does the miss
-// accounting, so one logical request never double-counts.
-func (c *Cache) Get(fp Fingerprint) (*compiler.Compiled, bool) {
+// SetStore attaches (or, with nil, detaches) a persistence tier. With a
+// store attached, Get and GetOrCompile restore memory misses from it and
+// GetOrCompile spills every fresh compile to it. Clear leaves the store
+// attached — a Clear models a process restart, where memory is gone but
+// disk persists.
+func (c *Cache) SetStore(st Store) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.store = st
+}
+
+// Get returns the cached artifact for fp, counting a hit and marking it
+// most recently used when found. A memory miss consults the store (when
+// attached): a restore counts as a Hit plus a StoreHit — no compile ran.
+// A key absent from both tiers counts nothing — the caller may go on to
+// compile through GetOrCompile, which does the miss accounting, so one
+// logical request never double-counts.
+func (c *Cache) Get(fp Fingerprint) (*compiler.Compiled, bool) {
+	c.mu.Lock()
 	el, ok := c.entries[fp]
+	if ok {
+		c.stats.Hits++
+		c.order.MoveToFront(el)
+		cp := el.Value.(*entry).cp
+		c.mu.Unlock()
+		return cp, true
+	}
+	st := c.store
+	c.mu.Unlock()
+	if st == nil {
+		return nil, false
+	}
+	// Disk I/O happens outside the lock; a concurrent restore of the same
+	// key is harmless (put is idempotent, decode is deterministic).
+	cp, ok := st.Load(fp)
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if !ok {
+		c.stats.StoreMisses++
 		return nil, false
 	}
 	c.stats.Hits++
-	c.order.MoveToFront(el)
-	return el.Value.(*entry).cp, true
+	c.stats.StoreHits++
+	c.put(fp, cp)
+	return cp, true
 }
 
 // Put inserts (or refreshes) an artifact, evicting the least recently
@@ -302,6 +356,30 @@ func (c *Cache) GetOrCompile(fp Fingerprint, compile func() (*compiler.Compiled,
 	}
 	fl := &flight{done: make(chan struct{})}
 	c.inflight[fp] = fl
+	st := c.store
+	c.mu.Unlock()
+
+	// Leader path. Before paying a compile, try the persistence tier: a
+	// restore is a hit (no compile ran), charges no Miss, and the waiters
+	// that joined the flight share it exactly as they would a compile.
+	if st != nil {
+		if cp, ok := st.Load(fp); ok {
+			fl.cp = cp
+			c.mu.Lock()
+			delete(c.inflight, fp)
+			c.stats.Hits++
+			c.stats.StoreHits++
+			c.put(fp, cp)
+			c.mu.Unlock()
+			close(fl.done)
+			return cp, true, nil
+		}
+	}
+
+	c.mu.Lock()
+	if st != nil {
+		c.stats.StoreMisses++
+	}
 	c.stats.Misses++
 	c.mu.Unlock()
 
@@ -314,6 +392,20 @@ func (c *Cache) GetOrCompile(fp Fingerprint, compile func() (*compiler.Compiled,
 	}
 	c.mu.Unlock()
 	close(fl.done)
+
+	// Spill outside the lock: persistence is best-effort and must never
+	// slow or fail the request that compiled.
+	if fl.err == nil && st != nil {
+		if err := st.Save(fp, fl.cp); err != nil {
+			c.mu.Lock()
+			c.stats.SpillErrors++
+			c.mu.Unlock()
+		} else {
+			c.mu.Lock()
+			c.stats.Spills++
+			c.mu.Unlock()
+		}
+	}
 	return fl.cp, false, fl.err
 }
 
@@ -345,7 +437,10 @@ func (c *Cache) Resize(capacity int) {
 }
 
 // Clear drops every entry and zeroes the counters (tests and benchmarks
-// use it to measure cold-path behavior on the Shared cache).
+// use it to measure cold-path behavior on the Shared cache). An attached
+// store stays attached: Clear models a process restart — memory is gone,
+// disk persists — which is precisely the transition the restart-warm
+// contract is about.
 func (c *Cache) Clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()

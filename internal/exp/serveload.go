@@ -1,0 +1,342 @@
+package exp
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"time"
+
+	"dhisq/internal/artifact"
+	"dhisq/internal/service"
+	"dhisq/internal/store"
+	"dhisq/internal/workloads"
+)
+
+// ServeLoadOptions configures the serve-load experiment: an open-loop
+// load driver against one dhisq service plus a warm-vs-cold restart
+// comparison through the persistent artifact store.
+type ServeLoadOptions struct {
+	Seed        int64
+	Rates       []float64 // arrival rates in jobs/sec (nil = default sweep)
+	JobsPerRate int       // arrivals per rate step (<1 = 40)
+	Workers     int       // service job workers (<1 = 2)
+	QueueDepth  int       // bounded queue depth (<1 = 16)
+	Shots       int       // shots per job (<1 = 8)
+	StoreDir    string    // artifact-store directory for the restart phase (required)
+}
+
+// ServeLoadPoint is one step of the arrival-rate sweep. Rate 0 is the
+// unthrottled burst step: every job submitted back to back, which drives
+// the bounded queue past capacity on any host and pins the saturation
+// behavior (rejections, not collapse) even where the finite rates all
+// fit.
+type ServeLoadPoint struct {
+	Rate      float64 `json:"rate_per_sec"` // 0 = unthrottled burst
+	Jobs      int     `json:"jobs"`
+	Completed int     `json:"completed"`
+	Rejected  int     `json:"rejected"` // queue-full submissions
+	P50Ms     float64 `json:"p50_ms"`   // submit→done latency percentiles
+	P99Ms     float64 `json:"p99_ms"`
+	Saturated bool    `json:"saturated"` // any rejection at this step
+}
+
+// ServeLoadRestart is the warm-vs-cold restart comparison: the same job
+// set served by a fresh process three ways — truly cold (empty cache, no
+// store), once to populate the store, and again after a simulated restart
+// (new cache, same store directory). The restart-warm contract is
+// WarmCompiles == 0 with byte-identical results.
+type ServeLoadRestart struct {
+	ColdCompiles uint64  `json:"cold_compiles"` // compiles with an empty store
+	WarmCompiles uint64  `json:"warm_compiles"` // compiles after restart (must be 0)
+	StoreHits    uint64  `json:"store_hits"`    // artifacts restored from disk
+	ColdMs       float64 `json:"cold_ms"`       // wall time of the cold run
+	WarmMs       float64 `json:"warm_ms"`       // wall time of the restarted run
+	Identical    bool    `json:"histograms_identical"`
+}
+
+// ServeLoadResult is the BENCH_serve.json payload.
+type ServeLoadResult struct {
+	Points []ServeLoadPoint `json:"points"`
+	// SaturationRate is the lowest finite arrival rate that rejected
+	// work; 0 means only the burst step saturated (the service kept up
+	// with every finite rate probed).
+	SaturationRate float64          `json:"saturation_rate_per_sec"`
+	Restart        ServeLoadRestart `json:"restart"`
+}
+
+// serveLoadFamilies is the job mix for the load sweep: three GHZ sizes,
+// so the sweep exercises routing across distinct structural keys while
+// every family stays cheap enough for high arrival rates.
+func serveLoadFamilies(shots int, seed int64) []service.Request {
+	reqs := make([]service.Request, 0, 3)
+	for n := 3; n <= 5; n++ {
+		reqs = append(reqs, service.Request{Circuit: workloads.GHZ(n), Shots: shots, Seed: seed})
+	}
+	return reqs
+}
+
+// ServeLoad runs the full experiment: the open-loop rate sweep, then the
+// restart comparison over opt.StoreDir.
+func ServeLoad(opt ServeLoadOptions) (*ServeLoadResult, error) {
+	if opt.JobsPerRate < 1 {
+		opt.JobsPerRate = 40
+	}
+	if opt.Workers < 1 {
+		opt.Workers = 2
+	}
+	if opt.QueueDepth < 1 {
+		opt.QueueDepth = 16
+	}
+	if opt.Shots < 1 {
+		opt.Shots = 8
+	}
+	rates := opt.Rates
+	if rates == nil {
+		rates = []float64{50, 100, 200, 400}
+	}
+	if opt.StoreDir == "" {
+		return nil, fmt.Errorf("serve-load needs a store directory for the restart phase")
+	}
+
+	res := &ServeLoadResult{}
+	for _, rate := range append(append([]float64{}, rates...), 0) {
+		pt, err := serveLoadStep(opt, rate)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, pt)
+		if pt.Saturated && pt.Rate > 0 && res.SaturationRate == 0 {
+			res.SaturationRate = pt.Rate
+		}
+	}
+
+	restart, err := serveLoadRestart(opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Restart = restart
+	return res, nil
+}
+
+// serveLoadStep drives one arrival rate open-loop: submissions land on a
+// fixed interval regardless of completions (rate 0 = back to back), each
+// accepted job's submit→done latency is tracked by its own waiter, and
+// queue-full rejections are counted rather than retried.
+func serveLoadStep(opt ServeLoadOptions, rate float64) (ServeLoadPoint, error) {
+	svc := service.New(service.Config{
+		Workers: opt.Workers, QueueDepth: opt.QueueDepth,
+		Artifacts: artifact.New(16),
+	})
+	defer svc.Close()
+	families := serveLoadFamilies(opt.Shots, opt.Seed)
+
+	// Pre-warm every family: the sweep measures serving latency, not
+	// first-compile latency (the restart phase owns compile costs).
+	for _, req := range families {
+		id, err := svc.Submit(req)
+		if err != nil {
+			return ServeLoadPoint{}, err
+		}
+		if st, ok := svc.Wait(id); !ok || st.State != service.StateDone {
+			return ServeLoadPoint{}, fmt.Errorf("prewarm job failed: %+v", st)
+		}
+	}
+
+	pt := ServeLoadPoint{Rate: rate, Jobs: opt.JobsPerRate}
+	var interval time.Duration
+	if rate > 0 {
+		interval = time.Duration(float64(time.Second) / rate)
+	}
+	var mu sync.Mutex
+	var latencies []time.Duration
+	var waiters sync.WaitGroup
+	next := time.Now()
+	for i := 0; i < opt.JobsPerRate; i++ {
+		if interval > 0 {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			next = next.Add(interval)
+		}
+		start := time.Now()
+		id, err := svc.Submit(families[i%len(families)])
+		if err != nil {
+			pt.Rejected++ // open loop: a full queue is data, not a retry
+			continue
+		}
+		waiters.Add(1)
+		go func() {
+			defer waiters.Done()
+			if st, ok := svc.Wait(id); ok && st.State == service.StateDone {
+				mu.Lock()
+				latencies = append(latencies, time.Since(start))
+				mu.Unlock()
+			}
+		}()
+	}
+	waiters.Wait()
+
+	pt.Completed = len(latencies)
+	pt.Saturated = pt.Rejected > 0
+	if pt.Completed == 0 {
+		return pt, fmt.Errorf("rate %.0f/s completed no jobs (%d rejected)", rate, pt.Rejected)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(latencies)-1))
+		return float64(latencies[idx]) / float64(time.Millisecond)
+	}
+	pt.P50Ms, pt.P99Ms = pct(0.50), pct(0.99)
+	return pt, nil
+}
+
+// restartJobs is the mixed-family job set for the restart comparison:
+// plain GHZ, a scaled Fig. 15 benchmark, and a parameterized QFT binding
+// — one artifact each of the three compile paths (plain, mapped
+// benchmark, skeleton+bind).
+func restartJobs(opt ServeLoadOptions) ([]service.Request, error) {
+	bv, err := workloads.BuildScaled("bv_n400", 16)
+	if err != nil {
+		return nil, err
+	}
+	return []service.Request{
+		{Circuit: workloads.GHZ(4), Shots: opt.Shots, Seed: opt.Seed},
+		{Circuit: bv.Circuit, MeshW: bv.MeshW, MeshH: bv.MeshH,
+			Mapping: bv.Mapping, Shots: opt.Shots, Seed: opt.Seed},
+		{Circuit: workloads.QFTSweep(4), Shots: opt.Shots, Seed: opt.Seed,
+			Params: workloads.QFTSweepPoint(4, 1)},
+	}, nil
+}
+
+// serveLoadRestart measures the restart-warm contract. Three runs of the
+// same jobs, each through a brand-new service and compile cache:
+//
+//	populate — empty store directory: every family compiles and spills.
+//	warm     — new cache over the same directory (the restarted daemon):
+//	           every artifact restores from disk, zero compiles.
+//	cold     — no store at all (the pre-store baseline): every family
+//	           compiles again.
+//
+// ColdCompiles/ColdMs report the cold baseline; WarmCompiles/WarmMs the
+// restarted run. The gate — warm beats cold — is checked by
+// CheckServeRestart, not here, so the bench can print the numbers first.
+func serveLoadRestart(opt ServeLoadOptions) (ServeLoadRestart, error) {
+	jobs, err := restartJobs(opt)
+	if err != nil {
+		return ServeLoadRestart{}, err
+	}
+
+	runAll := func(arts *artifact.Cache) ([]service.JobStatus, float64, error) {
+		svc := service.New(service.Config{Workers: 1, QueueDepth: len(jobs) + 1, Artifacts: arts})
+		defer svc.Close()
+		out := make([]service.JobStatus, len(jobs))
+		start := time.Now()
+		for i, req := range jobs {
+			id, err := svc.Submit(req)
+			if err != nil {
+				return nil, 0, err
+			}
+			st, ok := svc.Wait(id)
+			if !ok || st.State != service.StateDone {
+				return nil, 0, fmt.Errorf("restart job %d: %+v", i, st)
+			}
+			out[i] = st
+		}
+		return out, float64(time.Since(start)) / float64(time.Millisecond), nil
+	}
+
+	// Populate: compile everything into the store.
+	st1, err := store.Open(opt.StoreDir, 0)
+	if err != nil {
+		return ServeLoadRestart{}, err
+	}
+	arts1 := artifact.New(16)
+	arts1.SetStore(st1)
+	popRes, _, err := runAll(arts1)
+	if err != nil {
+		return ServeLoadRestart{}, err
+	}
+
+	// Restarted process: fresh cache, fresh store handle, same directory.
+	st2, err := store.Open(opt.StoreDir, 0)
+	if err != nil {
+		return ServeLoadRestart{}, err
+	}
+	arts2 := artifact.New(16)
+	arts2.SetStore(st2)
+	warmRes, warmMs, err := runAll(arts2)
+	if err != nil {
+		return ServeLoadRestart{}, err
+	}
+
+	// Cold baseline: no store, every compile paid again.
+	arts3 := artifact.New(16)
+	coldRes, coldMs, err := runAll(arts3)
+	if err != nil {
+		return ServeLoadRestart{}, err
+	}
+
+	warmStats := arts2.Stats()
+	out := ServeLoadRestart{
+		ColdCompiles: arts3.Stats().Misses,
+		WarmCompiles: warmStats.Misses,
+		StoreHits:    warmStats.StoreHits,
+		ColdMs:       coldMs,
+		WarmMs:       warmMs,
+		Identical:    true,
+	}
+	for i := range jobs {
+		if !reflect.DeepEqual(popRes[i].Histogram, warmRes[i].Histogram) ||
+			!reflect.DeepEqual(popRes[i].Histogram, coldRes[i].Histogram) {
+			out.Identical = false
+		}
+	}
+	return out, nil
+}
+
+// CheckServeRestart enforces the restart-warm gate on a completed run: a
+// restarted process recompiles nothing (strictly fewer compiles than a
+// cold start — zero, in fact), restores every artifact from the store,
+// and serves byte-identical results.
+func CheckServeRestart(res *ServeLoadResult) error {
+	r := res.Restart
+	if r.WarmCompiles != 0 {
+		return fmt.Errorf("restarted process compiled %d times, want 0", r.WarmCompiles)
+	}
+	if r.WarmCompiles >= r.ColdCompiles {
+		return fmt.Errorf("warm restart (%d compiles) did not beat cold start (%d)", r.WarmCompiles, r.ColdCompiles)
+	}
+	if r.StoreHits != r.ColdCompiles {
+		return fmt.Errorf("restored %d artifacts, want %d (one per family)", r.StoreHits, r.ColdCompiles)
+	}
+	if !r.Identical {
+		return fmt.Errorf("histograms changed across restart")
+	}
+	return nil
+}
+
+// RenderServeLoad renders the rate sweep and restart comparison.
+func RenderServeLoad(res *ServeLoadResult) string {
+	rows := make([][]string, 0, len(res.Points))
+	for _, p := range res.Points {
+		rate := fmt.Sprintf("%.0f", p.Rate)
+		if p.Rate == 0 {
+			rate = "burst"
+		}
+		rows = append(rows, []string{
+			rate, fmt.Sprint(p.Jobs), fmt.Sprint(p.Completed), fmt.Sprint(p.Rejected),
+			fmt.Sprintf("%.2f", p.P50Ms), fmt.Sprintf("%.2f", p.P99Ms),
+		})
+	}
+	s := Table([]string{"rate/s", "jobs", "done", "rejected", "p50 ms", "p99 ms"}, rows)
+	if res.SaturationRate > 0 {
+		s += fmt.Sprintf("saturation at %.0f jobs/s\n", res.SaturationRate)
+	} else {
+		s += "no finite rate saturated (burst step pins the queue bound)\n"
+	}
+	r := res.Restart
+	s += fmt.Sprintf("restart: cold %d compiles %.1f ms, warm %d compiles %.1f ms (%d store hits, identical=%v)\n",
+		r.ColdCompiles, r.ColdMs, r.WarmCompiles, r.WarmMs, r.StoreHits, r.Identical)
+	return s
+}

@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// A miniature serve-load run end to end: the open-loop sweep completes
+// every rate (plus the burst step), the restart phase proves the
+// restart-warm contract, and the CI gate accepts the result.
+func TestServeLoadSmall(t *testing.T) {
+	res, err := ServeLoad(ServeLoadOptions{
+		Seed:        7,
+		Rates:       []float64{2000}, // one fast finite rate keeps the test quick
+		JobsPerRate: 12,
+		Workers:     2,
+		QueueDepth:  4, // small bound so the burst step saturates
+		Shots:       2,
+		StoreDir:    t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d sweep points, want rate + burst", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Completed+p.Rejected != p.Jobs {
+			t.Errorf("rate %.0f: %d completed + %d rejected != %d jobs",
+				p.Rate, p.Completed, p.Rejected, p.Jobs)
+		}
+		if p.Completed > 0 && (p.P50Ms <= 0 || p.P99Ms < p.P50Ms) {
+			t.Errorf("rate %.0f: incoherent percentiles p50=%.3f p99=%.3f",
+				p.Rate, p.P50Ms, p.P99Ms)
+		}
+	}
+	burst := res.Points[len(res.Points)-1]
+	if burst.Rate != 0 {
+		t.Fatal("burst step is not last")
+	}
+	if !burst.Saturated {
+		t.Error("unthrottled burst did not saturate a depth-4 queue")
+	}
+
+	r := res.Restart
+	if r.ColdCompiles == 0 || r.WarmCompiles != 0 {
+		t.Errorf("restart compiles: cold=%d warm=%d, want cold>0 warm==0", r.ColdCompiles, r.WarmCompiles)
+	}
+	if r.StoreHits != r.ColdCompiles {
+		t.Errorf("restored %d artifacts, want %d", r.StoreHits, r.ColdCompiles)
+	}
+	if !r.Identical {
+		t.Error("histograms changed across restart")
+	}
+	if err := CheckServeRestart(res); err != nil {
+		t.Errorf("gate rejected a passing run: %v", err)
+	}
+
+	out := RenderServeLoad(res)
+	for _, want := range []string{"burst", "restart:", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The restart gate rejects each violated invariant.
+func TestCheckServeRestartRejects(t *testing.T) {
+	good := func() *ServeLoadResult {
+		return &ServeLoadResult{Restart: ServeLoadRestart{
+			ColdCompiles: 3, WarmCompiles: 0, StoreHits: 3, Identical: true,
+		}}
+	}
+	if err := CheckServeRestart(good()); err != nil {
+		t.Fatalf("gate rejected the good case: %v", err)
+	}
+	recompiled := good()
+	recompiled.Restart.WarmCompiles = 1
+	if CheckServeRestart(recompiled) == nil {
+		t.Error("gate accepted warm compiles")
+	}
+	partial := good()
+	partial.Restart.StoreHits = 2
+	if CheckServeRestart(partial) == nil {
+		t.Error("gate accepted a partial restore")
+	}
+	drifted := good()
+	drifted.Restart.Identical = false
+	if CheckServeRestart(drifted) == nil {
+		t.Error("gate accepted drifted histograms")
+	}
+}
+
+// ServeLoad without a store directory is a configuration error, not a
+// silent skip of the restart phase.
+func TestServeLoadNeedsStoreDir(t *testing.T) {
+	if _, err := ServeLoad(ServeLoadOptions{}); err == nil {
+		t.Fatal("missing store dir accepted")
+	}
+}

@@ -54,6 +54,21 @@ type Config struct {
 	// not part of the compile fingerprint — lane count changes nothing
 	// about the compiled artifact. 0 or 1 = the unbatched single substrate.
 	ShotLanes int
+	// Artifacts is the compiled-artifact cache Compile/CompileWith/
+	// CompileSkeleton consult (nil = the process-wide artifact.Shared).
+	// Injecting a private cache isolates cache accounting — the in-process
+	// multi-shard cluster tests give each shard its own cache+store pair.
+	// Deliberately not part of any fingerprint: which cache serves a
+	// compile changes nothing about its output.
+	Artifacts *artifact.Cache
+}
+
+// artifacts resolves the cache a machine compiles through.
+func (cfg Config) artifacts() *artifact.Cache {
+	if cfg.Artifacts != nil {
+		return cfg.Artifacts
+	}
+	return artifact.Shared
 }
 
 // DefaultConfig sizes a machine for n qubits with the paper's constants.
@@ -235,7 +250,7 @@ func (m *Machine) CompileWith(c *circuit.Circuit, mapping []int, opt compiler.Op
 		return nil, err
 	}
 	fp := artifact.Key(c, mapping, m.Cfg.Net, opt)
-	cp, _, err := artifact.Shared.GetOrCompile(fp, func() (*compiler.Compiled, error) {
+	cp, _, err := m.Cfg.artifacts().GetOrCompile(fp, func() (*compiler.Compiled, error) {
 		return m.compile(c, mapping, opt)
 	})
 	return cp, err
@@ -262,7 +277,7 @@ func rejectUnbound(c *circuit.Circuit) error {
 func (m *Machine) CompileSkeleton(c *circuit.Circuit, mapping []int) (*compiler.Compiled, error) {
 	opt := m.CompileOptions()
 	fp := artifact.StructuralKey(c, mapping, m.Cfg.Net, opt)
-	cp, _, err := artifact.Shared.GetOrCompile(fp, func() (*compiler.Compiled, error) {
+	cp, _, err := m.Cfg.artifacts().GetOrCompile(fp, func() (*compiler.Compiled, error) {
 		return m.compile(c, mapping, opt)
 	})
 	return cp, err

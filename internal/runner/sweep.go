@@ -96,6 +96,19 @@ func RunSweep(spec Spec, points []map[string]float64, shots, workers int) ([]Swe
 // index, so the merge never depends on completion order. On error the
 // lowest failing point index is reported.
 func RunSweepOn(machines []*machine.Machine, skel *compiler.Compiled, points []map[string]float64, base int64, shots, numBits int) ([]SweepPoint, error) {
+	return RunSweepOnObserved(machines, skel, points, base, shots, numBits, nil)
+}
+
+// RunSweepOnObserved is RunSweepOn with a completion observer: observe
+// (when non-nil) is called once per finished point, in completion order —
+// which under multiple replicas is not point order, and may be concurrent
+// (the observer must be safe to call from several worker goroutines).
+// The observed SweepPoint is the same value that lands in the returned
+// slice. This is the streaming hook: internal/service publishes each
+// observed point to /v1/jobs/{id}/stream watchers while the sweep is
+// still running. The final merged slice (and its determinism guarantee)
+// is unchanged by observation.
+func RunSweepOnObserved(machines []*machine.Machine, skel *compiler.Compiled, points []map[string]float64, base int64, shots, numBits int, observe func(SweepPoint)) ([]SweepPoint, error) {
 	if len(machines) == 0 {
 		return nil, fmt.Errorf("runner: RunSweepOn with no machines")
 	}
@@ -116,6 +129,9 @@ func RunSweepOn(machines []*machine.Machine, skel *compiler.Compiled, points []m
 			return fmt.Errorf("runner: point %d: %w", k, err)
 		}
 		out[k] = SweepPoint{Index: k, Params: points[k], Set: set}
+		if observe != nil {
+			observe(out[k])
+		}
 		return nil
 	}
 	if len(machines) == 1 {

@@ -66,6 +66,13 @@ type Config struct {
 	// this cap a single submission could monopolize a worker forever and
 	// retain an unbounded Points snapshot past completion.
 	MaxSweepPoints int
+	// Artifacts is the compiled-artifact cache this service compiles
+	// through (nil = the process-wide artifact.Shared). A service with a
+	// private cache — typically one with an on-disk store attached via
+	// artifact.Cache.SetStore — keeps its compile accounting and its
+	// restart-warm behavior independent of everything else in the process,
+	// which is what the in-process cluster and crash/restart tests need.
+	Artifacts *artifact.Cache
 }
 
 // State is a job's lifecycle position.
@@ -149,11 +156,25 @@ type JobStatus struct {
 	Err      string
 }
 
-// PointStatus is one sweep point's outcome.
+// PointStatus is one sweep point's outcome. Index is the point's position
+// in the submitted sweep — in JobStatus.Points the slice is already in
+// index order, but a stream delivers points in completion order, and
+// under multiple shot workers that is not submission order.
 type PointStatus struct {
+	Index     int                `json:"index"`
 	Params    map[string]float64 `json:"params"`
 	Histogram runner.Histogram   `json:"histogram"`
 	Makespan  int64              `json:"makespan_cycles"`
+}
+
+// pointStatusOf folds one finished sweep point into its retainable
+// snapshot (histogram + makespan; the full shot set is dropped).
+func pointStatusOf(p runner.SweepPoint) PointStatus {
+	st := PointStatus{Index: p.Index, Params: p.Params, Histogram: p.Set.Histogram()}
+	if len(p.Set.Shots) > 0 {
+		st.Makespan = int64(p.Set.Shots[0].Result.Makespan)
+	}
+	return st
 }
 
 // Done reports whether the job has reached a terminal state.
@@ -227,10 +248,27 @@ type job struct {
 	mapping  []int // final qubit→controller mapping (nil = identity)
 	set      *runner.ShotSet
 	hist     runner.Histogram // computed once at finish, not per poll
-	points   []PointStatus    // sweep jobs: per-point outcomes
-	net      congestionAgg    // sweep jobs: congestion folded at setPoints
+	points   []PointStatus    // sweep jobs: per-point outcomes, index order
+	// streamed holds sweep points in completion order as they finish —
+	// the publication log Stream cursors over while the job still runs.
+	// notify is closed and replaced under mu on every publish, so any
+	// number of streaming watchers can wait for "something new" without
+	// polling and without a Cond (a channel honors context cancellation).
+	streamed []PointStatus
+	notify   chan struct{}
+	net      congestionAgg // sweep jobs: congestion folded at setPoints
 	err      error
 	done     chan struct{}
+}
+
+// publish appends one finished sweep point to the stream log and wakes
+// every watcher. Called from runner worker goroutines mid-execution.
+func (j *job) publish(ps PointStatus) {
+	j.mu.Lock()
+	j.streamed = append(j.streamed, ps)
+	close(j.notify)
+	j.notify = make(chan struct{})
+	j.mu.Unlock()
 }
 
 // setPoints folds a finished sweep's per-point shot sets into retainable
@@ -242,11 +280,7 @@ func (j *job) setPoints(pts []runner.SweepPoint) {
 	out := make([]PointStatus, len(pts))
 	var agg congestionAgg
 	for i, p := range pts {
-		st := PointStatus{Params: p.Params, Histogram: p.Set.Histogram()}
-		if len(p.Set.Shots) > 0 {
-			st.Makespan = int64(p.Set.Shots[0].Result.Makespan)
-		}
-		out[i] = st
+		out[i] = pointStatusOf(p)
 		agg.add(p.Set)
 	}
 	j.mu.Lock()
@@ -279,6 +313,7 @@ func (j *job) setMapping(cp *compiler.Compiled) {
 // Service is the job manager. Construct with New, stop with Close.
 type Service struct {
 	cfg   Config
+	arts  *artifact.Cache // resolved Config.Artifacts (never nil)
 	queue chan *job
 
 	mu       sync.Mutex
@@ -319,8 +354,12 @@ func New(cfg Config) *Service {
 	if cfg.MaxSweepPoints <= 0 {
 		cfg.MaxSweepPoints = 4096
 	}
+	if cfg.Artifacts == nil {
+		cfg.Artifacts = artifact.Shared
+	}
 	s := &Service{
 		cfg:   cfg,
+		arts:  cfg.Artifacts,
 		queue: make(chan *job, cfg.QueueDepth),
 		jobs:  make(map[string]*job),
 		pool:  newReplicaPool(cfg.MaxPooledReplicas),
@@ -332,15 +371,18 @@ func New(cfg Config) *Service {
 	return s
 }
 
-// Submit validates and enqueues a job, returning its ID immediately. The
-// queue is bounded: a full queue rejects with ErrQueueFull rather than
-// blocking the caller (admission control, not backpressure-by-hanging).
-func (s *Service) Submit(req Request) (string, error) {
+// resolveRequest normalizes a request exactly the way Submit will run
+// it: mesh dimensions default via AutoMesh, the machine config via
+// DefaultConfig, Request.Placement overrides Cfg.Placement, and the
+// resulting policy name is validated. Shared between Submit (admission)
+// and RouteKey (cluster routing) so a shard and a router can never
+// disagree about what a request means.
+func resolveRequest(req Request) (Request, machine.Config, string, error) {
 	if req.Circuit == nil {
-		return "", fmt.Errorf("service: nil circuit")
+		return req, machine.Config{}, "", fmt.Errorf("service: nil circuit")
 	}
 	if req.Shots < 1 {
-		return "", fmt.Errorf("service: shots %d < 1", req.Shots)
+		return req, machine.Config{}, "", fmt.Errorf("service: shots %d < 1", req.Shots)
 	}
 	if req.MeshW <= 0 || req.MeshH <= 0 {
 		req.MeshW, req.MeshH = placement.AutoMesh(req.Circuit.NumQubits)
@@ -363,7 +405,38 @@ func (s *Service) Submit(req Request) (string, error) {
 		resolvedPolicy = placement.Default
 	}
 	if err := placement.Valid(resolvedPolicy); err != nil {
+		return req, machine.Config{}, "", err
+	}
+	return req, cfg, resolvedPolicy, nil
+}
+
+// RouteKey is the fingerprint cluster routing shards on: always the
+// bind-invariant structural key, so every binding of one parameterized
+// family — and the unparameterized circuit itself — routes to the same
+// shard, landing on that shard's warm skeleton and replica pool. It is a
+// pure function of the request (no service state, no seeds), so every
+// node of a cluster computes the same key for the same submission.
+func RouteKey(req Request) (artifact.Fingerprint, error) {
+	req, cfg, _, err := resolveRequest(req)
+	if err != nil {
+		return artifact.Fingerprint{}, err
+	}
+	return machine.StructuralKeyFor(req.Circuit, req.Mapping, cfg)
+}
+
+// Submit validates and enqueues a job, returning its ID immediately. The
+// queue is bounded: a full queue rejects with ErrQueueFull rather than
+// blocking the caller (admission control, not backpressure-by-hanging).
+func (s *Service) Submit(req Request) (string, error) {
+	req, cfg, resolvedPolicy, err := resolveRequest(req)
+	if err != nil {
 		return "", err
+	}
+	// Jobs compile through this service's artifact cache (unless the
+	// caller pinned one in req.Cfg): the field rides the machine config
+	// into runner.Build without touching any fingerprint.
+	if cfg.Artifacts == nil {
+		cfg.Artifacts = s.arts
 	}
 	if len(req.Sweep) > s.cfg.MaxSweepPoints {
 		return "", fmt.Errorf("service: sweep has %d points, limit %d (split it into multiple jobs — they share the compiled skeleton anyway)",
@@ -399,8 +472,9 @@ func (s *Service) Submit(req Request) (string, error) {
 			fp: fp, backend: machine.ResolveBackend(req.Circuit, cfg.Backend),
 			logEvents: cfg.LogEvents, deadline: cfg.Deadline,
 		},
-		state: StateQueued,
-		done:  make(chan struct{}),
+		state:  StateQueued,
+		done:   make(chan struct{}),
+		notify: make(chan struct{}),
 	}
 
 	s.mu.Lock()
@@ -516,6 +590,10 @@ func (s *Service) WaitContext(ctx context.Context, id string) (JobStatus, bool) 
 }
 
 // Stats snapshots service counters plus the shared artifact-cache stats.
+// Every s.stats mutation — admission, rejection, the worker's
+// completion/failure/bind accounting, and congestion folding — happens
+// under s.mu, so the snapshot is internally consistent (Completed never
+// exceeds Submitted) no matter how many readers poll under load.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	st := s.stats
@@ -523,7 +601,7 @@ func (s *Service) Stats() Stats {
 	st.Running = s.running
 	s.mu.Unlock()
 	st.PooledReplicas = s.pool.size()
-	st.Cache = artifact.Shared.Stats()
+	st.Cache = s.arts.Stats()
 	return st
 }
 
@@ -689,7 +767,7 @@ func (s *Service) execute(j *job) (set *runner.ShotSet, cacheHit, batched bool, 
 	// built, the first Build's GetOrCompile charges the miss, so misses
 	// always equal actual compiles.
 	var cp *compiler.Compiled
-	cp, cacheHit = artifact.Shared.Get(j.fp)
+	cp, cacheHit = s.arts.Get(j.fp)
 	for len(machines) < want {
 		m, built, buildErr := runner.Build(j.spec, cp)
 		if buildErr != nil {
@@ -744,7 +822,7 @@ func (s *Service) executeBind(j *job) (set *runner.ShotSet, cacheHit, batched bo
 	batched = len(machines) > 0
 
 	var skel *compiler.Compiled
-	skel, cacheHit = artifact.Shared.Get(j.fp)
+	skel, cacheHit = s.arts.Get(j.fp)
 	for len(machines) < want {
 		m, built, buildErr := runner.BuildSkeleton(j.spec, skel)
 		if buildErr != nil {
@@ -763,7 +841,12 @@ func (s *Service) executeBind(j *job) (set *runner.ShotSet, cacheHit, batched bo
 	j.setMapping(skel)
 
 	if len(j.req.Sweep) > 0 {
-		pts, runErr := runner.RunSweepOn(machines, skel, j.req.Sweep, j.seed, j.req.Shots, numBits)
+		// The observer runs on the runner's worker goroutines: each point
+		// is published to streaming watchers the moment it finishes, while
+		// later points are still executing.
+		pts, runErr := runner.RunSweepOnObserved(machines, skel, j.req.Sweep, j.seed, j.req.Shots, numBits, func(p runner.SweepPoint) {
+			j.publish(pointStatusOf(p))
+		})
 		s.pool.checkin(j.pk, machines)
 		if runErr != nil {
 			return nil, cacheHit, batched, runErr
@@ -818,6 +901,7 @@ func (s *Service) executeBindFresh(j *job) (*runner.ShotSet, error) {
 				j.setMapping(cp)
 			}
 			pts[k] = runner.SweepPoint{Index: k, Params: params, Set: set}
+			j.publish(pointStatusOf(pts[k]))
 		}
 		j.setPoints(pts)
 		return nil, nil

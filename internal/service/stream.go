@@ -1,0 +1,59 @@
+package service
+
+import "context"
+
+// Stream delivers a job's sweep points to fn as they finish — completion
+// order, not submission order (PointStatus.Index carries the position) —
+// and returns the job's terminal snapshot once it finishes. The
+// false return means the job ID is unknown (same contract as Get/Wait).
+//
+// Any number of watchers may stream one job concurrently, attaching at
+// any time: each gets every point from the beginning (the points already
+// finished replay immediately, then the live tail). A cancelled context
+// stops the stream early and returns the job's snapshot at that moment —
+// the caller distinguishes "finished" from "gave up" by JobStatus.Done(),
+// exactly like WaitContext. fn is called from the watcher's goroutine,
+// never concurrently with itself.
+//
+// Non-sweep jobs have no points: Stream then degrades to WaitContext,
+// returning the terminal snapshot with fn never called.
+func (s *Service) Stream(ctx context.Context, id string, fn func(PointStatus)) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	cursor := 0
+	// deliver hands fn everything published past the cursor. The snapshot
+	// is taken under j.mu but fn runs outside it: a slow consumer (an HTTP
+	// watcher on a congested connection) must never stall the workers
+	// publishing points.
+	deliver := func() {
+		j.mu.Lock()
+		fresh := j.streamed[cursor:]
+		j.mu.Unlock()
+		cursor += len(fresh)
+		for _, p := range fresh {
+			fn(p)
+		}
+	}
+	for {
+		j.mu.Lock()
+		notify := j.notify
+		j.mu.Unlock()
+		deliver()
+		select {
+		case <-j.done:
+			// Every publish happens before finish closes done, so one
+			// final drain observes the complete stream.
+			deliver()
+			return j.status(), true
+		case <-ctx.Done():
+			return j.status(), true
+		case <-notify:
+			// New points landed (the channel we held was closed and
+			// replaced); loop to deliver them.
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package service_test
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"dhisq/internal/artifact"
+	"dhisq/internal/service"
+	"dhisq/internal/workloads"
+)
+
+func sweepRequest(n, points, shots int) service.Request {
+	sweep := make([]map[string]float64, points)
+	for k := range sweep {
+		sweep[k] = workloads.QFTSweepPoint(n, k)
+	}
+	return service.Request{Circuit: workloads.QFTSweep(n), Shots: shots, Seed: 7, Sweep: sweep}
+}
+
+// A stream watcher attached before the job runs sees every sweep point
+// exactly once, and the streamed set equals the final Points (same
+// histograms, same indices) — streaming changes delivery, not results.
+func TestStreamDeliversEveryPoint(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1, ShotWorkers: 4, Artifacts: artifact.New(8)})
+	defer svc.Close()
+	const points = 8
+	id, err := svc.Submit(sweepRequest(4, points, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []service.PointStatus
+	final, ok := svc.Stream(context.Background(), id, func(p service.PointStatus) {
+		got = append(got, p)
+	})
+	if !ok {
+		t.Fatal("stream lost the job")
+	}
+	if final.State != service.StateDone {
+		t.Fatalf("job finished %s: %s", final.State, final.Err)
+	}
+	if len(got) != points {
+		t.Fatalf("streamed %d points, want %d", len(got), points)
+	}
+	seen := make(map[int]bool)
+	for _, p := range got {
+		if seen[p.Index] {
+			t.Fatalf("point %d streamed twice", p.Index)
+		}
+		seen[p.Index] = true
+	}
+	// Re-sort into index order and compare against the terminal snapshot.
+	sort.Slice(got, func(i, j int) bool { return got[i].Index < got[j].Index })
+	if !reflect.DeepEqual(got, final.Points) {
+		t.Error("streamed points differ from final JobStatus.Points")
+	}
+}
+
+// A watcher attaching after completion replays the full stream.
+func TestStreamReplayAfterDone(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1, Artifacts: artifact.New(8)})
+	defer svc.Close()
+	id, err := svc.Submit(sweepRequest(4, 5, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := svc.Wait(id); st.State != service.StateDone {
+		t.Fatalf("job failed: %s", st.Err)
+	}
+	count := 0
+	if _, ok := svc.Stream(context.Background(), id, func(service.PointStatus) { count++ }); !ok {
+		t.Fatal("stream lost the job")
+	}
+	if count != 5 {
+		t.Errorf("late watcher replayed %d points, want 5", count)
+	}
+}
+
+// Cancelling the watcher's context ends the stream without affecting the
+// job, and the unknown-ID contract matches Get/Wait.
+func TestStreamCancelAndUnknown(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1, Artifacts: artifact.New(8)})
+	defer svc.Close()
+	if _, ok := svc.Stream(context.Background(), "job-999999", func(service.PointStatus) {}); ok {
+		t.Error("stream found an unknown job")
+	}
+	id, err := svc.Submit(sweepRequest(4, 6, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the stream must return promptly
+	st, ok := svc.Stream(ctx, id, func(service.PointStatus) {})
+	if !ok {
+		t.Fatal("stream lost the job")
+	}
+	// The job may or may not have finished — but the call returned, and
+	// the snapshot is coherent.
+	if st.ID != id {
+		t.Errorf("snapshot for %q, want %q", st.ID, id)
+	}
+	if final, _ := svc.Wait(id); final.State != service.StateDone {
+		t.Errorf("job failed after watcher cancelled: %s", final.Err)
+	}
+}
+
+// Non-sweep jobs stream zero points and return the terminal snapshot —
+// Stream degrades to WaitContext.
+func TestStreamNonSweepDegradesToWait(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1, Artifacts: artifact.New(8)})
+	defer svc.Close()
+	id, err := svc.Submit(service.Request{Circuit: workloads.GHZ(4), Shots: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	st, ok := svc.Stream(context.Background(), id, func(service.PointStatus) { calls++ })
+	if !ok || st.State != service.StateDone {
+		t.Fatalf("stream: ok=%v state=%s err=%s", ok, st.State, st.Err)
+	}
+	if calls != 0 {
+		t.Errorf("non-sweep job streamed %d points", calls)
+	}
+	if len(st.Histogram) == 0 {
+		t.Error("terminal snapshot lost the histogram")
+	}
+}
+
+// The extended race battery: many submitters, pollers, streamers, and
+// stat readers against one service, with watcher contexts being cancelled
+// mid-stream — run under -race in CI. The original PR 3 battery covers
+// submit/poll/close; this adds stats-under-load and
+// streaming-while-cancelled, the two windows the sharded-serve work
+// touched.
+func TestStatsAndStreamUnderLoad(t *testing.T) {
+	svc := service.New(service.Config{
+		Workers: 4, ShotWorkers: 2, QueueDepth: 256, Artifacts: artifact.New(16),
+	})
+	defer svc.Close()
+
+	const submitters = 4
+	ids := make(chan string, submitters*8)
+	var wg sync.WaitGroup
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				var req service.Request
+				if i%2 == 0 {
+					req = sweepRequest(4, 4, 5)
+				} else {
+					req = service.Request{Circuit: workloads.GHZ(3 + w%2), Shots: 5}
+				}
+				id, err := svc.Submit(req)
+				if err != nil {
+					continue // queue-full is a legal outcome under load
+				}
+				ids <- id
+			}
+		}(w)
+	}
+
+	// Stats hammer: concurrent with every submit, execute, and finish.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					st := svc.Stats()
+					if st.Completed > st.Submitted {
+						t.Error("completed exceeds submitted")
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Streamers racing cancellation: half watch to completion, half get
+	// cancelled after a hair — both while workers publish points.
+	var watchers sync.WaitGroup
+	go func() {
+		wg.Wait()
+		close(ids)
+	}()
+	n := 0
+	for id := range ids {
+		n++
+		watchers.Add(1)
+		go func(id string, cancelEarly bool) {
+			defer watchers.Done()
+			ctx := context.Background()
+			if cancelEarly {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, time.Millisecond)
+				defer cancel()
+			}
+			svc.Stream(ctx, id, func(service.PointStatus) {})
+		}(id, n%2 == 0)
+	}
+	watchers.Wait()
+	close(stop)
+	readers.Wait()
+
+	st := svc.Stats()
+	if st.Completed+st.Failed == 0 {
+		t.Error("no jobs completed under load")
+	}
+}
+
+// Submissions racing Close: every Submit either returns an error or a
+// job that reaches a terminal state — no hangs, no races. (Covers the
+// drain path's stats increments, which Stats readers hit concurrently.)
+func TestSubmitRacingClose(t *testing.T) {
+	svc := service.New(service.Config{Workers: 2, QueueDepth: 64, Artifacts: artifact.New(8)})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				id, err := svc.Submit(service.Request{Circuit: workloads.GHZ(3), Shots: 2})
+				if err != nil {
+					return
+				}
+				if st, ok := svc.Wait(id); ok && !st.Done() {
+					t.Errorf("job %s not terminal after Wait", id)
+				}
+			}
+		}()
+	}
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		svc.Close()
+	}()
+	wg.Wait()
+	svc.Close()
+	if _, err := svc.Submit(service.Request{Circuit: workloads.GHZ(3), Shots: 1}); err == nil {
+		t.Error("Submit succeeded after Close")
+	}
+}
