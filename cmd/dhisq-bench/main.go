@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	dhisq-bench -exp table1|fig11|fig13|fig14|fig15|fig16|ablation|shots|cache|sweep|fabric|placement|kernels|serve-load|all
+//	dhisq-bench -exp table1|fig11|fig13|fig14|fig15|fig16|ablation|shots|cache|sweep|fabric|placement|feedback|kernels|serve-load|all
 //	            [-scale N] [-seed S] [-shots N] [-workers W] [-jobs N] [-points N] [-out DIR]
 //	            [-topo mesh|torus|tree|all] [-link-bw N] [-placement P|all]
 package main
@@ -37,7 +37,7 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table1, fig11, fig13, fig14, fig15, fig16, ablation, shots, cache, sweep, fabric, placement, kernels, serve-load, all")
+	which := flag.String("exp", "all", "experiment: table1, fig11, fig13, fig14, fig15, fig16, ablation, shots, cache, sweep, fabric, placement, feedback, kernels, serve-load, all")
 	scale := flag.Int("scale", 1, "divide Fig. 15 benchmark sizes by this factor")
 	seed := flag.Int64("seed", 1, "measurement outcome seed")
 	shots := flag.Int("shots", 200, "repetitions for the shots experiment")
@@ -154,6 +154,9 @@ func main() {
 	run("placement", func() error {
 		return benchPlacement(*outDir, *seed, *placePolicy, *linkBW)
 	})
+	run("feedback", func() error {
+		return benchFeedback(*outDir, *seed, *linkBW)
+	})
 	run("kernels", func() error {
 		return benchKernels(*outDir, *seed)
 	})
@@ -211,6 +214,22 @@ func benchPlacement(outDir string, seed int64, policy string, linkBW int64) erro
 		fmt.Println("interaction-aware placement never worse than row-major on the hotspot; strictly better somewhere")
 	}
 	return writeBenchJSON(outDir, "placement", points)
+}
+
+// benchFeedback runs each feedback workload cold (interaction placement)
+// and again after congestion-feedback re-placement, enforces the
+// strict-improvement gate on the hotspot, and emits BENCH_feedback.json.
+func benchFeedback(outDir string, seed, linkBW int64) error {
+	points, err := exp.FeedbackSweep(exp.FeedbackOptions{Seed: seed, LinkBW: sim.Time(linkBW)})
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.RenderFeedback(points))
+	if err := exp.CheckFeedbackImproves(points); err != nil {
+		return err
+	}
+	fmt.Println("congestion-feedback re-placement strictly reduces hotspot stalls; no workload regresses")
+	return writeBenchJSON(outDir, "feedback", points)
 }
 
 // benchFabric runs the topology × bandwidth congestion sweep, asserts the

@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 	"time"
 
 	"dhisq/internal/service"
@@ -21,6 +23,48 @@ type cluster struct {
 	self   string
 	proxy  bool
 	client *http.Client
+
+	// owners remembers which shard a proxied submission landed on, keyed
+	// by the job ID the owner returned. Job IDs are per-shard counters, so
+	// a follow-up GET for a proxied job cannot be re-derived from the ID —
+	// it must be looked up here and proxied to the recorded owner.
+	// Bounded FIFO: ownerOrder evicts the oldest entry past maxOwners.
+	mu         sync.Mutex
+	owners     map[string]string
+	ownerOrder []string
+}
+
+// maxOwners bounds the proxied-job owner table; beyond it the oldest
+// mapping is forgotten (its follow-ups then 404 on the entry shard, same
+// as any retired job).
+const maxOwners = 16384
+
+// recordOwner remembers that job id lives on the given shard.
+func (c *cluster) recordOwner(id, owner string) {
+	if id == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.owners == nil {
+		c.owners = make(map[string]string)
+	}
+	if _, dup := c.owners[id]; !dup {
+		c.ownerOrder = append(c.ownerOrder, id)
+		for len(c.ownerOrder) > maxOwners {
+			delete(c.owners, c.ownerOrder[0])
+			c.ownerOrder = c.ownerOrder[1:]
+		}
+	}
+	c.owners[id] = owner
+}
+
+// jobOwner reports the shard a proxied job id was recorded on ("" = not a
+// job this shard proxied; serve it locally or 404).
+func (c *cluster) jobOwner(id string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.owners[id]
 }
 
 // newCluster parses the -cluster/-self/-proxy flags. An empty list means
@@ -124,7 +168,78 @@ func (c *cluster) forward(w http.ResponseWriter, r *http.Request, owner string, 
 		return
 	}
 	defer resp.Body.Close()
-	w.Header().Set("Content-Type", "application/json")
+	// The body must be buffered anyway to learn the owner's job ID, so the
+	// follow-up table can route this job's polls and streams back there.
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadGateway)
+		fmt.Fprintf(w, `{"error":%q}`, fmt.Sprintf("proxy to %s: read response: %v", owner, err))
+		return
+	}
+	if resp.StatusCode == http.StatusAccepted {
+		var accepted struct {
+			ID string `json:"id"`
+		}
+		if json.Unmarshal(respBody, &accepted) == nil {
+			c.recordOwner(accepted.ID, owner)
+		}
+	}
+	// Relay the owner's headers wholesale (replace, not append, so our own
+	// pre-set X-Dhisq-Shard doesn't duplicate): the owner's Content-Type
+	// and any operational headers must survive the proxy hop.
+	for k, vv := range resp.Header {
+		w.Header()[k] = append([]string(nil), vv...)
+	}
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	w.Write(respBody)
+}
+
+// proxyRead relays a job follow-up (poll, long-poll, or NDJSON stream) to
+// the shard that owns the job, flushing after every chunk so streamed
+// lines reach the client as the owner emits them, not when the response
+// ends.
+func (c *cluster) proxyRead(w http.ResponseWriter, r *http.Request, owner string) {
+	target := owner + r.URL.Path
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, target, nil)
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadGateway)
+		fmt.Fprintf(w, `{"error":%q}`, fmt.Sprintf("proxy to %s: %v", owner, err))
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadGateway)
+		fmt.Fprintf(w, `{"error":%q}`, fmt.Sprintf("proxy to %s: %v", owner, err))
+		return
+	}
+	defer resp.Body.Close()
+	for k, vv := range resp.Header {
+		w.Header()[k] = append([]string(nil), vv...)
+	}
+	w.Header().Set("X-Dhisq-Shard", owner)
+	w.WriteHeader(resp.StatusCode)
+	dst := io.Writer(w)
+	if fl, ok := w.(http.Flusher); ok {
+		dst = flushWriter{w: w, fl: fl}
+	}
+	io.Copy(dst, resp.Body)
+}
+
+// flushWriter flushes after every Write, preserving the per-line latency
+// of a proxied NDJSON stream.
+type flushWriter struct {
+	w  io.Writer
+	fl http.Flusher
+}
+
+func (f flushWriter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	f.fl.Flush()
+	return n, err
 }

@@ -42,7 +42,10 @@
 // hot on it. A submission landing on a non-owner answers 307 (Location =
 // the owner's /v1/jobs, X-Dhisq-Shard = the owner's base URL) — or, with
 // -proxy, forwards server-side. Job IDs are per-shard: poll the shard
-// named by the submit response's "shard" field.
+// named by the submit response's "shard" field. In -proxy mode the entry
+// shard also remembers which shard each proxied submission landed on and
+// proxies follow-up polls and streams there, so a dumb client can talk to
+// one shard for the job's whole lifetime.
 //
 // Submit a GHZ circuit and read its histogram:
 //
@@ -52,8 +55,8 @@
 // Usage:
 //
 //	dhisq-serve [-addr :8080] [-workers N] [-queue N] [-shot-workers W]
-//	            [-seed S] [-cache N] [-placement P] [-store DIR]
-//	            [-store-max-bytes N]
+//	            [-seed S] [-cache N] [-placement P] [-schedule S]
+//	            [-replace-stall N] [-store DIR] [-store-max-bytes N]
 //	            [-cluster url1,url2,... -self url [-proxy]]
 package main
 
@@ -74,6 +77,7 @@ import (
 
 	"dhisq/internal/artifact"
 	"dhisq/internal/circuit"
+	"dhisq/internal/compiler"
 	"dhisq/internal/machine"
 	"dhisq/internal/network"
 	"dhisq/internal/placement"
@@ -89,7 +93,9 @@ func main() {
 	shotWorkers := flag.Int("shot-workers", 1, "machine replicas per job's shot fan-out")
 	seed := flag.Int64("seed", 1, "service base seed for jobs without one")
 	cacheCap := flag.Int("cache", artifact.DefaultCapacity, "artifact cache capacity (entries)")
-	placePolicy := flag.String("placement", "", "default placement policy for jobs that don't name one: identity, rowmajor, or interaction")
+	placePolicy := flag.String("placement", "", "default placement policy for jobs that don't name one: identity, rowmajor, interaction, or congestion")
+	schedPolicy := flag.String("schedule", "", "default scheduling policy for jobs that don't name one: fixed or padded")
+	replaceStall := flag.Uint64("replace-stall", 0, "aggregate fabric-stall cycles per artifact beyond which the service re-places it with congestion feedback (0 = off)")
 	storeDir := flag.String("store", "", "directory for the persistent artifact store (restores compiles across restarts)")
 	storeMax := flag.Int64("store-max-bytes", 0, "artifact store byte budget, oldest spills evicted beyond it (0 = 512 MiB)")
 	clusterList := flag.String("cluster", "", "comma-separated base URLs of every shard, this one included (enables consistent-hash routing)")
@@ -98,6 +104,10 @@ func main() {
 	flag.Parse()
 
 	if err := placement.Valid(*placePolicy); err != nil {
+		fmt.Fprintln(os.Stderr, "dhisq-serve:", err)
+		os.Exit(2)
+	}
+	if err := compiler.ValidSchedule(*schedPolicy); err != nil {
 		fmt.Fprintln(os.Stderr, "dhisq-serve:", err)
 		os.Exit(2)
 	}
@@ -119,8 +129,9 @@ func main() {
 	svc := service.New(service.Config{
 		Workers: *workers, QueueDepth: *queue,
 		ShotWorkers: *shotWorkers, Seed: *seed,
+		ReplaceStallThreshold: *replaceStall,
 	})
-	srv := &http.Server{Addr: *addr, Handler: newClusterHandler(svc, *placePolicy, cl)}
+	srv := &http.Server{Addr: *addr, Handler: newClusterHandler(svc, *placePolicy, *schedPolicy, cl)}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -167,9 +178,12 @@ type submitRequest struct {
 	LinkBW      int64 `json:"link_bw,omitempty"`
 	RouterPorts int   `json:"router_ports,omitempty"`
 	// Placement names the placement policy for unmapped circuits
-	// ("identity", "rowmajor", "interaction"; "" = the daemon's
-	// -placement default, itself defaulting to identity).
+	// ("identity", "rowmajor", "interaction", "congestion"; "" = the
+	// daemon's -placement default, itself defaulting to identity).
 	Placement string `json:"placement,omitempty"`
+	// Schedule names the compiler's scheduling policy ("fixed", "padded";
+	// "" = the daemon's -schedule default, itself defaulting to fixed).
+	Schedule string `json:"schedule,omitempty"`
 	// Params binds the circuit's symbolic parameters (QASM angles written
 	// as identifiers, e.g. "rz(theta0) q[0];"); Sweep runs the circuit at
 	// every listed binding inside one job — the skeleton compiles once
@@ -194,6 +208,7 @@ type jobResponse struct {
 	MeshW     int            `json:"mesh_w,omitempty"`
 	MeshH     int            `json:"mesh_h,omitempty"`
 	Placement string         `json:"placement,omitempty"`
+	Schedule  string         `json:"schedule,omitempty"`
 	Mapping   []int          `json:"mapping,omitempty"`
 	Makespan  int64          `json:"makespan_cycles,omitempty"`
 	Histogram map[string]int `json:"histogram,omitempty"`
@@ -212,23 +227,24 @@ func toResponse(st service.JobStatus) jobResponse {
 	return jobResponse{
 		ID: st.ID, State: string(st.State), Shots: st.Shots, Seed: st.Seed,
 		Fingerprint: st.Fingerprint, CacheHit: st.CacheHit, Batched: st.Batched,
-		MeshW: st.MeshW, MeshH: st.MeshH, Placement: st.Placement, Mapping: st.Mapping,
+		MeshW: st.MeshW, MeshH: st.MeshH, Placement: st.Placement,
+		Schedule: st.Schedule, Mapping: st.Mapping,
 		Makespan: st.Makespan, Histogram: st.Histogram, Points: st.Points, Error: st.Err,
 	}
 }
 
 // newHandler builds the single-node JSON API over a running service
 // (separate from main so tests drive it through httptest).
-// defaultPlacement is applied to submissions that don't name a policy
-// (the -placement flag).
-func newHandler(svc *service.Service, defaultPlacement string) http.Handler {
-	return newClusterHandler(svc, defaultPlacement, nil)
+// defaultPlacement/defaultSchedule are applied to submissions that don't
+// name a policy (the -placement and -schedule flags).
+func newHandler(svc *service.Service, defaultPlacement, defaultSchedule string) http.Handler {
+	return newClusterHandler(svc, defaultPlacement, defaultSchedule, nil)
 }
 
 // newClusterHandler is newHandler plus consistent-hash routing: with a
 // non-nil cluster, submissions that hash to another shard are redirected
 // (or proxied) there, and every job response names its owning shard.
-func newClusterHandler(svc *service.Service, defaultPlacement string, cl *cluster) http.Handler {
+func newClusterHandler(svc *service.Service, defaultPlacement, defaultSchedule string, cl *cluster) http.Handler {
 	mux := http.NewServeMux()
 
 	writeJSON := func(w http.ResponseWriter, code int, v any) {
@@ -267,6 +283,9 @@ func newClusterHandler(svc *service.Service, defaultPlacement string, cl *cluste
 		}
 		if req.Placement == "" {
 			req.Placement = defaultPlacement
+		}
+		if req.Schedule == "" {
+			req.Schedule = defaultSchedule
 		}
 		sreq, err := buildRequest(req)
 		if err != nil {
@@ -321,7 +340,21 @@ func newClusterHandler(svc *service.Service, defaultPlacement string, cl *cluste
 			return
 		}
 		id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
-		if sid, ok := strings.CutSuffix(id, "/stream"); ok {
+		sid, isStream := strings.CutSuffix(id, "/stream")
+		if cl != nil {
+			lookup := id
+			if isStream {
+				lookup = sid
+			}
+			// A job this shard proxied at submit time lives on another
+			// shard under an ID that means nothing locally: route the
+			// follow-up (poll, long-poll, or stream) to the recorded owner.
+			if owner := cl.jobOwner(lookup); owner != "" && owner != cl.self {
+				cl.proxyRead(w, r, owner)
+				return
+			}
+		}
+		if isStream {
 			streamJob(w, r, svc, sid, withShard, writeErr)
 			return
 		}
@@ -381,13 +414,26 @@ func streamJob(w http.ResponseWriter, r *http.Request, svc *service.Service,
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	fl, _ := w.(http.Flusher)
+	// A failed write means the client is gone: stop emitting (later writes
+	// would fail too, and encoding them is wasted work) and cancel the
+	// watch so the service-side Stream unblocks instead of riding the job
+	// to completion for nobody.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	var emitErr error
 	emit := func(line streamLine) {
-		enc.Encode(line)
+		if emitErr != nil {
+			return
+		}
+		if emitErr = enc.Encode(line); emitErr != nil {
+			cancel()
+			return
+		}
 		if fl != nil {
 			fl.Flush()
 		}
 	}
-	final, ok := svc.Stream(r.Context(), id, func(p service.PointStatus) {
+	final, ok := svc.Stream(ctx, id, func(p service.PointStatus) {
 		emit(streamLine{Point: &p})
 	})
 	if !ok {
@@ -434,7 +480,11 @@ func buildRequest(req submitRequest) (service.Request, error) {
 	if err := placement.Valid(req.Placement); err != nil {
 		return service.Request{}, err
 	}
+	if err := compiler.ValidSchedule(req.Schedule); err != nil {
+		return service.Request{}, err
+	}
 	sreq.Placement = req.Placement
+	sreq.Schedule = req.Schedule
 	sreq.Params = req.Params
 	sreq.Sweep = req.Sweep
 	if err := applyFabric(req, &sreq); err != nil {

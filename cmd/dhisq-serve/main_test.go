@@ -28,7 +28,7 @@ measure q[3] -> c[3];
 func newTestServer(t *testing.T) (*httptest.Server, *service.Service) {
 	t.Helper()
 	svc := service.New(service.Config{Workers: 2, QueueDepth: 8})
-	ts := httptest.NewServer(newHandler(svc, ""))
+	ts := httptest.NewServer(newHandler(svc, "", ""))
 	t.Cleanup(func() { ts.Close(); svc.Close() })
 	return ts, svc
 }

@@ -17,6 +17,7 @@
 //	dhisq-sim -shots 100 -workers 4 ...  multi-shot execution
 //	dhisq-sim -topo torus -link-bw 4 ..  alternate topology + finite link bandwidth
 //	dhisq-sim -placement interaction ..  interaction-aware qubit placement
+//	dhisq-sim -schedule padded ..        ablate advance-booked scheduling
 //	dhisq-sim -bind theta0=0.5,phi=1 ..  bind a parameterized circuit's angles
 //	dhisq-sim -serve http://host:8080 .. submit to a dhisq-serve daemon
 //	dhisq-sim -list                      list benchmark names
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"dhisq/internal/circuit"
+	"dhisq/internal/compiler"
 	"dhisq/internal/machine"
 	"dhisq/internal/network"
 	"dhisq/internal/placement"
@@ -53,7 +55,8 @@ func main() {
 	topoName := flag.String("topo", "mesh", "fabric topology: mesh, torus, or tree")
 	linkBW := flag.Int64("link-bw", 0, "link bandwidth as cycles per message (0 = infinite, contention off)")
 	routerPorts := flag.Int("router-ports", 0, "physical ports per router (0 = one per tree edge)")
-	placePolicy := flag.String("placement", "", "placement policy for unmapped circuits: identity, rowmajor, or interaction (default identity)")
+	placePolicy := flag.String("placement", "", "placement policy for unmapped circuits: identity, rowmajor, interaction, or congestion (default identity)")
+	schedPolicy := flag.String("schedule", "", "compiler scheduling policy: fixed or padded (default fixed)")
 	bind := flag.String("bind", "", "bind symbolic circuit parameters, e.g. -bind theta0=0.5,theta1=1.2")
 	serve := flag.String("serve", "", "dhisq-serve base URL: submit as a job instead of running in-process")
 	list := flag.Bool("list", false, "list benchmark names")
@@ -71,7 +74,7 @@ func main() {
 
 	if *serve != "" {
 		must(submitRemote(*serve, *qasm, *bench, *scale, *shots, *seed,
-			*topoName, *linkBW, *routerPorts, *placePolicy, params))
+			*topoName, *linkBW, *routerPorts, *placePolicy, *schedPolicy, params))
 		return
 	}
 
@@ -107,10 +110,12 @@ func main() {
 	}
 
 	must(placement.Valid(*placePolicy))
+	must(compiler.ValidSchedule(*schedPolicy))
 	cfg := machine.DefaultConfig(c.NumQubits)
 	cfg.Seed = *seed
 	cfg.Net.MeshW, cfg.Net.MeshH = meshW, meshH
 	cfg.Placement = *placePolicy
+	cfg.Schedule = *schedPolicy
 	topoKind, err := network.ParseTopology(*topoName)
 	must(err)
 	cfg.Net.Topology = topoKind
@@ -203,13 +208,16 @@ func parseBind(s string) (map[string]float64, error) {
 // The flag values are validated locally before anything travels: an
 // invalid -topo or -placement fails here with the parser's own message
 // instead of round-tripping to the daemon for a remote rejection.
-func submitRemote(base, qasmPath, bench string, scale, shots int, seed int64, topo string, linkBW int64, routerPorts int, placePolicy string, params map[string]float64) error {
+func submitRemote(base, qasmPath, bench string, scale, shots int, seed int64, topo string, linkBW int64, routerPorts int, placePolicy, schedPolicy string, params map[string]float64) error {
 	if topo != "" {
 		if _, err := network.ParseTopology(topo); err != nil {
 			return err
 		}
 	}
 	if err := placement.Valid(placePolicy); err != nil {
+		return err
+	}
+	if err := compiler.ValidSchedule(schedPolicy); err != nil {
 		return err
 	}
 	body := map[string]any{"shots": shots, "seed": seed}
@@ -227,6 +235,9 @@ func submitRemote(base, qasmPath, bench string, scale, shots int, seed int64, to
 	}
 	if placePolicy != "" {
 		body["placement"] = placePolicy
+	}
+	if schedPolicy != "" {
+		body["schedule"] = schedPolicy
 	}
 	switch {
 	case qasmPath != "" && bench != "":
@@ -288,6 +299,7 @@ func submitRemote(base, qasmPath, bench string, scale, shots int, seed int64, to
 		MeshW     int            `json:"mesh_w"`
 		MeshH     int            `json:"mesh_h"`
 		Placement string         `json:"placement"`
+		Schedule  string         `json:"schedule"`
 		Mapping   []int          `json:"mapping"`
 		Makespan  int64          `json:"makespan_cycles"`
 		Histogram map[string]int `json:"histogram"`
@@ -305,6 +317,9 @@ func submitRemote(base, qasmPath, bench string, scale, shots int, seed int64, to
 		job.State, job.Seed, job.CacheHit, job.Batched)
 	if job.MeshW > 0 && job.MeshH > 0 {
 		fmt.Printf("placement:     %s on %dx%d mesh\n", job.Placement, job.MeshW, job.MeshH)
+	}
+	if job.Schedule != "" {
+		fmt.Printf("schedule:      %s\n", job.Schedule)
 	}
 	if len(job.Mapping) > 0 {
 		fmt.Printf("mapping:       %v\n", job.Mapping)

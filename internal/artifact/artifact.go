@@ -52,8 +52,11 @@ func (f Fingerprint) Short() string { return hex.EncodeToString(f[:6]) }
 // hashes as +0.0 — the programs were always identical), symbolic
 // parameter names are hashed per op, and the structural-key variant
 // (params elided) joined the encoding, so a whole angle sweep shares one
-// skeleton fingerprint.
-const keyVersion = 4
+// skeleton fingerprint. v5: the schedule policy name joined the compiler
+// options — the Schedule pass resolves directives through the named
+// policy (internal/compiler's schedule registry), so artifacts from
+// different scheduling policies must never alias.
+const keyVersion = 5
 
 // Key fingerprints a compilation request. Two requests share a key iff
 // the compiler is guaranteed to produce identical output for both: the
@@ -174,6 +177,10 @@ func key(c *circuit.Circuit, mapping []int, net network.Config, opt compiler.Opt
 	// redundant compile at most, never an aliased artifact.
 	wi(int64(len(opt.Placement)))
 	buf = append(buf, opt.Placement...)
+	// Schedule policy: same length-prefixed scheme, same "" vs "fixed"
+	// redundancy tradeoff.
+	wi(int64(len(opt.Schedule)))
+	buf = append(buf, opt.Schedule...)
 
 	return sha256.Sum256(buf)
 }

@@ -94,6 +94,15 @@ func TestKeyDiscriminates(t *testing.T) {
 	check("identity placement name", artifact.Key(base.Circuit, nil, base.Cfg.Net, o4))
 	o4.Placement = "interaction"
 	check("interaction placement", artifact.Key(base.Circuit, nil, base.Cfg.Net, o4))
+
+	// keyVersion 5: the schedule policy is compile-relevant (the Schedule
+	// pass resolves directive replay through it) and must never alias —
+	// same "" vs "fixed" contract as placement.
+	o5 := opt
+	o5.Schedule = "fixed"
+	check("fixed schedule name", artifact.Key(base.Circuit, nil, base.Cfg.Net, o5))
+	o5.Schedule = "padded"
+	check("padded schedule", artifact.Key(base.Circuit, nil, base.Cfg.Net, o5))
 }
 
 // Identical submissions hit; the second compile never runs.

@@ -75,6 +75,11 @@ type Options struct {
 	// Part of the artifact fingerprint: two policies never share a cache
 	// entry even when they happen to compute the same mapping.
 	Placement string
+	// Schedule names the scheduling policy the Schedule pass applies
+	// ("" = "fixed", the legacy directive replay). Part of the artifact
+	// fingerprint, exactly like Placement: two policies never share a
+	// cache entry even when they emit the same programs.
+	Schedule string
 }
 
 // DefaultOptions uses the paper's durations and a 5-cycle (20 ns) readout

@@ -1,0 +1,112 @@
+package compiler
+
+import (
+	"sort"
+
+	"dhisq/internal/network"
+	"dhisq/internal/placement"
+)
+
+// Feedback carries measured fabric congestion back into compilation: the
+// per-link stall attribution and router utilization harvested from
+// machine.Result.Net. It closes the compile↔fabric loop — a placement was
+// chosen blind, the fabric measured where its traffic actually queued, and
+// Feedback is the digest a re-placement (placement.CongestionPlace, the
+// service's re-place path) consumes.
+//
+// Feedback aggregation is commutative: Absorb sums per-link stalls and
+// maxes utilization, so folding the same shot set in any order — any
+// worker count — produces the identical struct. That is what makes the
+// re-placed program deterministic.
+type Feedback struct {
+	// Links is the per-directed-link stall attribution, sorted by
+	// (From, To); only links that carried traffic appear.
+	Links []LinkStall
+	// TotalStall is every cycle any message spent queued anywhere (links
+	// and router ports), summed over absorbed shots.
+	TotalStall int64
+	// RouterUtilization is the largest single-shot busiest-port occupancy
+	// ratio seen across absorbed shots.
+	RouterUtilization float64
+	// Shots counts the absorbed congestion snapshots.
+	Shots int
+}
+
+// LinkStall is one directed controller-mesh link's aggregated queueing
+// stall.
+type LinkStall struct {
+	From, To int    // controller endpoints of the directed link
+	Stall    int64  // cycles messages waited to enter it, summed over shots
+	Messages uint64 // messages it carried, summed over shots
+}
+
+// Absorb folds one run's congestion snapshot (and its router utilization)
+// into the feedback. Snapshots with the contention model disabled are
+// ignored — they carry no attribution.
+func (f *Feedback) Absorb(net network.CongestionStats, routerUtil float64) {
+	if !net.Enabled {
+		return
+	}
+	f.Shots++
+	f.TotalStall += int64(net.TotalStall())
+	if routerUtil > f.RouterUtilization {
+		f.RouterUtilization = routerUtil
+	}
+	for _, l := range net.Links {
+		f.addLink(l.From, l.To, int64(l.Stall), l.Messages)
+	}
+}
+
+// addLink merges one link observation, keeping Links sorted by (From, To).
+func (f *Feedback) addLink(from, to int, stall int64, messages uint64) {
+	i := sort.Search(len(f.Links), func(i int) bool {
+		if f.Links[i].From != from {
+			return f.Links[i].From >= from
+		}
+		return f.Links[i].To >= to
+	})
+	if i < len(f.Links) && f.Links[i].From == from && f.Links[i].To == to {
+		f.Links[i].Stall += stall
+		f.Links[i].Messages += messages
+		return
+	}
+	f.Links = append(f.Links, LinkStall{})
+	copy(f.Links[i+1:], f.Links[i:])
+	f.Links[i] = LinkStall{From: from, To: to, Stall: stall, Messages: messages}
+}
+
+// Merge folds another feedback digest into f. Like Absorb it is
+// commutative and associative, so per-job digests merged in any completion
+// order yield the identical aggregate.
+func (f *Feedback) Merge(o *Feedback) {
+	if o == nil {
+		return
+	}
+	f.Shots += o.Shots
+	f.TotalStall += o.TotalStall
+	if o.RouterUtilization > f.RouterUtilization {
+		f.RouterUtilization = o.RouterUtilization
+	}
+	for _, l := range o.Links {
+		f.addLink(l.From, l.To, l.Stall, l.Messages)
+	}
+}
+
+// Empty reports whether the feedback carries no stall signal — nothing for
+// a congestion-weighted re-placement to act on.
+func (f *Feedback) Empty() bool { return f == nil || f.TotalStall == 0 }
+
+// LinkLoads converts the attribution into the neutral form the placement
+// package consumes (placement cannot import compiler).
+func (f *Feedback) LinkLoads() []placement.LinkLoad {
+	if f == nil {
+		return nil
+	}
+	out := make([]placement.LinkLoad, 0, len(f.Links))
+	for _, l := range f.Links {
+		if l.Stall > 0 {
+			out = append(out, placement.LinkLoad{From: l.From, To: l.To, Stall: l.Stall})
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package compiler
+
+import (
+	"reflect"
+	"testing"
+
+	"dhisq/internal/network"
+	"dhisq/internal/sim"
+)
+
+func snap(links ...network.LinkStat) network.CongestionStats {
+	st := network.CongestionStats{Enabled: true, Links: links}
+	for _, l := range links {
+		st.LinkMessages += l.Messages
+		st.LinkStall += l.Stall
+	}
+	return st
+}
+
+// TestFeedbackAbsorb pins the digest semantics: disabled snapshots are
+// ignored, links merge by (From, To) and stay sorted, totals sum,
+// utilization maxes.
+func TestFeedbackAbsorb(t *testing.T) {
+	var fb Feedback
+	fb.Absorb(network.CongestionStats{Enabled: false, LinkStall: 99}, 0.9)
+	if fb.Shots != 0 || fb.TotalStall != 0 || !fb.Empty() {
+		t.Fatalf("disabled snapshot absorbed: %+v", fb)
+	}
+	fb.Absorb(snap(
+		network.LinkStat{From: 3, To: 2, Messages: 4, Stall: 10},
+		network.LinkStat{From: 1, To: 2, Messages: 2, Stall: 5},
+	), 0.5)
+	fb.Absorb(snap(
+		network.LinkStat{From: 1, To: 2, Messages: 1, Stall: 7},
+	), 0.25)
+	if fb.Shots != 2 || fb.TotalStall != 22 {
+		t.Fatalf("totals wrong: %+v", fb)
+	}
+	if fb.RouterUtilization != 0.5 {
+		t.Fatalf("utilization %v, want max 0.5", fb.RouterUtilization)
+	}
+	want := []LinkStall{
+		{From: 1, To: 2, Stall: 12, Messages: 3},
+		{From: 3, To: 2, Stall: 10, Messages: 4},
+	}
+	if !reflect.DeepEqual(fb.Links, want) {
+		t.Fatalf("links = %+v, want %+v", fb.Links, want)
+	}
+	if fb.Empty() {
+		t.Fatal("non-zero feedback reported empty")
+	}
+}
+
+// TestFeedbackMergeCommutes: folding per-job digests in any order yields
+// the identical aggregate — the property that makes the service's
+// re-place trigger deterministic at any completion order.
+func TestFeedbackMergeCommutes(t *testing.T) {
+	mk := func(stats ...network.CongestionStats) *Feedback {
+		fb := &Feedback{}
+		for _, s := range stats {
+			fb.Absorb(s, 0.1*float64(s.LinkStall))
+		}
+		return fb
+	}
+	a := mk(snap(network.LinkStat{From: 0, To: 1, Messages: 1, Stall: 3}))
+	b := mk(snap(
+		network.LinkStat{From: 2, To: 1, Messages: 5, Stall: 8},
+		network.LinkStat{From: 0, To: 1, Messages: 2, Stall: 1},
+	))
+	c := mk(snap(network.LinkStat{From: 0, To: 3, Messages: 9, Stall: 2}))
+
+	fold := func(order ...*Feedback) Feedback {
+		var out Feedback
+		for _, f := range order {
+			out.Merge(f)
+		}
+		return out
+	}
+	ref := fold(a, b, c)
+	if got := fold(c, a, b); !reflect.DeepEqual(got, ref) {
+		t.Fatalf("merge order changed the aggregate:\n  %+v\nvs %+v", got, ref)
+	}
+	if got := fold(b, c, a); !reflect.DeepEqual(got, ref) {
+		t.Fatalf("merge order changed the aggregate:\n  %+v\nvs %+v", got, ref)
+	}
+	var zero Feedback
+	zero.Merge(nil)
+	if !zero.Empty() {
+		t.Fatal("merging nil changed an empty feedback")
+	}
+}
+
+// TestFeedbackLinkLoads: conversion keeps only stalled links, in sorted
+// order, and a nil feedback converts to nothing.
+func TestFeedbackLinkLoads(t *testing.T) {
+	var fb Feedback
+	fb.Absorb(snap(
+		network.LinkStat{From: 2, To: 3, Messages: 6, Stall: 0},
+		network.LinkStat{From: 0, To: 1, Messages: 1, Stall: sim.Time(4)},
+	), 0)
+	loads := fb.LinkLoads()
+	if len(loads) != 1 || loads[0].From != 0 || loads[0].To != 1 || loads[0].Stall != 4 {
+		t.Fatalf("LinkLoads = %+v", loads)
+	}
+	if (*Feedback)(nil).LinkLoads() != nil {
+		t.Fatal("nil feedback produced loads")
+	}
+	if !(*Feedback)(nil).Empty() {
+		t.Fatal("nil feedback not empty")
+	}
+}

@@ -13,9 +13,10 @@ import (
 // and branch-body assembly for conditioned commits (whose in-branch guard
 // wait depends on the instruction count accumulated here).
 //
-// Streams are independent — no directive reads another controller's state
-// — so replaying them one at a time reproduces the monolithic compiler's
-// interleaved emission exactly.
+// How the directives are resolved is a pluggable policy, mirroring the
+// Place pass: Options.Schedule names a registered SchedulePolicy and the
+// pass delegates to it. The "fixed" policy is the legacy replay,
+// byte-identical to the pre-registry Schedule pass.
 type Schedule struct{}
 
 // Name implements Pass.
@@ -26,6 +27,97 @@ func (Schedule) Run(st *State) error {
 	if st.lowered == nil {
 		return fmt.Errorf("compiler: schedule before lower")
 	}
+	pol, err := GetSchedule(st.Opt.Schedule)
+	if err != nil {
+		return err
+	}
+	return pol.Run(st)
+}
+
+// SchedulePolicy resolves a State's lowered directive streams into the
+// timed unit streams Assemble concatenates. Policies run after Lower, so
+// st.lowered, the interned tables and the option set are all available;
+// a policy must fill st.scheduled with one stream per controller.
+//
+// Policies must be deterministic — the same State input always yields the
+// same streams — which is what makes a policy name safe to hash into the
+// artifact fingerprint (internal/artifact keyVersion 5).
+type SchedulePolicy interface {
+	// Name is the registry key ("fixed", "padded").
+	Name() string
+	// Run resolves st.lowered into st.scheduled.
+	Run(st *State) error
+}
+
+// DefaultSchedule is the policy an empty name resolves to: the legacy
+// fixed replay, guaranteed byte-identical to the pre-registry compiler.
+const DefaultSchedule = "fixed"
+
+// schedulePolicies is the fixed registry, in documentation order.
+var schedulePolicies = []SchedulePolicy{fixedPolicy{}, paddedPolicy{}}
+
+// ScheduleNames lists the registered scheduling policies in stable order.
+func ScheduleNames() []string {
+	out := make([]string, len(schedulePolicies))
+	for i, p := range schedulePolicies {
+		out[i] = p.Name()
+	}
+	return out
+}
+
+// GetSchedule resolves a scheduling policy by name ("" = DefaultSchedule).
+// Unknown names error with the valid set, so CLI and API validation share
+// one message.
+func GetSchedule(name string) (SchedulePolicy, error) {
+	if name == "" {
+		name = DefaultSchedule
+	}
+	for _, p := range schedulePolicies {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("compiler: unknown schedule policy %q (want %v)", name, ScheduleNames())
+}
+
+// ValidSchedule reports whether name resolves to a registered scheduling
+// policy ("" counts — it resolves to DefaultSchedule). The client-side
+// check dhisq-sim -serve runs before a submission travels to the daemon.
+func ValidSchedule(name string) error {
+	_, err := GetSchedule(name)
+	return err
+}
+
+// fixedPolicy is the legacy schedule: replay every directive in lowering
+// order, honoring Options.AdvanceBooking for sync placement. Streams are
+// independent — no directive reads another controller's state — so
+// replaying them one at a time reproduces the monolithic compiler's
+// interleaved emission exactly.
+type fixedPolicy struct{}
+
+func (fixedPolicy) Name() string { return "fixed" }
+
+func (fixedPolicy) Run(st *State) error {
+	return replayStreams(st, st.Opt.AdvanceBooking)
+}
+
+// paddedPolicy replays the directives with advance booking forced off:
+// every sync sits immediately before its synchronized instruction with the
+// window fully padded — the QubiC-style scheme of §2.1.3 as a selectable
+// policy, so the ablation no longer needs a separate option plumbed
+// through every layer.
+type paddedPolicy struct{}
+
+func (paddedPolicy) Name() string { return "padded" }
+
+func (paddedPolicy) Run(st *State) error {
+	return replayStreams(st, false)
+}
+
+// replayStreams is the shared directive replay: one timed stream per
+// controller, with advance deciding whether sync bookings slide backwards
+// (Fig. 6) or pad in place.
+func replayStreams(st *State, advance bool) error {
 	opt := st.Opt
 	st.scheduled = make([]*stream, len(st.lowered))
 	for i, l := range st.lowered {
@@ -41,7 +133,7 @@ func (Schedule) Run(st *State) error {
 			case dAnchor:
 				s.anchor()
 			case dSync:
-				s.insertSyncBack(d.target, d.window, opt.AdvanceBooking)
+				s.insertSyncBack(d.target, d.window, advance)
 			case dCond:
 				scheduleCond(s, d.cond, opt.PipeGuard)
 			default:

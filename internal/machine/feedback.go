@@ -1,0 +1,128 @@
+package machine
+
+import (
+	"fmt"
+
+	"dhisq/internal/circuit"
+	"dhisq/internal/compiler"
+	"dhisq/internal/network"
+	"dhisq/internal/placement"
+)
+
+// RePlace closes the compile↔fabric loop for one circuit: given congestion
+// feedback measured under the prior mapping (nil = identity), it generates
+// stall-weighted candidate placements (placement.CongestionCandidates),
+// probes each with a one-shot run, refines the winner by measured pairwise
+// swaps, and returns the mapping with the lowest observed fabric stall
+// alongside that stall count.
+//
+// The incumbent mapping is always candidate zero and ties keep the
+// earliest candidate, so the result is never measurably worse than prior.
+// Every step — candidate generation, probe order, swap order, strict-
+// improvement acceptance — is deterministic, so identical feedback yields
+// identical re-placed mappings (and therefore identical re-compiled
+// programs) at any worker count.
+//
+// cfg must describe the machine the feedback was measured on (mesh shape,
+// contention model, backend, seed). With contention disabled, or with
+// empty feedback, the probe reads zero stall everywhere and the incumbent
+// wins: RePlace degrades to a no-op rather than an error.
+func RePlace(c *circuit.Circuit, cfg Config, prior []int, fb *compiler.Feedback) ([]int, int64, error) {
+	topo, err := network.NewTopology(cfg.Net)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Probes are single unbatched shots; lanes and event logging only cost.
+	cfg.ShotLanes = 0
+	cfg.LogEvents = false
+	incumbent := prior
+	if incumbent == nil {
+		incumbent = make([]int, c.NumQubits)
+		for q := range incumbent {
+			incumbent[q] = q
+		}
+	}
+
+	probe := func(mapping []int) (int64, error) {
+		m, err := NewForCircuit(c, cfg.Net.MeshW, cfg.Net.MeshH, cfg)
+		if err != nil {
+			return 0, err
+		}
+		cp, err := m.CompileFresh(c, mapping, m.CompileOptions())
+		if err != nil {
+			return 0, err
+		}
+		if err := m.Load(cp); err != nil {
+			return 0, err
+		}
+		rs, err := m.RunShots(1)
+		if err != nil {
+			return 0, err
+		}
+		return int64(rs[0].Net.TotalStall()), nil
+	}
+
+	candidates := [][]int{incumbent}
+	if fb != nil && !fb.Empty() {
+		more, err := placement.CongestionCandidates(c, topo, incumbent, fb.LinkLoads())
+		if err != nil {
+			return nil, 0, err
+		}
+		candidates = append(candidates, more...)
+	}
+
+	best, bestStall := -1, int64(0)
+	for i, cand := range candidates {
+		stall, err := probe(cand)
+		if err != nil {
+			return nil, 0, fmt.Errorf("machine: re-place probe %d: %w", i, err)
+		}
+		if best < 0 || stall < bestStall {
+			best, bestStall = i, stall
+		}
+	}
+	bestMap := append([]int(nil), candidates[best]...)
+	if bestStall == 0 {
+		return bestMap, 0, nil
+	}
+
+	// Measured swap descent: walk qubit pairs in fixed order, keep any swap
+	// that strictly lowers the probed stall, and stop after a pass with no
+	// improvement (or when the probe budget runs out). First-improvement in
+	// a fixed order is deterministic.
+	const maxPasses, maxProbes = 2, 512
+	probes := 0
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for a := 0; a < c.NumQubits && probes < maxProbes; a++ {
+			for b := a + 1; b < c.NumQubits && probes < maxProbes; b++ {
+				bestMap[a], bestMap[b] = bestMap[b], bestMap[a]
+				stall, err := probe(bestMap)
+				probes++
+				if err != nil {
+					return nil, 0, fmt.Errorf("machine: re-place swap probe: %w", err)
+				}
+				if stall < bestStall {
+					bestStall = stall
+					improved = true
+				} else {
+					bestMap[a], bestMap[b] = bestMap[b], bestMap[a]
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return bestMap, bestStall, nil
+}
+
+// HarvestFeedback folds a run's results into a Feedback digest — the
+// bridge from machine.Result.Net back into the compiler's feedback types.
+func HarvestFeedback(results []Result) *compiler.Feedback {
+	fb := &compiler.Feedback{}
+	for _, r := range results {
+		fb.Absorb(r.Net, r.RouterUtilization)
+	}
+	return fb
+}

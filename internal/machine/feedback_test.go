@@ -1,0 +1,154 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"dhisq/internal/circuit"
+	"dhisq/internal/compiler"
+)
+
+// starCircuit is the adversarial placement workload: every data qubit
+// CNOTs into one hub, so the hub's links congest under finite bandwidth.
+func starCircuit(n int) *circuit.Circuit {
+	c := circuit.New(n)
+	hub := n - 1
+	for round := 0; round < 3; round++ {
+		for q := 0; q < n-1; q++ {
+			c.CNOT(q, hub)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.MeasureInto(q, q)
+	}
+	return c
+}
+
+func contendedConfig(n int) Config {
+	cfg := DefaultConfig(n)
+	cfg.Backend = BackendSeeded
+	cfg.Seed = 1
+	cfg.Net.LinkSerialization = 4
+	return cfg
+}
+
+// measuredFeedback runs one shot under the given mapping and harvests its
+// congestion digest (plus the measured stall, for never-worse checks).
+func measuredFeedback(t *testing.T, c *circuit.Circuit, cfg Config, mapping []int) (*compiler.Feedback, int64) {
+	t.Helper()
+	m, err := NewForCircuit(c, cfg.Net.MeshW, cfg.Net.MeshH, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := m.CompileFresh(c, mapping, m.CompileOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(cp); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := m.RunShots(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return HarvestFeedback(rs), int64(rs[0].Net.TotalStall())
+}
+
+// TestRePlaceDeterministic: identical feedback must yield the identical
+// re-placed mapping and measured stall — the property the service's
+// worker-count-independent re-placement rests on.
+func TestRePlaceDeterministic(t *testing.T) {
+	c := starCircuit(9)
+	cfg := contendedConfig(9)
+	fb, _ := measuredFeedback(t, c, cfg, nil)
+	m1, s1, err := RePlace(c, cfg, nil, fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, s2, err := RePlace(c, cfg, nil, fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m1, m2) || s1 != s2 {
+		t.Fatalf("RePlace not deterministic: (%v, %d) vs (%v, %d)", m1, s1, m2, s2)
+	}
+}
+
+// TestRePlaceNeverMeasurablyWorse: the returned mapping's measured stall
+// must not exceed the incumbent's — the incumbent is candidate zero and
+// only strict improvements are accepted.
+func TestRePlaceNeverMeasurablyWorse(t *testing.T) {
+	c := starCircuit(9)
+	cfg := contendedConfig(9)
+	fb, incumbentStall := measuredFeedback(t, c, cfg, nil)
+	if incumbentStall == 0 {
+		t.Fatal("star workload produced no stall — contention model off?")
+	}
+	mapping, stall, err := RePlace(c, cfg, nil, fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stall > incumbentStall {
+		t.Fatalf("re-place selected stall %d above incumbent %d", stall, incumbentStall)
+	}
+	// The reported stall must be real: re-measure the returned mapping.
+	_, remeasured := measuredFeedback(t, c, cfg, mapping)
+	if remeasured != stall {
+		t.Fatalf("reported stall %d != re-measured %d", stall, remeasured)
+	}
+}
+
+// TestRePlaceEmptyFeedbackKeepsIncumbent: with no stall signal there are
+// no candidates beyond the incumbent, so the prior mapping comes back.
+func TestRePlaceEmptyFeedbackKeepsIncumbent(t *testing.T) {
+	c := starCircuit(6)
+	cfg := contendedConfig(6)
+	cfg.Net.LinkSerialization = 0 // contention off: probes read zero stall
+	prior := []int{2, 1, 0, 3, 5, 4}
+	mapping, stall, err := RePlace(c, cfg, prior, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stall != 0 {
+		t.Fatalf("contention-free probe reported stall %d", stall)
+	}
+	if !reflect.DeepEqual(mapping, prior) {
+		t.Fatalf("empty feedback changed the mapping: %v -> %v", prior, mapping)
+	}
+}
+
+// TestHarvestFeedback: the bridge from shot results to the compiler's
+// digest sums stalls across shots and keeps the max utilization.
+func TestHarvestFeedback(t *testing.T) {
+	c := starCircuit(9)
+	cfg := contendedConfig(9)
+	m, err := NewForCircuit(c, cfg.Net.MeshW, cfg.Net.MeshH, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := m.Compile(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(cp); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := m.RunShots(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := HarvestFeedback(rs)
+	if fb.Shots != 3 {
+		t.Fatalf("harvested %d shots, want 3", fb.Shots)
+	}
+	var want int64
+	for _, r := range rs {
+		want += int64(r.Net.TotalStall())
+	}
+	if fb.TotalStall != want {
+		t.Fatalf("TotalStall %d, want %d", fb.TotalStall, want)
+	}
+	if want > 0 && len(fb.Links) == 0 {
+		t.Fatal("stall recorded but no link attribution")
+	}
+}

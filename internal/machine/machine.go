@@ -48,6 +48,11 @@ type Config struct {
 	// the legacy byte-identical behavior; see internal/placement). Part of
 	// the compile fingerprint via CompileOptions.
 	Placement string
+	// Schedule names the scheduling policy the compiler's Schedule pass
+	// uses ("" = fixed, the legacy byte-identical replay; see the schedule
+	// registry in internal/compiler). Part of the compile fingerprint via
+	// CompileOptions, exactly like Placement.
+	Schedule string
 	// ShotLanes > 1 builds the chip backend as that many independent state
 	// lanes: one event-simulation replay drives every lane, so a block of
 	// ShotLanes shots costs one Run (see runner.RunBatched). Deliberately
@@ -192,6 +197,7 @@ func (m *Machine) CompileOptions() compiler.Options {
 	opt.Durations = m.Cfg.Durations
 	opt.MeasLatency = m.Cfg.MeasLatency
 	opt.Placement = m.Cfg.Placement
+	opt.Schedule = m.Cfg.Schedule
 	return opt
 }
 
@@ -208,6 +214,7 @@ func CompileOptionsFor(cfg Config) (compiler.Options, error) {
 	opt.Durations = cfg.Durations
 	opt.MeasLatency = cfg.MeasLatency
 	opt.Placement = cfg.Placement
+	opt.Schedule = cfg.Schedule
 	return opt, nil
 }
 

@@ -95,10 +95,10 @@ func TestResetRerunBitIdentical(t *testing.T) {
 			fresh := buildLoaded(t, tc.c, tc.meshW, tc.meshH, cfg)
 			res3, bits3 := runOnce(t, fresh)
 
-			if res1 != res2 {
+			if !reflect.DeepEqual(res1, res2) {
 				t.Fatalf("reset re-run result diverged:\n  first %+v\n  reset %+v", res1, res2)
 			}
-			if res1 != res3 {
+			if !reflect.DeepEqual(res1, res3) {
 				t.Fatalf("reset machine diverged from fresh build:\n  reset %+v\n  fresh %+v", res1, res3)
 			}
 			if !reflect.DeepEqual(bits1, bits2) || !reflect.DeepEqual(bits1, bits3) {
@@ -128,7 +128,7 @@ func TestRunShotsMatchesFreshMachines(t *testing.T) {
 		shotCfg.Seed = DeriveSeed(cfg.Seed, k)
 		fresh := buildLoaded(t, c, 4, 4, shotCfg)
 		want, _ := runOnce(t, fresh)
-		if res != want {
+		if !reflect.DeepEqual(res, want) {
 			t.Fatalf("shot %d: RunShots %+v != fresh machine %+v", k, res, want)
 		}
 	}

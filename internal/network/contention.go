@@ -45,6 +45,28 @@ func (f *Fabric) linkIndex(from, to int) int {
 	panic("network: linkIndex on non-adjacent pair")
 }
 
+// linkEndpoints is the inverse of linkIndex: the (from, to) controller
+// pair of resource slot i. Slots for mesh-edge directions that do not
+// exist on a non-torus mesh are never reserved, so callers only see
+// indices whose neighbor arithmetic is valid.
+func (f *Fabric) linkEndpoints(i int) (from, to int) {
+	from = i / 4
+	fx, fy := f.Topo.Coord(from)
+	w, h := f.Topo.Cfg.MeshW, f.Topo.Cfg.MeshH
+	tx, ty := fx, fy
+	switch i % 4 {
+	case 0: // +x
+		tx = (fx + 1) % w
+	case 1: // -x
+		tx = (fx - 1 + w) % w
+	case 2: // +y
+		ty = (fy + 1) % h
+	case 3: // -y
+		ty = (fy - 1 + h) % h
+	}
+	return from, ty*w + tx
+}
+
 // reserveLink books the directed mesh link from -> to for one message
 // wanting to enter at `at`, charging any queueing wait to controller src.
 func (f *Fabric) reserveLink(from, to, src int, at sim.Time) sim.Time {
@@ -170,6 +192,21 @@ type CongestionStats struct {
 	RouterBusiest sim.Time `json:"router_busiest_cycles"`
 	PortBusiest   sim.Time `json:"port_busiest_cycles"`
 	RouterBusy    sim.Time `json:"router_busy_cycles"`
+	// Links is the per-link breakdown behind the aggregate Link* counters:
+	// one entry per directed mesh link that carried (or queued) at least one
+	// message, ordered by resource slot — deterministic for a deterministic
+	// run. It is what compiler.Feedback harvests to attribute stalls to
+	// specific controller pairs; aggregate-only consumers can ignore it.
+	Links []LinkStat `json:"links,omitempty"`
+}
+
+// LinkStat is one directed mesh link's contention snapshot.
+type LinkStat struct {
+	From     int      `json:"from"` // sending controller
+	To       int      `json:"to"`   // receiving neighbor controller
+	Messages uint64   `json:"messages"`
+	Stall    sim.Time `json:"stall_cycles"`
+	MaxQueue int      `json:"max_queue"`
 }
 
 // TotalStall is every cycle any message spent queued anywhere.
@@ -197,6 +234,13 @@ func (f *Fabric) Congestion() CongestionStats {
 		st.LinkOverflows += r.Overflows
 		if r.MaxQueue > st.LinkMaxQueue {
 			st.LinkMaxQueue = r.MaxQueue
+		}
+		if r.Messages > 0 || r.StallCycles > 0 {
+			from, to := f.linkEndpoints(i)
+			st.Links = append(st.Links, LinkStat{
+				From: from, To: to,
+				Messages: r.Messages, Stall: r.StallCycles, MaxQueue: r.MaxQueue,
+			})
 		}
 	}
 	for _, rt := range f.routers {

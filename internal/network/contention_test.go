@@ -212,3 +212,71 @@ func TestLinkQueueCapCountsOverflows(t *testing.T) {
 		t.Fatalf("max queue = %d, want 5", st.LinkMaxQueue)
 	}
 }
+
+// TestCongestionLinkBreakdown pins the per-link attribution: every active
+// link appears once with correct endpoints, messages, and stall; idle
+// links are omitted; the breakdown sums back to the aggregate counters.
+func TestCongestionLinkBreakdown(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.MeshW, cfg.MeshH = 2, 2
+	cfg.LinkSerialization = 3
+	fab, eng, _, _ := fabricFor(t, cfg)
+
+	// Two messages on 0->1 (second stalls 3), one on 2->3, none elsewhere.
+	fab.SendMessage(0, 1, 1, 100)
+	fab.SendMessage(0, 1, 2, 100)
+	fab.SendMessage(2, 3, 3, 100)
+	eng.Run(0)
+
+	st := fab.Congestion()
+	if len(st.Links) != 2 {
+		t.Fatalf("links = %+v, want exactly the two active links", st.Links)
+	}
+	var sumMsgs uint64
+	var sumStall sim.Time
+	byPair := map[[2]int]LinkStat{}
+	for _, l := range st.Links {
+		byPair[[2]int{l.From, l.To}] = l
+		sumMsgs += l.Messages
+		sumStall += l.Stall
+	}
+	l01, ok := byPair[[2]int{0, 1}]
+	if !ok || l01.Messages != 2 || l01.Stall != 3 || l01.MaxQueue != 1 {
+		t.Fatalf("0->1 link stat = %+v (present %v)", l01, ok)
+	}
+	l23, ok := byPair[[2]int{2, 3}]
+	if !ok || l23.Messages != 1 || l23.Stall != 0 {
+		t.Fatalf("2->3 link stat = %+v (present %v)", l23, ok)
+	}
+	if sumMsgs != st.LinkMessages || sumStall != st.LinkStall {
+		t.Fatalf("breakdown sums (%d msgs, %d stall) != aggregate (%d, %d)",
+			sumMsgs, sumStall, st.LinkMessages, st.LinkStall)
+	}
+}
+
+// TestLinkEndpointsInvertsLinkIndex: the reporting inverse must round-trip
+// every directed neighbor link the reservation side can index, on both
+// mesh (no wrap) and torus (wrap) shapes.
+func TestLinkEndpointsInvertsLinkIndex(t *testing.T) {
+	for _, kind := range []TopologyKind{TopoMesh, TopoTorus} {
+		cfg := DefaultConfig(12)
+		cfg.MeshW, cfg.MeshH = 4, 3
+		cfg.Topology = kind
+		cfg.LinkSerialization = 1
+		fab, _, _, _ := fabricFor(t, cfg)
+		topo := fab.Topo
+		for from := 0; from < topo.N; from++ {
+			for to := 0; to < topo.N; to++ {
+				if from == to || !topo.Adjacent(from, to) {
+					continue
+				}
+				i := fab.linkIndex(from, to)
+				gotFrom, gotTo := fab.linkEndpoints(i)
+				if gotFrom != from || gotTo != to {
+					t.Fatalf("%v: linkEndpoints(linkIndex(%d,%d)) = (%d,%d)",
+						kind, from, to, gotFrom, gotTo)
+				}
+			}
+		}
+	}
+}

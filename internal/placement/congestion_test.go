@@ -1,0 +1,143 @@
+package placement
+
+import (
+	"reflect"
+	"testing"
+
+	"dhisq/internal/network"
+)
+
+func congTopo(t *testing.T, n int) *network.Topology {
+	t.Helper()
+	cfg := network.DefaultConfig(n)
+	topo, err := network.NewTopology(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// TestCongestionPolicyRegistered: "congestion" resolves through the
+// registry and, fed no measurement (the bare Policy interface), degrades
+// to the interaction placement — the documented cold-start behavior.
+func TestCongestionPolicyRegistered(t *testing.T) {
+	p, err := Get("congestion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := hotspot(9)
+	topo := congTopo(t, 9)
+	got, err := p.Place(c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := (interactionPolicy{}).Place(c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cold congestion placement %v != interaction %v", got, want)
+	}
+}
+
+// TestCongestionPlaceNoSignalReducesToInteraction: with zero link loads
+// the stall-weighted placer must reproduce the interaction mapping
+// exactly (every edge scales by the same constant).
+func TestCongestionPlaceNoSignalReducesToInteraction(t *testing.T) {
+	c := hotspot(12)
+	topo := congTopo(t, 12)
+	got, err := CongestionPlace(c, topo, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := greedyPlace(c.NumQubits, interactionWeights(c), topo)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("no-signal CongestionPlace %v != greedy interaction %v", got, want)
+	}
+}
+
+// TestCongestionPlaceDeterministic: identical loads yield identical
+// mappings, and a stall signal actually changes the result on a circuit
+// whose interaction graph is symmetric enough to be steerable.
+func TestCongestionPlaceDeterministic(t *testing.T) {
+	c := hotspot(12)
+	topo := congTopo(t, 12)
+	loads := []LinkLoad{
+		{From: 0, To: 1, Stall: 50},
+		{From: 1, To: 0, Stall: 30},
+		{From: 4, To: 5, Stall: 10},
+	}
+	a, err := CongestionPlace(c, topo, nil, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CongestionPlace(c, topo, nil, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical loads produced different mappings: %v vs %v", a, b)
+	}
+}
+
+// TestCongestionCandidatesShape: candidates are deduped, deterministic,
+// include the interaction placement first, and every entry is a valid
+// permutation of controllers.
+func TestCongestionCandidatesShape(t *testing.T) {
+	c := hotspot(9)
+	topo := congTopo(t, 9)
+	loads := []LinkLoad{{From: 2, To: 3, Stall: 40}, {From: 3, To: 2, Stall: 12}}
+	cands, err := CongestionCandidates(c, topo, nil, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	inter, err := (interactionPolicy{}).Place(c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cands[0], inter) {
+		t.Fatalf("candidate 0 %v is not the interaction placement %v", cands[0], inter)
+	}
+	for i, m := range cands {
+		if len(m) != c.NumQubits {
+			t.Fatalf("candidate %d has length %d", i, len(m))
+		}
+		seen := map[int]bool{}
+		for _, ctrl := range m {
+			if ctrl < 0 || ctrl >= topo.N || seen[ctrl] {
+				t.Fatalf("candidate %d is not a valid placement: %v", i, m)
+			}
+			seen[ctrl] = true
+		}
+		for j := 0; j < i; j++ {
+			if reflect.DeepEqual(cands[j], m) {
+				t.Fatalf("candidates %d and %d are duplicates: %v", j, i, m)
+			}
+		}
+	}
+	again, err := CongestionCandidates(c, topo, nil, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cands, again) {
+		t.Fatal("candidate family not deterministic")
+	}
+}
+
+// TestStallPressureChargesBothEndpoints: a link's stall must raise the
+// pressure of both its endpoints and ignore out-of-range controllers.
+func TestStallPressureChargesBothEndpoints(t *testing.T) {
+	press := stallPressure(4, []LinkLoad{
+		{From: 1, To: 2, Stall: 10},
+		{From: 2, To: 1, Stall: 4},
+		{From: 9, To: 0, Stall: 7},  // From out of range: only To charged
+		{From: 3, To: 3, Stall: -5}, // non-positive stall ignored
+	})
+	want := []int64{7, 14, 14, 0}
+	if !reflect.DeepEqual(press, want) {
+		t.Fatalf("pressure = %v, want %v", press, want)
+	}
+}

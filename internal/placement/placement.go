@@ -54,7 +54,7 @@ type Policy interface {
 const Default = "identity"
 
 // policies is the fixed registry, in documentation order.
-var policies = []Policy{identityPolicy{}, rowMajorPolicy{}, interactionPolicy{}}
+var policies = []Policy{identityPolicy{}, rowMajorPolicy{}, interactionPolicy{}, congestionPolicy{}}
 
 // Names lists the registered policies in stable order.
 func Names() []string {

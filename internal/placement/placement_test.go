@@ -36,7 +36,7 @@ func hotspot(n int) *circuit.Circuit {
 }
 
 func TestRegistry(t *testing.T) {
-	want := []string{"identity", "rowmajor", "interaction"}
+	want := []string{"identity", "rowmajor", "interaction", "congestion"}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
 	}

@@ -49,6 +49,10 @@ type Spec struct {
 	// machine.Config by hand can still select a placer; build() folds it
 	// into the config before construction, keeping one source of truth.
 	Placement string
+	// Schedule names the scheduling policy of the compiler's Schedule pass
+	// ("" defers to Cfg.Schedule, whose zero value is the legacy fixed
+	// replay). Folded into the config by build(), exactly like Placement.
+	Schedule string
 	// Options overrides the machine-derived compiler options when non-nil
 	// (ablations toggle scheduling policies this way).
 	Options *compiler.Options
@@ -130,6 +134,9 @@ func build(spec Spec, cp *compiler.Compiled, fresh bool) (*machine.Machine, *com
 	if spec.Placement != "" {
 		spec.Cfg.Placement = spec.Placement
 	}
+	if spec.Schedule != "" {
+		spec.Cfg.Schedule = spec.Schedule
+	}
 	m, err := machine.NewForCircuit(spec.Circuit, spec.MeshW, spec.MeshH, spec.Cfg)
 	if err != nil {
 		return nil, nil, err
@@ -143,6 +150,9 @@ func build(spec Spec, cp *compiler.Compiled, fresh bool) (*machine.Machine, *com
 				// policy of its own: keep the spec's placement rather than
 				// silently reverting to identity.
 				opt.Placement = spec.Cfg.Placement
+			}
+			if opt.Schedule == "" {
+				opt.Schedule = spec.Cfg.Schedule
 			}
 		}
 		if fresh || spec.FreshCompile {

@@ -139,7 +139,7 @@ func TestShotZeroMatchesLegacySingleRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if set.Shots[0].Result != res {
+	if !reflect.DeepEqual(set.Shots[0].Result, res) {
 		t.Fatalf("shot 0 result %+v != legacy %+v", set.Shots[0].Result, res)
 	}
 	bits, err := m.ReadBits()

@@ -73,6 +73,16 @@ type Config struct {
 	// restart-warm behavior independent of everything else in the process,
 	// which is what the in-process cluster and crash/restart tests need.
 	Artifacts *artifact.Cache
+	// ReplaceStallThreshold enables congestion-feedback re-placement: the
+	// service aggregates per-link fabric stalls per replica-pool group
+	// (compiler.Feedback), and once a group's total crosses this many
+	// cycles it recompiles the circuit with a feedback-weighted placement
+	// (machine.RePlace) and swaps the group's replicas — the structural
+	// key is untouched, so a sweep family keeps its bind cache while its
+	// warm replicas get a less congested mapping. 0 (the default)
+	// disables the loop entirely: first-run behavior is byte-identical to
+	// a service without it.
+	ReplaceStallThreshold uint64
 }
 
 // State is a job's lifecycle position.
@@ -100,7 +110,11 @@ type Request struct {
 	// Mapping is nil ("" defers to Cfg.Placement, then to identity).
 	// Unknown names are rejected at admission, before any work queues.
 	Placement string
-	Shots     int
+	// Schedule names the scheduling policy of the compiler's Schedule
+	// pass ("" defers to Cfg.Schedule, then to the fixed replay).
+	// Validated at admission exactly like Placement.
+	Schedule string
+	Shots    int
 	// Seed, when non-zero, is the job's base seed; 0 lets the service
 	// derive a per-job seed from its own seed stream.
 	Seed int64
@@ -141,8 +155,13 @@ type JobStatus struct {
 	// why two submissions landed in different replica pools.
 	MeshW, MeshH int
 	Placement    string
+	// Schedule is the resolved scheduling policy name, echoed like
+	// Placement.
+	Schedule string
 	// Mapping is the final qubit→controller mapping the job compiled with
-	// (nil = identity), as resolved by the compiler's Place pass.
+	// (nil = identity), as resolved by the compiler's Place pass. A job
+	// served by a feedback-re-placed replica pool echoes the re-placed
+	// mapping.
 	Mapping []int
 	// Set and Histogram are populated once State == StateDone (nil for
 	// sweep jobs, whose results arrive per point in Points).
@@ -211,6 +230,9 @@ type Stats struct {
 	NetMaxQueue    int    `json:"net_max_queue"`
 	NetMessages    uint64 `json:"net_messages"`
 	NetOverflows   uint64 `json:"net_overflows"`
+	// Replacements counts replica-pool groups re-placed via congestion
+	// feedback (0 unless Config.ReplaceStallThreshold is set).
+	Replacements uint64 `json:"replacements"`
 }
 
 // ErrQueueFull is returned by Submit when the bounded queue is at depth.
@@ -239,7 +261,10 @@ type job struct {
 	fp        artifact.Fingerprint
 	pk        poolKey
 	seed      int64
-	placement string // resolved policy name (never "")
+	placement string // resolved placement policy name (never "")
+	schedule  string // resolved schedule policy name (never "")
+
+	trackFeedback bool // aggregate per-link feedback for the re-place loop
 
 	mu       sync.Mutex
 	state    State
@@ -278,7 +303,7 @@ func (j *job) publish(ps PointStatus) {
 // still move the /v1/stats net_* counters.
 func (j *job) setPoints(pts []runner.SweepPoint) {
 	out := make([]PointStatus, len(pts))
-	var agg congestionAgg
+	agg := congestionAgg{track: j.trackFeedback}
 	for i, p := range pts {
 		out[i] = pointStatusOf(p)
 		agg.add(p.Set)
@@ -324,8 +349,21 @@ type Service struct {
 	running  int
 	stats    Stats
 	pool     *replicaPool
+	// feedback tracks aggregated congestion per replica-pool group when
+	// Config.ReplaceStallThreshold is set (nil entries never exist; the
+	// map stays empty with the loop disabled).
+	feedback map[poolKey]*feedbackState
 
 	wg sync.WaitGroup
+}
+
+// feedbackState is one replica-pool group's accumulated congestion and,
+// once the threshold tripped, the re-placed artifact every later job of
+// the group executes with.
+type feedbackState struct {
+	fb       compiler.Feedback
+	replaced bool               // re-place triggered (claims are one-shot)
+	artifact *compiler.Compiled // re-placed artifact (nil until swap done)
 }
 
 // New starts a service with cfg's worker pool running.
@@ -358,11 +396,12 @@ func New(cfg Config) *Service {
 		cfg.Artifacts = artifact.Shared
 	}
 	s := &Service{
-		cfg:   cfg,
-		arts:  cfg.Artifacts,
-		queue: make(chan *job, cfg.QueueDepth),
-		jobs:  make(map[string]*job),
-		pool:  newReplicaPool(cfg.MaxPooledReplicas),
+		cfg:      cfg,
+		arts:     cfg.Artifacts,
+		queue:    make(chan *job, cfg.QueueDepth),
+		jobs:     make(map[string]*job),
+		pool:     newReplicaPool(cfg.MaxPooledReplicas),
+		feedback: make(map[poolKey]*feedbackState),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -373,16 +412,16 @@ func New(cfg Config) *Service {
 
 // resolveRequest normalizes a request exactly the way Submit will run
 // it: mesh dimensions default via AutoMesh, the machine config via
-// DefaultConfig, Request.Placement overrides Cfg.Placement, and the
-// resulting policy name is validated. Shared between Submit (admission)
-// and RouteKey (cluster routing) so a shard and a router can never
-// disagree about what a request means.
-func resolveRequest(req Request) (Request, machine.Config, string, error) {
+// DefaultConfig, Request.Placement/Request.Schedule override their Cfg
+// counterparts, and the resulting policy names are validated. Shared
+// between Submit (admission) and RouteKey (cluster routing) so a shard
+// and a router can never disagree about what a request means.
+func resolveRequest(req Request) (Request, machine.Config, string, string, error) {
 	if req.Circuit == nil {
-		return req, machine.Config{}, "", fmt.Errorf("service: nil circuit")
+		return req, machine.Config{}, "", "", fmt.Errorf("service: nil circuit")
 	}
 	if req.Shots < 1 {
-		return req, machine.Config{}, "", fmt.Errorf("service: shots %d < 1", req.Shots)
+		return req, machine.Config{}, "", "", fmt.Errorf("service: shots %d < 1", req.Shots)
 	}
 	if req.MeshW <= 0 || req.MeshH <= 0 {
 		req.MeshW, req.MeshH = placement.AutoMesh(req.Circuit.NumQubits)
@@ -397,17 +436,27 @@ func resolveRequest(req Request) (Request, machine.Config, string, error) {
 	if req.Placement != "" {
 		cfg.Placement = req.Placement
 	}
-	// Validate the policy the job will actually compile with — whether it
-	// arrived via Request.Placement or a caller-supplied Cfg — so unknown
+	if req.Schedule != "" {
+		cfg.Schedule = req.Schedule
+	}
+	// Validate the policies the job will actually compile with — whether
+	// they arrived via the request or a caller-supplied Cfg — so unknown
 	// names are rejected here, before any work queues.
 	resolvedPolicy := cfg.Placement
 	if resolvedPolicy == "" {
 		resolvedPolicy = placement.Default
 	}
 	if err := placement.Valid(resolvedPolicy); err != nil {
-		return req, machine.Config{}, "", err
+		return req, machine.Config{}, "", "", err
 	}
-	return req, cfg, resolvedPolicy, nil
+	resolvedSchedule := cfg.Schedule
+	if resolvedSchedule == "" {
+		resolvedSchedule = compiler.DefaultSchedule
+	}
+	if err := compiler.ValidSchedule(resolvedSchedule); err != nil {
+		return req, machine.Config{}, "", "", err
+	}
+	return req, cfg, resolvedPolicy, resolvedSchedule, nil
 }
 
 // RouteKey is the fingerprint cluster routing shards on: always the
@@ -417,7 +466,7 @@ func resolveRequest(req Request) (Request, machine.Config, string, error) {
 // pure function of the request (no service state, no seeds), so every
 // node of a cluster computes the same key for the same submission.
 func RouteKey(req Request) (artifact.Fingerprint, error) {
-	req, cfg, _, err := resolveRequest(req)
+	req, cfg, _, _, err := resolveRequest(req)
 	if err != nil {
 		return artifact.Fingerprint{}, err
 	}
@@ -428,7 +477,7 @@ func RouteKey(req Request) (artifact.Fingerprint, error) {
 // queue is bounded: a full queue rejects with ErrQueueFull rather than
 // blocking the caller (admission control, not backpressure-by-hanging).
 func (s *Service) Submit(req Request) (string, error) {
-	req, cfg, resolvedPolicy, err := resolveRequest(req)
+	req, cfg, resolvedPolicy, resolvedSchedule, err := resolveRequest(req)
 	if err != nil {
 		return "", err
 	}
@@ -468,6 +517,7 @@ func (s *Service) Submit(req Request) (string, error) {
 		req:       req,
 		fp:        fp,
 		placement: resolvedPolicy,
+		schedule:  resolvedSchedule,
 		pk: poolKey{
 			fp: fp, backend: machine.ResolveBackend(req.Circuit, cfg.Backend),
 			logEvents: cfg.LogEvents, deadline: cfg.Deadline,
@@ -475,6 +525,10 @@ func (s *Service) Submit(req Request) (string, error) {
 		state:  StateQueued,
 		done:   make(chan struct{}),
 		notify: make(chan struct{}),
+		// Per-link feedback is only worth aggregating when the re-place
+		// loop can consume it; FreshCompile jobs opt out of pooling and
+		// therefore out of the loop.
+		trackFeedback: s.cfg.ReplaceStallThreshold > 0 && !req.FreshCompile,
 	}
 
 	s.mu.Lock()
@@ -646,6 +700,7 @@ func (s *Service) worker() {
 
 		s.mu.Lock()
 		s.running--
+		var agg congestionAgg
 		if err != nil {
 			s.stats.Failed++
 		} else {
@@ -663,19 +718,31 @@ func (s *Service) worker() {
 					s.stats.BindHits++
 				}
 			}
-			s.accountCongestion(set)
-			s.foldCongestion(j.netAgg())
+			agg = j.netAgg() // sweep jobs folded theirs at setPoints
+			agg.track = j.trackFeedback
+			if set != nil {
+				agg.add(set)
+			}
+			s.foldCongestion(agg)
 		}
 		s.retire(j.id)
 		s.mu.Unlock()
+		if err == nil {
+			s.maybeReplace(j, agg.fb)
+		}
 	}
 }
 
 // congestionAgg accumulates per-shot fabric congestion so it can outlive
-// the shot sets it came from (sweep jobs drop theirs at setPoints).
+// the shot sets it came from (sweep jobs drop theirs at setPoints). With
+// track set it additionally folds the per-link attribution into a
+// compiler.Feedback for the re-place loop; aggregation is commutative
+// either way, so the result is independent of shot completion order.
 type congestionAgg struct {
 	stall, messages, overflows uint64
 	maxQueue                   int
+	track                      bool
+	fb                         compiler.Feedback
 }
 
 func (a *congestionAgg) add(set *runner.ShotSet) {
@@ -690,18 +757,10 @@ func (a *congestionAgg) add(set *runner.ShotSet) {
 		if q := net.MaxQueue(); q > a.maxQueue {
 			a.maxQueue = q
 		}
+		if a.track {
+			a.fb.Absorb(net, shot.Result.RouterUtilization)
+		}
 	}
-}
-
-// accountCongestion folds a finished job's per-shot fabric congestion
-// counters into the service totals (/v1/stats). Called with s.mu held.
-func (s *Service) accountCongestion(set *runner.ShotSet) {
-	if set == nil {
-		return
-	}
-	var a congestionAgg
-	a.add(set)
-	s.foldCongestion(a)
 }
 
 // foldCongestion merges aggregated congestion into the service stats.
@@ -713,6 +772,118 @@ func (s *Service) foldCongestion(a congestionAgg) {
 	if a.maxQueue > s.stats.NetMaxQueue {
 		s.stats.NetMaxQueue = a.maxQueue
 	}
+}
+
+// maybeReplace folds a finished job's feedback into its pool group and,
+// once the group's aggregated stall crosses the configured threshold,
+// re-places it: search for a measurably better mapping (machine.RePlace),
+// recompile under it, and swap the group's replicas. Runs on the worker
+// goroutine outside s.mu — the search compiles and probes.
+func (s *Service) maybeReplace(j *job, fb compiler.Feedback) {
+	if !j.trackFeedback {
+		return
+	}
+	s.mu.Lock()
+	fs := s.feedback[j.pk]
+	if fs == nil {
+		fs = &feedbackState{}
+		s.feedback[j.pk] = fs
+	}
+	fs.fb.Merge(&fb)
+	if fs.replaced || uint64(fs.fb.TotalStall) < s.cfg.ReplaceStallThreshold {
+		s.mu.Unlock()
+		return
+	}
+	fs.replaced = true // one-shot claim: a group is re-placed at most once
+	snapshot := fs.fb
+	s.mu.Unlock()
+
+	cp, err := s.rePlace(j, &snapshot)
+	if err != nil || cp == nil {
+		return // the search kept the incumbent (or failed): nothing to swap
+	}
+	s.mu.Lock()
+	fs.artifact = cp
+	s.stats.Replacements++
+	s.mu.Unlock()
+	// Drop the stale warm replicas; the group's next job rebuilds from the
+	// re-placed artifact under the unchanged pool key, so a sweep family
+	// keeps its bind cache and its batching.
+	s.pool.drop(j.pk)
+}
+
+// rePlace computes the re-placed artifact for j's pool group: probe-search
+// a mapping with lower measured fabric stall under the accumulated
+// feedback, then compile the job's circuit (the unbound skeleton, for bind
+// jobs) with it. Returns nil when the search kept the incumbent mapping.
+// The re-placed artifact caches under its own fingerprint — the original
+// entry is never overwritten, so the content-addressed cache stays honest.
+func (s *Service) rePlace(j *job, fb *compiler.Feedback) (*compiler.Compiled, error) {
+	probeCirc := j.req.Circuit
+	if j.req.bindJob() {
+		// Probes need a runnable circuit; the first binding of the family
+		// is the deterministic stand-in for its traffic.
+		params := j.req.Params
+		if len(j.req.Sweep) > 0 {
+			params = j.req.Sweep[0]
+		}
+		bound, err := probeCirc.Bind(params)
+		if err != nil {
+			return nil, err
+		}
+		probeCirc = bound
+	}
+	j.mu.Lock()
+	prior := append([]int(nil), j.mapping...) // nil stays nil (= identity)
+	j.mu.Unlock()
+	cfg := j.spec.Cfg
+	newMap, _, err := machine.RePlace(probeCirc, cfg, prior, fb)
+	if err != nil {
+		return nil, err
+	}
+	if sameMapping(newMap, prior) {
+		return nil, nil
+	}
+	m, err := machine.NewForCircuit(j.req.Circuit, j.req.MeshW, j.req.MeshH, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if j.req.bindJob() {
+		return m.CompileSkeleton(j.req.Circuit, newMap)
+	}
+	return m.Compile(j.req.Circuit, newMap)
+}
+
+// replacedArtifact returns the re-placed artifact for a pool group (nil
+// when the group was never re-placed).
+func (s *Service) replacedArtifact(pk poolKey) *compiler.Compiled {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fs := s.feedback[pk]; fs != nil {
+		return fs.artifact
+	}
+	return nil
+}
+
+// sameMapping compares a mapping against a prior one, treating a nil
+// prior as the identity.
+func sameMapping(m, prior []int) bool {
+	if m == nil {
+		return prior == nil
+	}
+	for q, c := range m {
+		want := q
+		if prior != nil {
+			if q >= len(prior) {
+				return false
+			}
+			want = prior[q]
+		}
+		if c != want {
+			return false
+		}
+	}
+	return prior == nil || len(m) == len(prior)
 }
 
 // retire records a finished job and forgets the oldest-finished beyond
@@ -768,6 +939,20 @@ func (s *Service) execute(j *job) (set *runner.ShotSet, cacheHit, batched bool, 
 	// always equal actual compiles.
 	var cp *compiler.Compiled
 	cp, cacheHit = s.arts.Get(j.fp)
+	if ov := s.replacedArtifact(j.pk); ov != nil {
+		// The group was re-placed: run from the swapped artifact (a hit —
+		// nothing compiles). Replicas pooled before the swap still hold the
+		// old program; drop them rather than run the stale placement.
+		cp, cacheHit = ov, true
+		kept := machines[:0]
+		for _, m := range machines {
+			if m.Loaded() == ov {
+				kept = append(kept, m)
+			}
+		}
+		machines = kept
+		batched = len(machines) > 0
+	}
 	for len(machines) < want {
 		m, built, buildErr := runner.Build(j.spec, cp)
 		if buildErr != nil {
@@ -831,6 +1016,13 @@ func (s *Service) executeBind(j *job) (set *runner.ShotSet, cacheHit, batched bo
 		}
 		skel = built
 		machines = append(machines, m)
+	}
+	if ov := s.replacedArtifact(j.pk); ov != nil {
+		// The group was re-placed: bind from the swapped skeleton. Pooled
+		// replicas are harmless here — the bind path re-Loads the bound
+		// program onto every machine before running, so whatever they held
+		// is overwritten.
+		skel, cacheHit = ov, true
 	}
 	if skel == nil {
 		// Every replica came warm from the pool and the cache entry was
@@ -937,7 +1129,7 @@ func (j *job) status() JobStatus {
 		ID: j.id, State: j.state, Shots: j.req.Shots, Seed: j.seed,
 		Fingerprint: j.fp.String(), CacheHit: j.cacheHit, Batched: j.batched,
 		MeshW: j.req.MeshW, MeshH: j.req.MeshH,
-		Placement: j.placement, Mapping: j.mapping,
+		Placement: j.placement, Schedule: j.schedule, Mapping: j.mapping,
 	}
 	if j.err != nil {
 		st.Err = j.err.Error()
@@ -1040,6 +1232,26 @@ func (p *replicaPool) checkin(fp poolKey, machines []*machine.Machine) {
 		p.total -= len(p.groups[victim])
 		delete(p.groups, victim)
 		p.order = p.order[:len(p.order)-1]
+	}
+}
+
+// drop discards fp's pooled group: its machines are loaded with an
+// artifact the re-place path just superseded, and running them would mean
+// running the old placement.
+func (p *replicaPool) drop(fp poolKey) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	g, ok := p.groups[fp]
+	if !ok {
+		return
+	}
+	p.total -= len(g)
+	delete(p.groups, fp)
+	for i, f := range p.order {
+		if f == fp {
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			break
+		}
 	}
 }
 
