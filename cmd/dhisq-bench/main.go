@@ -8,9 +8,12 @@
 //
 // Usage:
 //
-//	dhisq-bench -exp table1|fig11|fig13|fig14|fig15|fig16|ablation|shots|cache|sweep|fabric|placement|feedback|kernels|serve-load|all
+//	dhisq-bench -exp NAME|all
 //	            [-scale N] [-seed S] [-shots N] [-workers W] [-jobs N] [-points N] [-out DIR]
 //	            [-topo mesh|torus|tree|all] [-link-bw N] [-placement P|all]
+//
+// Experiment names come from the single registry in main (the -exp flag's
+// help text enumerates them); an unknown name lists every valid one.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"runtime"
+	"strings"
 	"time"
 
 	"dhisq/internal/artifact"
@@ -36,8 +40,14 @@ import (
 	"dhisq/internal/workloads"
 )
 
+// experiment is one -exp entry: everything dispatch, the -exp help text,
+// and the unknown-name error derive from the one registry in main.
+type experiment struct {
+	name string
+	fn   func() error
+}
+
 func main() {
-	which := flag.String("exp", "all", "experiment: table1, fig11, fig13, fig14, fig15, fig16, ablation, shots, cache, sweep, fabric, placement, feedback, kernels, serve-load, all")
 	scale := flag.Int("scale", 1, "divide Fig. 15 benchmark sizes by this factor")
 	seed := flag.Int64("seed", 1, "measurement outcome seed")
 	shots := flag.Int("shots", 200, "repetitions for the shots experiment")
@@ -48,25 +58,17 @@ func main() {
 	linkBW := flag.Int64("link-bw", 0, "fabric link bandwidth as cycles per message (0 = sweep 0,1,2,4,8,16)")
 	placePolicy := flag.String("placement", "all", "placement experiment policy (all = rowmajor vs interaction)")
 	outDir := flag.String("out", ".", "directory for BENCH_*.json files")
-	flag.Parse()
 
-	run := func(name string, fn func() error) {
-		if *which != "all" && *which != name {
-			return
-		}
-		fmt.Printf("=== %s ===\n", name)
-		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
-		}
-		fmt.Println()
+	experiments := []experiment{}
+	register := func(name string, fn func() error) {
+		experiments = append(experiments, experiment{name, fn})
 	}
 
-	run("table1", func() error {
+	register("table1", func() error {
 		fmt.Print(exp.Table1().Render())
 		return nil
 	})
-	run("fig11", func() error {
+	register("fig11", func() error {
 		circle, err := exp.Fig11DrawCircle(64, *seed)
 		if err != nil {
 			return err
@@ -90,7 +92,7 @@ func main() {
 		fmt.Printf("(d) relaxation:    T1=%.2f us (true %.2f, paper 9.9)\n", t1.T1Us, t1.TrueT1Us)
 		return nil
 	})
-	run("fig13", func() error {
+	register("fig13", func() error {
 		res, err := exp.Fig13SyncWaveforms()
 		if err != nil {
 			return err
@@ -98,7 +100,7 @@ func main() {
 		fmt.Print(res.Render())
 		return nil
 	})
-	run("fig14", func() error {
+	register("fig14", func() error {
 		res, err := exp.Fig14LongRange([]int{2, 4, 8, 16, 32}, true, *seed)
 		if err != nil {
 			return err
@@ -106,7 +108,7 @@ func main() {
 		fmt.Print(res.Render())
 		return nil
 	})
-	run("fig15", func() error {
+	register("fig15", func() error {
 		res, err := exp.Fig15Runtime(exp.Fig15Options{ScaleDiv: *scale, Seed: *seed})
 		if err != nil {
 			return err
@@ -121,7 +123,7 @@ func main() {
 		}
 		return writeBenchJSON(*outDir, "fig15", rows)
 	})
-	run("ablation", func() error {
+	register("ablation", func() error {
 		rows, err := exp.AblationSyncAdvance(nil, *scale, *seed)
 		if err != nil {
 			return err
@@ -130,7 +132,7 @@ func main() {
 		fmt.Println("booking-in-advance (Fig. 6) vs sync-immediately-before (QubiC style, §2.1.3)")
 		return nil
 	})
-	run("fig16", func() error {
+	register("fig16", func() error {
 		res, err := exp.Fig16Fidelity(0, 0, nil, *seed)
 		if err != nil {
 			return err
@@ -139,30 +141,95 @@ func main() {
 		fmt.Printf("paper: ~5x infidelity reduction across the T1 sweep\n")
 		return nil
 	})
-	run("shots", func() error {
+	register("shots", func() error {
 		return benchShots(*outDir, *scale, *seed, *shots, *workers)
 	})
-	run("cache", func() error {
+	register("cache", func() error {
 		return benchCache(*outDir, *seed, *jobs)
 	})
-	run("sweep", func() error {
+	register("sweep", func() error {
 		return benchSweep(*outDir, *seed, *points, *workers)
 	})
-	run("fabric", func() error {
+	register("fabric", func() error {
 		return benchFabric(*outDir, *seed, *topo, *linkBW)
 	})
-	run("placement", func() error {
+	register("placement", func() error {
 		return benchPlacement(*outDir, *seed, *placePolicy, *linkBW)
 	})
-	run("feedback", func() error {
+	register("feedback", func() error {
 		return benchFeedback(*outDir, *seed, *linkBW)
 	})
-	run("kernels", func() error {
+	register("kernels", func() error {
 		return benchKernels(*outDir, *seed)
 	})
-	run("serve-load", func() error {
+	register("serve-load", func() error {
 		return benchServeLoad(*outDir, *seed, *jobs, *workers)
 	})
+	register("collective", func() error {
+		return benchCollective(*outDir, *seed, *topo, *linkBW)
+	})
+
+	names := make([]string, len(experiments))
+	for i, e := range experiments {
+		names[i] = e.name
+	}
+	which := flag.String("exp", "all", "experiment: "+strings.Join(names, ", ")+", or all")
+	flag.Parse()
+
+	known := *which == "all"
+	for _, e := range experiments {
+		known = known || e.name == *which
+	}
+	if !known {
+		fmt.Fprintf(os.Stderr, "dhisq-bench: unknown experiment %q (want %s, or all)\n",
+			*which, strings.Join(names, ", "))
+		os.Exit(2)
+	}
+	for _, e := range experiments {
+		if *which != "all" && *which != e.name {
+			continue
+		}
+		fmt.Printf("=== %s ===\n", e.name)
+		if err := e.fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+// benchCollective runs the collective-vs-naive schedule sweep over
+// participant count × topology × link bandwidth, self-checks every cell's
+// reduced values against the host oracle, enforces the never-worse /
+// strictly-better-somewhere makespan gate on the full sweep, and emits
+// BENCH_collective.json.
+func benchCollective(outDir string, seed int64, topoName string, linkBW int64) error {
+	opt := exp.CollectiveOptions{Seed: seed}
+	fullSweep := topoName == "" || topoName == "all"
+	if !fullSweep {
+		k, err := network.ParseTopology(topoName)
+		if err != nil {
+			return err
+		}
+		opt.Topologies = []network.TopologyKind{k}
+	}
+	if linkBW > 0 {
+		opt.Serializations = []sim.Time{sim.Time(linkBW)}
+	}
+	points, err := exp.CollectiveSweep(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.RenderCollective(points))
+	if fullSweep {
+		// The strictly-better clause names torus and tree cells, so the
+		// gate only applies when the sweep covers every topology.
+		if err := exp.CheckCollective(points); err != nil {
+			return err
+		}
+		fmt.Println("values equal the naive oracle in every cell; topology-aware schedules never slower, strictly faster on torus and tree")
+	}
+	return writeBenchJSON(outDir, "collective", points)
 }
 
 // benchServeLoad runs the open-loop load sweep against the serving stack

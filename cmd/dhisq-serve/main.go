@@ -184,6 +184,11 @@ type submitRequest struct {
 	// Schedule names the compiler's scheduling policy ("fixed", "padded";
 	// "" = the daemon's -schedule default, itself defaulting to fixed).
 	Schedule string `json:"schedule,omitempty"`
+	// Collective names a fabric collective schedule ("naive", "ring",
+	// "halving", "tree", "auto") and switches the job onto the
+	// collective-aware lowering plus the post-run digest reduce
+	// (DESIGN.md §12). "" leaves the collective machinery off.
+	Collective string `json:"collective,omitempty"`
 	// Params binds the circuit's symbolic parameters (QASM angles written
 	// as identifiers, e.g. "rz(theta0) q[0];"); Sweep runs the circuit at
 	// every listed binding inside one job — the skeleton compiles once
@@ -485,6 +490,9 @@ func buildRequest(req submitRequest) (service.Request, error) {
 	}
 	sreq.Placement = req.Placement
 	sreq.Schedule = req.Schedule
+	// Collective names are validated at service admission (the resolved
+	// name must parse as a network.CollSchedule), same as an invalid Topo.
+	sreq.Collective = req.Collective
 	sreq.Params = req.Params
 	sreq.Sweep = req.Sweep
 	if err := applyFabric(req, &sreq); err != nil {

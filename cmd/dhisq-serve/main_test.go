@@ -246,6 +246,63 @@ func TestSubmitWithFabricOverrides(t *testing.T) {
 	}
 }
 
+// The collective knob travels the wire: a job naming a schedule runs the
+// collective-aware lowering plus the digest reduce, still returns a legal
+// GHZ histogram, and moves the net_collective_* counters that GET
+// /v1/stats reports by those exact JSON names; a bogus schedule is
+// rejected at submission like a bogus topology.
+func TestSubmitWithCollective(t *testing.T) {
+	ts, svc := newTestServer(t)
+
+	id, resp := postJob(t, ts, submitRequest{
+		QASM: ghzQASM, Shots: 10, Seed: 7,
+		Collective: "auto", LinkBW: 2,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	jr := getJob(t, ts, id, true)
+	if jr.State != "done" {
+		t.Fatalf("job: %+v", jr)
+	}
+	total := 0
+	for outcome, n := range jr.Histogram {
+		if outcome != "0000" && outcome != "1111" {
+			t.Fatalf("impossible GHZ outcome %q under collective lowering", outcome)
+		}
+		total += n
+	}
+	if total != 10 {
+		t.Fatalf("histogram holds %d of 10 shots", total)
+	}
+	if st := svc.Stats(); st.NetCollectiveOps == 0 {
+		t.Fatalf("collective job moved no collective counters: %+v", st)
+	}
+
+	// The counters must cross HTTP under their documented wire names.
+	r, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	var ops uint64
+	if err := json.Unmarshal(raw["net_collective_ops"], &ops); err != nil || ops == 0 {
+		t.Fatalf("net_collective_ops missing or zero on the wire: %v %d", err, ops)
+	}
+	if _, present := raw["net_collective_stall_cycles"]; !present {
+		t.Fatal("net_collective_stall_cycles missing from GET /v1/stats")
+	}
+
+	_, resp = postJob(t, ts, submitRequest{QASM: ghzQASM, Shots: 1, Collective: "butterfly"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus collective schedule accepted: %d", resp.StatusCode)
+	}
+}
+
 // A submission naming a placement policy gets it applied, and the job
 // response echoes the resolved mesh, policy, and final mapping.
 func TestSubmitWithPlacement(t *testing.T) {

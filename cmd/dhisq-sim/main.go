@@ -57,6 +57,7 @@ func main() {
 	routerPorts := flag.Int("router-ports", 0, "physical ports per router (0 = one per tree edge)")
 	placePolicy := flag.String("placement", "", "placement policy for unmapped circuits: identity, rowmajor, interaction, or congestion (default identity)")
 	schedPolicy := flag.String("schedule", "", "compiler scheduling policy: fixed or padded (default fixed)")
+	collective := flag.String("collective", "", "fabric collective schedule: naive, ring, halving, tree, or auto (default off; turns on collective-aware feed-forward lowering and the post-run digest reduce)")
 	bind := flag.String("bind", "", "bind symbolic circuit parameters, e.g. -bind theta0=0.5,theta1=1.2")
 	serve := flag.String("serve", "", "dhisq-serve base URL: submit as a job instead of running in-process")
 	list := flag.Bool("list", false, "list benchmark names")
@@ -74,7 +75,7 @@ func main() {
 
 	if *serve != "" {
 		must(submitRemote(*serve, *qasm, *bench, *scale, *shots, *seed,
-			*topoName, *linkBW, *routerPorts, *placePolicy, *schedPolicy, params))
+			*topoName, *linkBW, *routerPorts, *placePolicy, *schedPolicy, *collective, params))
 		return
 	}
 
@@ -111,11 +112,16 @@ func main() {
 
 	must(placement.Valid(*placePolicy))
 	must(compiler.ValidSchedule(*schedPolicy))
+	if *collective != "" {
+		_, err := network.ParseCollSchedule(*collective)
+		must(err)
+	}
 	cfg := machine.DefaultConfig(c.NumQubits)
 	cfg.Seed = *seed
 	cfg.Net.MeshW, cfg.Net.MeshH = meshW, meshH
 	cfg.Placement = *placePolicy
 	cfg.Schedule = *schedPolicy
+	cfg.Collective = *collective
 	topoKind, err := network.ParseTopology(*topoName)
 	must(err)
 	cfg.Net.Topology = topoKind
@@ -143,6 +149,10 @@ func main() {
 	if res.Net.Enabled {
 		fmt.Printf("congestion:    %d stall cycles, max queue %d, busiest port %.1f%% utilized\n",
 			res.Net.TotalStall(), res.Net.MaxQueue(), 100*res.RouterUtilization)
+	}
+	if *collective != "" {
+		fmt.Printf("collective:    digest %#x in %d cycles (%s schedule, %d ops)\n",
+			res.CollectiveDigest, res.CollectiveCycles, *collective, res.Net.CollectiveOps)
 	}
 
 	var violations, misalignments, overlaps uint64
@@ -208,7 +218,7 @@ func parseBind(s string) (map[string]float64, error) {
 // The flag values are validated locally before anything travels: an
 // invalid -topo or -placement fails here with the parser's own message
 // instead of round-tripping to the daemon for a remote rejection.
-func submitRemote(base, qasmPath, bench string, scale, shots int, seed int64, topo string, linkBW int64, routerPorts int, placePolicy, schedPolicy string, params map[string]float64) error {
+func submitRemote(base, qasmPath, bench string, scale, shots int, seed int64, topo string, linkBW int64, routerPorts int, placePolicy, schedPolicy, collective string, params map[string]float64) error {
 	if topo != "" {
 		if _, err := network.ParseTopology(topo); err != nil {
 			return err
@@ -219,6 +229,11 @@ func submitRemote(base, qasmPath, bench string, scale, shots int, seed int64, to
 	}
 	if err := compiler.ValidSchedule(schedPolicy); err != nil {
 		return err
+	}
+	if collective != "" {
+		if _, err := network.ParseCollSchedule(collective); err != nil {
+			return err
+		}
 	}
 	body := map[string]any{"shots": shots, "seed": seed}
 	if params != nil {
@@ -238,6 +253,9 @@ func submitRemote(base, qasmPath, bench string, scale, shots int, seed int64, to
 	}
 	if schedPolicy != "" {
 		body["schedule"] = schedPolicy
+	}
+	if collective != "" {
+		body["collective"] = collective
 	}
 	switch {
 	case qasmPath != "" && bench != "":

@@ -55,8 +55,11 @@ func (f Fingerprint) Short() string { return hex.EncodeToString(f[:6]) }
 // skeleton fingerprint. v5: the schedule policy name joined the compiler
 // options — the Schedule pass resolves directives through the named
 // policy (internal/compiler's schedule registry), so artifacts from
-// different scheduling policies must never alias.
-const keyVersion = 5
+// different scheduling policies must never alias. v6: the Collective
+// option joined the compiler options — the collective-aware lowering
+// emits different feed-forward distribution code, so artifacts compiled
+// with it on and off must never alias.
+const keyVersion = 6
 
 // Key fingerprints a compilation request. Two requests share a key iff
 // the compiler is guaranteed to produce identical output for both: the
@@ -181,6 +184,8 @@ func key(c *circuit.Circuit, mapping []int, net network.Config, opt compiler.Opt
 	// redundancy tradeoff.
 	wi(int64(len(opt.Schedule)))
 	buf = append(buf, opt.Schedule...)
+	// Collective lowering toggle (keyVersion 6).
+	wb(opt.Collective)
 
 	return sha256.Sum256(buf)
 }

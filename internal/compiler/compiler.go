@@ -80,6 +80,17 @@ type Options struct {
 	// fingerprint, exactly like Placement: two policies never share a
 	// cache entry even when they emit the same programs.
 	Schedule string
+	// Collective enables the collective-aware feed-forward lowering
+	// (collective.go): a consumed remote bit is fetched from its nearest
+	// holder and re-stored at the consumer — repeated consumption grows a
+	// broadcast tree instead of a star around the owner — and multi-bit
+	// parity gathers lower to farthest-first XOR relay chains, a software
+	// reduce over the fabric instead of an all-owners fan-in at the actor.
+	// Off (the default) is byte-identical to the pre-collective lowering.
+	// Part of the artifact fingerprint (keyVersion 6). Requires the
+	// State-based entry points: nearest-holder selection needs the
+	// topology, which the Windows interface hides.
+	Collective bool
 }
 
 // DefaultOptions uses the paper's durations and a 5-cycle (20 ns) readout

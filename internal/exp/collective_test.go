@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"testing"
+
+	"dhisq/internal/network"
+	"dhisq/internal/sim"
+)
+
+// TestCollectiveSweepGate runs a reduced grid of the collective experiment
+// and enforces the same gate dhisq-bench -exp collective does: oracle
+// equality in every cell, collective never slower than naive, strictly
+// faster somewhere on torus and on tree.
+func TestCollectiveSweepGate(t *testing.T) {
+	points, err := CollectiveSweep(CollectiveOptions{
+		Participants:   []int{4, 9, 18},
+		Serializations: []sim.Time{2, 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckCollective(points); err != nil {
+		t.Fatalf("%v\n%s", err, RenderCollective(points))
+	}
+	// 2 kinds x 3 topologies x 3 participant counts x 2 bandwidths.
+	if len(points) != 36 {
+		t.Fatalf("got %d points, want 36", len(points))
+	}
+}
+
+// TestCollectiveSweepRejectsInfiniteBandwidth pins the design note in the
+// package comment: uncontended cells are meaningless for the schedule
+// comparison, so ser=0 is an error, not a silently-skipped cell.
+func TestCollectiveSweepRejectsInfiniteBandwidth(t *testing.T) {
+	_, err := CollectiveSweep(CollectiveOptions{Serializations: []sim.Time{0}})
+	if err == nil {
+		t.Fatal("ser=0 cell accepted")
+	}
+}
+
+// TestCheckCollectiveCatchesRegression pins that the gate actually bites:
+// a doctored slower-than-naive cell and a missing strict win both fail.
+func TestCheckCollectiveCatchesRegression(t *testing.T) {
+	points, err := CollectiveSweep(CollectiveOptions{
+		Participants:   []int{9},
+		Serializations: []sim.Time{4},
+		Kinds:          []network.CollKind{network.CollReduce},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]CollectivePoint(nil), points...)
+	bad[0].CollMakespan = bad[0].NaiveMakespan + 1
+	if err := CheckCollective(bad); err == nil {
+		t.Fatal("slower-than-naive cell passed the gate")
+	}
+	flat := append([]CollectivePoint(nil), points...)
+	for i := range flat {
+		flat[i].CollMakespan = flat[i].NaiveMakespan
+	}
+	if err := CheckCollective(flat); err == nil {
+		t.Fatal("never-strictly-better sweep passed the gate")
+	}
+}

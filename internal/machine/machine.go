@@ -53,6 +53,17 @@ type Config struct {
 	// registry in internal/compiler). Part of the compile fingerprint via
 	// CompileOptions, exactly like Placement.
 	Schedule string
+	// Collective, when non-empty, names a network.CollSchedule ("naive",
+	// "ring", "halving", "tree", "auto") and switches two things on at
+	// once: the compiler's collective-aware feed-forward lowering
+	// (compiler.Options.Collective — part of the compile fingerprint), and
+	// a post-run digest phase where every controller's owned-bit digest is
+	// reduced to controller 0 over the fabric with the named schedule
+	// (Result.CollectiveDigest / CollectiveCycles). "" — the default — is
+	// byte-identical legacy behavior. The schedule name itself is runtime
+	// configuration, not compile input: internal/service keys replica
+	// pools on it separately.
+	Collective string
 	// ShotLanes > 1 builds the chip backend as that many independent state
 	// lanes: one event-simulation replay drives every lane, so a block of
 	// ShotLanes shots costs one Run (see runner.RunBatched). Deliberately
@@ -198,6 +209,7 @@ func (m *Machine) CompileOptions() compiler.Options {
 	opt.MeasLatency = m.Cfg.MeasLatency
 	opt.Placement = m.Cfg.Placement
 	opt.Schedule = m.Cfg.Schedule
+	opt.Collective = m.Cfg.Collective != ""
 	return opt
 }
 
@@ -215,6 +227,7 @@ func CompileOptionsFor(cfg Config) (compiler.Options, error) {
 	opt.MeasLatency = cfg.MeasLatency
 	opt.Placement = cfg.Placement
 	opt.Schedule = cfg.Schedule
+	opt.Collective = cfg.Collective != ""
 	return opt, nil
 }
 
@@ -428,6 +441,14 @@ type Result struct {
 	// divided by the makespan (0 when contention is disabled or the run
 	// was empty).
 	RouterUtilization float64
+	// CollectiveDigest and CollectiveCycles report the post-run digest
+	// reduction (Config.Collective): every controller contributes a digest
+	// word of the classical bits it owns, reduced to controller 0 over the
+	// fabric with the configured schedule and self-checked against the
+	// host-side fold. Both zero when the phase is off or the run did not
+	// halt.
+	CollectiveDigest uint32
+	CollectiveCycles sim.Time
 }
 
 // Run starts every controller and drives the engine until all halt (or the
@@ -462,6 +483,14 @@ func (m *Machine) Run() (Result, error) {
 		res.Instructions += st.Instrs
 		res.Commits += st.Commits
 	}
+	if m.Cfg.Collective != "" && res.Halted {
+		// The engine is drained (RunUntil advanced it to the deadline), so
+		// the collective layer can step it further without foreign events
+		// interleaving; Reset rewinds the clock for the next shot as usual.
+		if err := m.reduceDigest(&res); err != nil {
+			return res, err
+		}
+	}
 	res.Net = m.Fab.Congestion()
 	if res.Net.Enabled && res.Makespan > 0 {
 		res.RouterUtilization = float64(res.Net.PortBusiest) / float64(res.Makespan)
@@ -482,6 +511,60 @@ func (m *Machine) Run() (Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// reduceDigest is the post-run collective phase of Config.Collective:
+// each controller contributes one digest word folding the classical bits
+// it owns (position-salted so distinct outcomes yield distinct digests),
+// and the fabric reduces the words to controller 0 with the configured
+// schedule — real timestamped messages through the same links, ports and
+// congestion counters as program traffic. The reduced value is
+// self-checked against a host-side fold; a mismatch is a hard error, the
+// same role the naive schedule plays as the collective layer's oracle.
+func (m *Machine) reduceDigest(res *Result) error {
+	sched, err := network.ParseCollSchedule(m.Cfg.Collective)
+	if err != nil {
+		return err
+	}
+	if m.loaded == nil {
+		return nil
+	}
+	inputs := make([][]uint32, m.Topo.N)
+	for i := range inputs {
+		inputs[i] = []uint32{0}
+	}
+	for b, owner := range m.loaded.BitOwner {
+		if owner < 0 {
+			continue
+		}
+		mem := m.Ctrls[owner].ReadMem(4*b, 4)
+		if mem == nil {
+			return fmt.Errorf("machine: collective digest: bit %d address out of range", b)
+		}
+		inputs[owner][0] += (uint32(mem[0]) & 1) << uint(b%24)
+	}
+	parts := make([]int, m.Topo.N)
+	for i := range parts {
+		parts[i] = i
+	}
+	spec := network.CollSpec{
+		Kind: network.CollReduce, Schedule: sched,
+		Parts: parts, Root: 0, Width: 1, Op: network.ReduceSum,
+	}
+	cres, err := network.RunCollective(m.Fab, spec, inputs, m.Eng.Now())
+	if err != nil {
+		return fmt.Errorf("machine: collective digest: %w", err)
+	}
+	var want uint32
+	for _, in := range inputs {
+		want += in[0]
+	}
+	if got := cres.Values[0][0]; got != want {
+		return fmt.Errorf("machine: collective digest mismatch: fabric %#x, host fold %#x", cres.Values[0][0], want)
+	}
+	res.CollectiveDigest = want
+	res.CollectiveCycles = cres.Makespan()
+	return nil
 }
 
 // RunCircuit is the one-call path: compile, load, run.

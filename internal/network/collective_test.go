@@ -1,0 +1,324 @@
+package network
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dhisq/internal/sim"
+	"dhisq/internal/telf"
+)
+
+func collFabric(t *testing.T, cfg Config) *Fabric {
+	t.Helper()
+	topo, err := NewTopology(cfg)
+	if err != nil {
+		t.Fatalf("NewTopology(%+v): %v", cfg, err)
+	}
+	return NewFabric(sim.NewEngine(), topo, telf.NewLog())
+}
+
+func randInputs(rng *rand.Rand, n, w int) [][]uint32 {
+	in := make([][]uint32, n)
+	for r := range in {
+		in[r] = make([]uint32, w)
+		for i := range in[r] {
+			in[r][i] = rng.Uint32()
+		}
+	}
+	return in
+}
+
+// checkCollective runs one collective and asserts every owned word equals
+// the host-side oracle. It returns the completion time.
+func checkCollective(t *testing.T, f *Fabric, spec CollSpec, inputs [][]uint32) sim.Time {
+	t.Helper()
+	res, err := RunCollective(f, spec, inputs, f.eng.Now())
+	if err != nil {
+		t.Fatalf("%s/%s on %s: %v", spec.Kind, spec.Schedule, f.Topo.Cfg.Topology, err)
+	}
+	want := CollExpect(spec, inputs)
+	for r := range res.Values {
+		for _, w := range CollOwnedWords(spec, r) {
+			if res.Values[r][w] != want[r][w] {
+				t.Fatalf("%s/%s on %s: rank %d word %d = %#x, want %#x",
+					spec.Kind, spec.Schedule, f.Topo.Cfg.Topology, r, w, res.Values[r][w], want[r][w])
+			}
+		}
+	}
+	if res.Done < res.Start {
+		t.Fatalf("%s/%s: Done %d before Start %d", spec.Kind, spec.Schedule, res.Done, res.Start)
+	}
+	return res.Makespan()
+}
+
+// TestCollectiveOracleProperty is the randomized schedule×topology×kind
+// sweep of the satellite checklist: every schedule on every topology must
+// reduce to the naive oracle's values at any participant count, and its
+// completion time must be a pure function of the spec (run twice →
+// identical makespan).
+func TestCollectiveOracleProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	kinds := CollKinds()
+	schedules := []CollSchedule{CollNaive, CollRing, CollHalving, CollTree, CollAuto}
+	topos := []TopologyKind{TopoMesh, TopoTorus, TopoTree}
+	for iter := 0; iter < 60; iter++ {
+		cfg := Config{
+			MeshW:           2 + rng.Intn(5),
+			MeshH:           1 + rng.Intn(5),
+			RouterFanout:    2 + rng.Intn(3),
+			NeighborLatency: 1 + rng.Int63n(3),
+			TreeHopLatency:  1 + rng.Int63n(4),
+			RouterProc:      rng.Int63n(2),
+			Topology:        topos[rng.Intn(len(topos))],
+		}
+		if rng.Intn(2) == 0 {
+			cfg.LinkSerialization = 1 + rng.Int63n(8)
+			cfg.RouterPorts = 1 + rng.Intn(3)
+		}
+		topo, err := NewTopology(cfg)
+		if err != nil {
+			t.Fatalf("NewTopology: %v", err)
+		}
+		// Random participant subset (any worker count ≥ 1), random order.
+		parts := rng.Perm(topo.N)[:1+rng.Intn(topo.N)]
+		spec := CollSpec{
+			Kind:     kinds[rng.Intn(len(kinds))],
+			Schedule: schedules[rng.Intn(len(schedules))],
+			Parts:    parts,
+			Root:     rng.Intn(len(parts)),
+			Width:    len(parts) * (1 + rng.Intn(3)),
+			Op:       ReduceSum,
+		}
+		if rng.Intn(2) == 0 {
+			spec.Op = ReduceXor
+		}
+		inputs := randInputs(rng, len(parts), spec.Width)
+
+		f1 := NewFabric(sim.NewEngine(), topo, telf.NewLog())
+		m1 := checkCollective(t, f1, spec, inputs)
+		f2 := NewFabric(sim.NewEngine(), topo, telf.NewLog())
+		m2 := checkCollective(t, f2, spec, inputs)
+		if m1 != m2 {
+			t.Fatalf("iter %d: %s/%s on %s: makespan %d then %d — not deterministic",
+				iter, spec.Kind, spec.Schedule, cfg.Topology, m1, m2)
+		}
+	}
+}
+
+// TestCollectiveExhaustiveSmall walks every (kind, schedule, topology)
+// cell at several fixed participant counts, including 1, 2, non-powers of
+// two, and the full mesh.
+func TestCollectiveExhaustiveSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tk := range []TopologyKind{TopoMesh, TopoTorus, TopoTree} {
+		cfg := Config{
+			MeshW: 4, MeshH: 4, RouterFanout: 2,
+			NeighborLatency: 2, TreeHopLatency: 4, RouterProc: 1,
+			Topology: tk, LinkSerialization: 4, RouterPorts: 2,
+		}
+		topo, err := NewTopology(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{1, 2, 3, 5, 8, 16} {
+			parts := topo.SnakeOrder()[:n]
+			for _, kind := range CollKinds() {
+				for _, sched := range []CollSchedule{CollNaive, CollRing, CollHalving, CollTree} {
+					spec := CollSpec{
+						Kind: kind, Schedule: sched, Parts: parts,
+						Root: rng.Intn(n), Width: 2 * n, Op: ReduceSum,
+					}
+					f := NewFabric(sim.NewEngine(), topo, telf.NewLog())
+					checkCollective(t, f, spec, randInputs(rng, n, spec.Width))
+				}
+			}
+		}
+	}
+}
+
+// TestCollectiveCounters pins the CongestionStats plumbing: ops count with
+// and without contention, stall cycles only with it, and Reset clears both.
+func TestCollectiveCounters(t *testing.T) {
+	cfg := Config{
+		MeshW: 4, MeshH: 4, RouterFanout: 4,
+		NeighborLatency: 2, TreeHopLatency: 4, RouterProc: 1,
+		LinkSerialization: 8,
+	}
+	f := collFabric(t, cfg)
+	parts := f.Topo.SnakeOrder()
+	spec := CollSpec{Kind: CollReduce, Schedule: CollNaive, Parts: parts, Root: 0, Width: 4, Op: ReduceSum}
+	rng := rand.New(rand.NewSource(3))
+	if _, err := RunCollective(f, spec, randInputs(rng, len(parts), spec.Width), 0); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Congestion()
+	if st.CollectiveOps != 1 {
+		t.Fatalf("CollectiveOps = %d, want 1", st.CollectiveOps)
+	}
+	if st.CollectiveStall <= 0 {
+		t.Fatalf("CollectiveStall = %d, want > 0 (16 senders fan into one root at ser=8)", st.CollectiveStall)
+	}
+	if st.TotalStall() < st.CollectiveStall {
+		t.Fatalf("TotalStall %d < CollectiveStall %d", st.TotalStall(), st.CollectiveStall)
+	}
+	f.Reset()
+	st = f.Congestion()
+	if st.CollectiveOps != 0 || st.CollectiveStall != 0 {
+		t.Fatalf("after Reset: ops=%d stall=%d, want 0/0", st.CollectiveOps, st.CollectiveStall)
+	}
+
+	// Without contention the ops still count; stalls cannot.
+	cfg.LinkSerialization = 0
+	f = collFabric(t, cfg)
+	if _, err := RunCollective(f, spec, randInputs(rng, len(parts), spec.Width), 0); err != nil {
+		t.Fatal(err)
+	}
+	st = f.Congestion()
+	if st.Enabled {
+		t.Fatal("contention unexpectedly enabled")
+	}
+	if st.CollectiveOps != 1 || st.CollectiveStall != 0 {
+		t.Fatalf("uncontended: ops=%d stall=%d, want 1/0", st.CollectiveOps, st.CollectiveStall)
+	}
+}
+
+// TestCollectiveEndpointRestore: a collective must leave the fabric's
+// endpoints exactly as it found them.
+func TestCollectiveEndpointRestore(t *testing.T) {
+	f := collFabric(t, Config{MeshW: 3, MeshH: 3, RouterFanout: 4, NeighborLatency: 2, TreeHopLatency: 4, RouterProc: 1})
+	eps := make([]*scriptedEndpoint, f.Topo.N)
+	for i := range eps {
+		eps[i] = &scriptedEndpoint{}
+		f.Attach(i, eps[i])
+	}
+	spec := CollSpec{Kind: CollAllReduce, Schedule: CollAuto, Parts: f.Topo.SnakeOrder(), Root: 2, Width: 1, Op: ReduceMax}
+	rng := rand.New(rand.NewSource(5))
+	if _, err := RunCollective(f, spec, randInputs(rng, f.Topo.N, 1), 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range eps {
+		if f.endpoints[i] != Endpoint(eps[i]) {
+			t.Fatalf("endpoint %d not restored", i)
+		}
+	}
+}
+
+// TestCollectiveValidation covers the spec error paths.
+func TestCollectiveValidation(t *testing.T) {
+	f := collFabric(t, Config{MeshW: 2, MeshH: 2, RouterFanout: 4, NeighborLatency: 2, TreeHopLatency: 4, RouterProc: 1})
+	in := [][]uint32{{1}, {2}}
+	cases := []CollSpec{
+		{Kind: CollReduce, Parts: nil, Width: 1, Op: ReduceSum},
+		{Kind: CollReduce, Parts: []int{0, 0}, Width: 1, Op: ReduceSum},
+		{Kind: CollReduce, Parts: []int{0, 9}, Width: 1, Op: ReduceSum},
+		{Kind: CollReduce, Parts: []int{0, 1}, Root: 5, Width: 1, Op: ReduceSum},
+		{Kind: CollReduce, Parts: []int{0, 1}, Width: 0, Op: ReduceSum},
+		{Kind: CollReduceScatter, Parts: []int{0, 1}, Width: 3, Op: ReduceSum},
+		{Kind: CollReduce, Parts: []int{0, 1}, Width: 1},
+	}
+	for i, spec := range cases {
+		if _, err := RunCollective(f, spec, in, 0); err == nil {
+			t.Fatalf("case %d (%+v): expected error", i, spec)
+		}
+	}
+	if _, err := RunCollective(f, CollSpec{Kind: CollReduce, Schedule: CollNaive, Parts: []int{0, 1}, Width: 1, Op: ReduceSum}, [][]uint32{{1}}, 0); err == nil {
+		t.Fatal("expected input-arity error")
+	}
+}
+
+// TestParseCollSchedule pins the name round-trip the CLIs depend on.
+func TestParseCollSchedule(t *testing.T) {
+	for _, name := range CollScheduleNames() {
+		s, err := ParseCollSchedule(name)
+		if err != nil {
+			t.Fatalf("ParseCollSchedule(%q): %v", name, err)
+		}
+		if s.String() != name {
+			t.Fatalf("round-trip %q -> %v", name, s)
+		}
+	}
+	if _, err := ParseCollSchedule("bogus"); err == nil {
+		t.Fatal("expected error for unknown schedule")
+	}
+	if got := CollAuto.Resolve(TopoTorus); got != CollRing {
+		t.Fatalf("auto on torus = %v, want ring", got)
+	}
+	if got := CollAuto.Resolve(TopoMesh); got != CollHalving {
+		t.Fatalf("auto on mesh = %v, want halving", got)
+	}
+	if got := CollAuto.Resolve(TopoTree); got != CollTree {
+		t.Fatalf("auto on tree = %v, want tree", got)
+	}
+	if got := CollRing.Resolve(TopoTree); got != CollRing {
+		t.Fatalf("explicit schedule must pass through, got %v", got)
+	}
+}
+
+// TestTreePathLeavesNoAlloc pins the satellite memoization: repeated
+// TreePath and Leaves calls must not allocate (they return shared
+// read-only tables).
+func TestTreePathLeavesNoAlloc(t *testing.T) {
+	topo := mustTopo(t, Config{MeshW: 4, MeshH: 4, RouterFanout: 2, NeighborLatency: 2, TreeHopLatency: 4, RouterProc: 1})
+	pairs := [][2]int{{0, 15}, {3, 12}, {5, 5}, {topo.Root, 7}}
+	for _, p := range pairs {
+		topo.TreePath(p[0], p[1]) // warm the memo
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, p := range pairs {
+			_ = topo.TreePath(p[0], p[1])
+		}
+		_ = topo.Leaves(topo.Root)
+		_ = topo.Leaves(0)
+		_ = topo.Leaves(topo.N + 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("TreePath/Leaves allocated %.1f per run, want 0", allocs)
+	}
+}
+
+// TestLeavesMatchesRecursion checks the precomputed spans against a
+// straightforward recursive enumeration.
+func TestLeavesMatchesRecursion(t *testing.T) {
+	topo := mustTopo(t, Config{MeshW: 5, MeshH: 3, RouterFanout: 3, NeighborLatency: 2, TreeHopLatency: 4, RouterProc: 1})
+	var slow func(r int) []int
+	slow = func(r int) []int {
+		if !topo.IsRouter(r) {
+			return []int{r}
+		}
+		var out []int
+		for _, c := range topo.Children(r) {
+			out = append(out, slow(c)...)
+		}
+		return out
+	}
+	for node := 0; node < topo.N+topo.NumRouters; node++ {
+		if got, want := topo.Leaves(node), slow(node); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Leaves(%d) = %v, want %v", node, got, want)
+		}
+	}
+}
+
+// TestTreePathConcurrent drives the memoized TreePath from many
+// goroutines — the -race leg for the shared path cache.
+func TestTreePathConcurrent(t *testing.T) {
+	topo := mustTopo(t, Config{MeshW: 6, MeshH: 6, RouterFanout: 2, NeighborLatency: 2, TreeHopLatency: 4, RouterProc: 1})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				a, b := rng.Intn(topo.N), rng.Intn(topo.N)
+				p := topo.TreePath(a, b)
+				if len(p)-1 != topo.TreePathHops(a, b) {
+					t.Errorf("path length %d vs hops %d", len(p)-1, topo.TreePathHops(a, b))
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}

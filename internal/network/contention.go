@@ -97,6 +97,9 @@ func (f *Fabric) chargeStall(node, src int, waited, depart sim.Time) {
 	if waited <= 0 {
 		return
 	}
+	if f.collActive {
+		f.collStall += waited
+	}
 	f.log.Add(telf.Event{Time: depart, Node: node, Kind: telf.NetStall, A: int64(src), B: waited})
 	if src >= 0 && src < len(f.endpoints) {
 		if s, ok := f.endpoints[src].(netStallSink); ok {
@@ -192,6 +195,12 @@ type CongestionStats struct {
 	RouterBusiest sim.Time `json:"router_busiest_cycles"`
 	PortBusiest   sim.Time `json:"port_busiest_cycles"`
 	RouterBusy    sim.Time `json:"router_busy_cycles"`
+	// Collective layer (collective.go): operations executed on the fabric
+	// and the queueing cycles their messages accrued at busy links and
+	// ports. CollectiveOps counts even with contention disabled — the
+	// layer runs either way; only the stall cycles need finite bandwidth.
+	CollectiveOps   uint64   `json:"collective_ops"`
+	CollectiveStall sim.Time `json:"collective_stall_cycles"`
 	// Links is the per-link breakdown behind the aggregate Link* counters:
 	// one entry per directed mesh link that carried (or queued) at least one
 	// message, ordered by resource slot — deterministic for a deterministic
@@ -223,7 +232,11 @@ func (s CongestionStats) MaxQueue() int {
 // Congestion snapshots the fabric's contention counters for the run (or
 // shot) since the last Reset.
 func (f *Fabric) Congestion() CongestionStats {
-	st := CongestionStats{Enabled: f.contention()}
+	st := CongestionStats{
+		Enabled:         f.contention(),
+		CollectiveOps:   f.collOps,
+		CollectiveStall: f.collStall,
+	}
 	if !st.Enabled {
 		return st
 	}

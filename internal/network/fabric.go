@@ -34,6 +34,13 @@ type Fabric struct {
 	ser   sim.Time       // per-message link/port occupancy
 	qcap  int            // FIFO depth used for the overflow statistic
 	links []sim.Resource // directed mesh links, 4 per controller
+
+	// Collective layer accounting (see collective.go): operations run on
+	// this fabric since the last Reset, and the queueing cycles their
+	// messages accrued while collActive.
+	collOps    uint64
+	collStall  sim.Time
+	collActive bool
 }
 
 // NewFabric builds the fabric and its routers. Endpoints are attached later
@@ -80,6 +87,9 @@ func (f *Fabric) Reset() {
 	for i := range f.links {
 		f.links[i].Reset()
 	}
+	f.collOps = 0
+	f.collStall = 0
+	f.collActive = false
 }
 
 // Router returns the router object at the given address.

@@ -7,6 +7,7 @@ package network
 
 import (
 	"fmt"
+	"sync"
 
 	"dhisq/internal/sim"
 )
@@ -131,6 +132,19 @@ type Topology struct {
 	children   [][]int // router-local (indexed by router-N): child node addrs
 	depth      []int   // node -> depth (root = 0)
 	Root       int
+
+	// Leaf spans: every subtree's leaf set is a contiguous run of leafBuf
+	// (the balanced tree groups consecutive nodes), so Leaves returns a
+	// shared subslice instead of allocating per call.
+	leafBuf []int
+	leafLo  []int // node -> span start in leafBuf
+	leafHi  []int // node -> span end in leafBuf
+
+	// TreePath memo: the contention layer re-derives the same paths for
+	// every message, so computed paths are cached and shared. Guarded by a
+	// mutex because runner replicas may probe placements concurrently.
+	pathMu    sync.Mutex
+	pathCache map[int64][]int
 }
 
 // NewTopology builds the hybrid topology for the given config.
@@ -196,6 +210,25 @@ func NewTopology(cfg Config) (*Topology, error) {
 		}
 		t.depth[node] = d
 	}
+	// Precompute the leaf spans behind Leaves: one DFS fills a shared
+	// buffer; every node's subtree leaves are a contiguous run of it.
+	t.leafBuf = make([]int, 0, n)
+	t.leafLo = make([]int, next)
+	t.leafHi = make([]int, next)
+	var fillLeaves func(node int)
+	fillLeaves = func(node int) {
+		t.leafLo[node] = len(t.leafBuf)
+		if t.IsRouter(node) {
+			for _, c := range t.Children(node) {
+				fillLeaves(c)
+			}
+		} else {
+			t.leafBuf = append(t.leafBuf, node)
+		}
+		t.leafHi[node] = len(t.leafBuf)
+	}
+	fillLeaves(t.Root)
+	t.pathCache = map[int64][]int{}
 	return t, nil
 }
 
@@ -283,7 +316,17 @@ func (t *Topology) MeshStep(a, b int) int {
 // TreePath returns the node sequence from a to b through their lowest
 // common ancestor, endpoints included. It is the hop-by-hop form of
 // TreePathHops: len(TreePath(a,b))-1 == TreePathHops(a,b).
+//
+// The returned slice is a shared, memoized table — the contention layer
+// walks the same paths for every message — and must not be mutated.
 func (t *Topology) TreePath(a, b int) []int {
+	key := int64(a)*int64(t.N+t.NumRouters) + int64(b)
+	t.pathMu.Lock()
+	if p, ok := t.pathCache[key]; ok {
+		t.pathMu.Unlock()
+		return p
+	}
+	t.pathMu.Unlock()
 	var up []int
 	var down []int
 	da, db := t.depth[a], t.depth[b]
@@ -306,6 +349,9 @@ func (t *Topology) TreePath(a, b int) []int {
 	for i := len(down) - 1; i >= 0; i-- {
 		path = append(path, down[i])
 	}
+	t.pathMu.Lock()
+	t.pathCache[key] = path
+	t.pathMu.Unlock()
 	return path
 }
 
@@ -351,16 +397,11 @@ func (t *Topology) MaxHopsDown(r int) int {
 	return m
 }
 
-// Leaves returns all leaf controllers in router r's subtree.
+// Leaves returns all leaf controllers in node r's subtree (a controller is
+// its own single leaf). The returned slice is a shared, precomputed
+// read-only table — callers must not mutate it.
 func (t *Topology) Leaves(r int) []int {
-	if !t.IsRouter(r) {
-		return []int{r}
-	}
-	var out []int
-	for _, c := range t.Children(r) {
-		out = append(out, t.Leaves(c)...)
-	}
-	return out
+	return t.leafBuf[t.leafLo[r]:t.leafHi[r]:t.leafHi[r]]
 }
 
 // EdgeIndex returns the index of router r's edge to neighbor — children

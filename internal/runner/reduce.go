@@ -1,0 +1,51 @@
+package runner
+
+// Host-side reduction tree: the software mirror of the fabric's collective
+// layer (internal/network.RunCollective). Where the fabric reduces values
+// across simulated controllers, the host reduces values across shots and
+// sweep points — and both replace linear accumulation loops with a balanced
+// combining tree so the merge parallelizes without giving up determinism.
+
+// TreeReduce folds xs with combine over a balanced binary tree and reports
+// whether there was anything to fold (false only for an empty slice). The
+// pairing is a pure function of len(xs) — always split at the midpoint,
+// always combine(left, right) — so the result is deterministic for any
+// worker interleaving. Halves longer than grain are reduced concurrently;
+// grain <= 1 parallelizes all the way down, and a grain >= len(xs) is a
+// plain sequential left fold.
+//
+// combine must be associative for the tree to agree with a linear left
+// fold (every consumer in this repo reduces counters, histograms and
+// congestion digests, which are). combine may mutate and return its first
+// argument: every element enters exactly one combine call, so no value is
+// ever visible to two goroutines at once.
+func TreeReduce[T any](xs []T, grain int, combine func(T, T) T) (T, bool) {
+	if len(xs) == 0 {
+		var zero T
+		return zero, false
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	return treeReduce(xs, grain, combine), true
+}
+
+func treeReduce[T any](xs []T, grain int, combine func(T, T) T) T {
+	if len(xs) <= grain {
+		acc := xs[0]
+		for _, x := range xs[1:] {
+			acc = combine(acc, x)
+		}
+		return acc
+	}
+	mid := len(xs) / 2
+	var right T
+	done := make(chan struct{})
+	go func() {
+		right = treeReduce(xs[mid:], grain, combine)
+		close(done)
+	}()
+	left := treeReduce(xs[:mid], grain, combine)
+	<-done
+	return combine(left, right)
+}

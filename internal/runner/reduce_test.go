@@ -1,0 +1,103 @@
+package runner
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestTreeReduceMatchesLinearFold pins the core contract: for an
+// associative combiner the balanced tree agrees with a sequential left
+// fold at every length and grain, including the degenerate ones.
+func TestTreeReduceMatchesLinearFold(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 2, 3, 7, 8, 100, 1023} {
+		xs := make([]int, n)
+		want := 0
+		for i := range xs {
+			xs[i] = rng.Intn(1000)
+			want += xs[i]
+		}
+		for _, grain := range []int{-1, 0, 1, 2, 16, n, n + 1} {
+			got, ok := TreeReduce(xs, grain, func(a, b int) int { return a + b })
+			if ok != (n > 0) {
+				t.Fatalf("n=%d grain=%d: ok=%v", n, grain, ok)
+			}
+			if ok && got != want {
+				t.Fatalf("n=%d grain=%d: got %d want %d", n, grain, got, want)
+			}
+		}
+	}
+}
+
+// TestTreeReduceOrdered pins that the pairing preserves element order:
+// an associative but non-commutative combiner (concatenation) must still
+// produce the left-fold result, whatever the goroutine interleaving.
+func TestTreeReduceOrdered(t *testing.T) {
+	xs := make([]string, 200)
+	var want strings.Builder
+	for i := range xs {
+		xs[i] = fmt.Sprintf("%d,", i)
+		want.WriteString(xs[i])
+	}
+	for iter := 0; iter < 20; iter++ {
+		got, ok := TreeReduce(xs, 1, func(a, b string) string { return a + b })
+		if !ok || got != want.String() {
+			t.Fatalf("iter %d: concatenation reordered: %q", iter, got)
+		}
+	}
+}
+
+// TestTreeReduceMutatingCombiner pins the ownership contract the
+// congestion-digest and histogram consumers rely on: a combiner that
+// mutates and returns its first argument is safe because every element
+// enters exactly one combine call. Run under -race this is the
+// concurrency leg for the reduction tree.
+func TestTreeReduceMutatingCombiner(t *testing.T) {
+	xs := make([]map[string]int, 300)
+	for i := range xs {
+		xs[i] = map[string]int{fmt.Sprintf("k%d", i%17): i}
+	}
+	got, ok := TreeReduce(xs, 1, func(a, b map[string]int) map[string]int {
+		for k, v := range b {
+			a[k] += v
+		}
+		return a
+	})
+	if !ok {
+		t.Fatal("non-empty reduce reported empty")
+	}
+	want := map[string]int{}
+	for i := range xs {
+		want[fmt.Sprintf("k%d", i%17)] += i
+	}
+	if len(got) != len(want) {
+		t.Fatalf("key count %d != %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %s: got %d want %d", k, got[k], v)
+		}
+	}
+}
+
+// TestHistogramChunkedMatchesSequential pins that the chunked, tree-merged
+// Histogram is identical to the naive sequential count once the shot count
+// crosses the parallel threshold.
+func TestHistogramChunkedMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	set := &ShotSet{NumBits: 3}
+	for i := 0; i < 4*histogramGrain+37; i++ {
+		bits := []int{rng.Intn(2), rng.Intn(2), rng.Intn(2)}
+		set.Shots = append(set.Shots, Shot{Index: i, Bits: bits})
+	}
+	want := Histogram{}
+	for _, shot := range set.Shots {
+		want[shot.Key()]++
+	}
+	got := set.Histogram()
+	if got.String() != want.String() {
+		t.Fatalf("chunked histogram diverged:\n%s\nvs\n%s", got, want)
+	}
+}

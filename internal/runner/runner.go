@@ -89,13 +89,53 @@ func (s Shot) Key() string {
 // Histogram counts shots per classical-bitstring outcome.
 type Histogram map[string]int
 
-// Histogram aggregates the shot outcomes.
+// histogramGrain is the chunk size below which Histogram counts
+// sequentially; larger shot sets count per-chunk partial histograms
+// concurrently and merge them with TreeReduce.
+const histogramGrain = 512
+
+// Histogram aggregates the shot outcomes. Large sets are counted as
+// per-chunk partial histograms merged over the host reduction tree
+// (TreeReduce); map-key insertion order is irrelevant to a map, so the
+// result is identical to the sequential count for any chunking.
 func (s *ShotSet) Histogram() Histogram {
-	h := Histogram{}
-	for _, shot := range s.Shots {
-		h[shot.Key()]++
+	count := func(shots []Shot) Histogram {
+		h := Histogram{}
+		for _, shot := range shots {
+			h[shot.Key()]++
+		}
+		return h
 	}
+	if len(s.Shots) <= histogramGrain {
+		return count(s.Shots)
+	}
+	parts := make([]Histogram, (len(s.Shots)+histogramGrain-1)/histogramGrain)
+	var wg sync.WaitGroup
+	for i := range parts {
+		lo := i * histogramGrain
+		hi := lo + histogramGrain
+		if hi > len(s.Shots) {
+			hi = len(s.Shots)
+		}
+		i, chunk := i, s.Shots[lo:hi]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			parts[i] = count(chunk)
+		}()
+	}
+	wg.Wait()
+	h, _ := TreeReduce(parts, 1, mergeHistograms)
 	return h
+}
+
+// mergeHistograms folds b into a and returns a (TreeReduce combiner; each
+// partial enters exactly one combine call, so mutating a is safe).
+func mergeHistograms(a, b Histogram) Histogram {
+	for k, n := range b {
+		a[k] += n
+	}
+	return a
 }
 
 // Makespans returns the per-shot makespans in shot order.

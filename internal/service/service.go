@@ -31,6 +31,7 @@ import (
 	"dhisq/internal/circuit"
 	"dhisq/internal/compiler"
 	"dhisq/internal/machine"
+	"dhisq/internal/network"
 	"dhisq/internal/placement"
 	"dhisq/internal/runner"
 	"dhisq/internal/sim"
@@ -114,7 +115,13 @@ type Request struct {
 	// pass ("" defers to Cfg.Schedule, then to the fixed replay).
 	// Validated at admission exactly like Placement.
 	Schedule string
-	Shots    int
+	// Collective names a network.CollSchedule ("naive", "ring", "halving",
+	// "tree", "auto") and switches the job onto the collective-aware
+	// lowering plus the post-run digest reduce ("" defers to
+	// Cfg.Collective, then to off). Validated at admission like the other
+	// policy names.
+	Collective string
+	Shots      int
 	// Seed, when non-zero, is the job's base seed; 0 lets the service
 	// derive a per-job seed from its own seed stream.
 	Seed int64
@@ -230,6 +237,12 @@ type Stats struct {
 	NetMaxQueue    int    `json:"net_max_queue"`
 	NetMessages    uint64 `json:"net_messages"`
 	NetOverflows   uint64 `json:"net_overflows"`
+	// Collective-layer counters (network.CongestionStats): operations the
+	// fabric's collective layer executed across completed jobs' shots, and
+	// the queueing cycles their messages accrued. Ops count even with the
+	// contention model disabled; the stall needs finite link bandwidth.
+	NetCollectiveOps   uint64 `json:"net_collective_ops"`
+	NetCollectiveStall uint64 `json:"net_collective_stall_cycles"`
 	// Replacements counts replica-pool groups re-placed via congestion
 	// feedback (0 unless Config.ReplaceStallThreshold is set).
 	Replacements uint64 `json:"replacements"`
@@ -252,6 +265,12 @@ type poolKey struct {
 	backend   machine.BackendKind // resolved, never BackendAuto
 	logEvents bool
 	deadline  sim.Time
+	// collective is the resolved Config.Collective schedule name. The
+	// schedule is runtime configuration — every schedule shares one
+	// compiled artifact (keyVersion 6 hashes only the on/off toggle) — but
+	// a pooled machine is built with one Cfg, so "ring" and "tree" jobs
+	// must not trade replicas.
+	collective string
 }
 
 type job struct {
@@ -303,10 +322,18 @@ func (j *job) publish(ps PointStatus) {
 // still move the /v1/stats net_* counters.
 func (j *job) setPoints(pts []runner.SweepPoint) {
 	out := make([]PointStatus, len(pts))
-	agg := congestionAgg{track: j.trackFeedback}
+	aggs := make([]congestionAgg, len(pts))
 	for i, p := range pts {
 		out[i] = pointStatusOf(p)
-		agg.add(p.Set)
+		aggs[i] = congestionAgg{track: j.trackFeedback}
+		aggs[i].add(p.Set)
+	}
+	// Per-point aggregates fold over the host reduction tree, mirroring the
+	// per-shot fold inside add; for a zero-point sweep the zero aggregate
+	// stands.
+	agg, ok := runner.TreeReduce(aggs, digestGrain, congestionAgg.merge)
+	if !ok {
+		agg = congestionAgg{track: j.trackFeedback}
 	}
 	j.mu.Lock()
 	j.points = out
@@ -439,6 +466,9 @@ func resolveRequest(req Request) (Request, machine.Config, string, string, error
 	if req.Schedule != "" {
 		cfg.Schedule = req.Schedule
 	}
+	if req.Collective != "" {
+		cfg.Collective = req.Collective
+	}
 	// Validate the policies the job will actually compile with — whether
 	// they arrived via the request or a caller-supplied Cfg — so unknown
 	// names are rejected here, before any work queues.
@@ -455,6 +485,11 @@ func resolveRequest(req Request) (Request, machine.Config, string, string, error
 	}
 	if err := compiler.ValidSchedule(resolvedSchedule); err != nil {
 		return req, machine.Config{}, "", "", err
+	}
+	if cfg.Collective != "" {
+		if _, err := network.ParseCollSchedule(cfg.Collective); err != nil {
+			return req, machine.Config{}, "", "", err
+		}
 	}
 	return req, cfg, resolvedPolicy, resolvedSchedule, nil
 }
@@ -521,6 +556,7 @@ func (s *Service) Submit(req Request) (string, error) {
 		pk: poolKey{
 			fp: fp, backend: machine.ResolveBackend(req.Circuit, cfg.Backend),
 			logEvents: cfg.LogEvents, deadline: cfg.Deadline,
+			collective: cfg.Collective,
 		},
 		state:  StateQueued,
 		done:   make(chan struct{}),
@@ -733,44 +769,104 @@ func (s *Service) worker() {
 	}
 }
 
+// netDigest is one shot's fabric-congestion summary, the element type of
+// the host reduction tree: add builds one per shot and folds them with
+// runner.TreeReduce instead of a linear accumulation loop. Collective
+// counters fold even when the contention model is disabled — the
+// collective layer runs (and counts operations) either way.
+type netDigest struct {
+	stall, messages, overflows uint64
+	collOps, collStall         uint64
+	maxQueue                   int
+}
+
+// digestOf extracts a shot's congestion digest from its result.
+func digestOf(res machine.Result) netDigest {
+	net := res.Net
+	d := netDigest{
+		collOps:   net.CollectiveOps,
+		collStall: uint64(net.CollectiveStall),
+	}
+	if !net.Enabled {
+		return d
+	}
+	d.stall = uint64(net.TotalStall())
+	d.messages = net.LinkMessages + net.PortMessages
+	d.overflows = net.LinkOverflows + net.PortOverflows
+	d.maxQueue = net.MaxQueue()
+	return d
+}
+
+// merge combines two digests (associative and commutative — sums and a
+// max — so the reduction tree agrees with any fold order).
+func (d netDigest) merge(e netDigest) netDigest {
+	d.stall += e.stall
+	d.messages += e.messages
+	d.overflows += e.overflows
+	d.collOps += e.collOps
+	d.collStall += e.collStall
+	if e.maxQueue > d.maxQueue {
+		d.maxQueue = e.maxQueue
+	}
+	return d
+}
+
+// digestGrain keeps small shot sets on the sequential leaf path of the
+// reduction tree; only jobs with hundreds of shots fan the fold out.
+const digestGrain = 256
+
 // congestionAgg accumulates per-shot fabric congestion so it can outlive
 // the shot sets it came from (sweep jobs drop theirs at setPoints). With
 // track set it additionally folds the per-link attribution into a
 // compiler.Feedback for the re-place loop; aggregation is commutative
 // either way, so the result is independent of shot completion order.
 type congestionAgg struct {
-	stall, messages, overflows uint64
-	maxQueue                   int
-	track                      bool
-	fb                         compiler.Feedback
+	net   netDigest
+	track bool
+	fb    compiler.Feedback
 }
 
 func (a *congestionAgg) add(set *runner.ShotSet) {
-	for _, shot := range set.Shots {
-		net := shot.Result.Net
-		if !net.Enabled {
-			continue
-		}
-		a.stall += uint64(net.TotalStall())
-		a.messages += net.LinkMessages + net.PortMessages
-		a.overflows += net.LinkOverflows + net.PortOverflows
-		if q := net.MaxQueue(); q > a.maxQueue {
-			a.maxQueue = q
-		}
-		if a.track {
-			a.fb.Absorb(net, shot.Result.RouterUtilization)
+	if len(set.Shots) == 0 {
+		return
+	}
+	digests := make([]netDigest, len(set.Shots))
+	for i, shot := range set.Shots {
+		digests[i] = digestOf(shot.Result)
+	}
+	folded, _ := runner.TreeReduce(digests, digestGrain, netDigest.merge)
+	a.net = a.net.merge(folded)
+	if a.track {
+		// Per-link attribution feeds the re-place loop; Feedback's maps make
+		// a per-shot copy too heavy for the tree, so absorption stays linear
+		// (Absorb is commutative, determinism is unaffected).
+		for _, shot := range set.Shots {
+			if shot.Result.Net.Enabled {
+				a.fb.Absorb(shot.Result.Net, shot.Result.RouterUtilization)
+			}
 		}
 	}
+}
+
+// merge combines two aggregates (sweep jobs fold their per-point
+// aggregates over the reduction tree in setPoints). The receiver's track
+// flag wins; b's feedback is merged in either way.
+func (a congestionAgg) merge(b congestionAgg) congestionAgg {
+	a.net = a.net.merge(b.net)
+	a.fb.Merge(&b.fb)
+	return a
 }
 
 // foldCongestion merges aggregated congestion into the service stats.
 // Called with s.mu held.
 func (s *Service) foldCongestion(a congestionAgg) {
-	s.stats.NetStallCycles += a.stall
-	s.stats.NetMessages += a.messages
-	s.stats.NetOverflows += a.overflows
-	if a.maxQueue > s.stats.NetMaxQueue {
-		s.stats.NetMaxQueue = a.maxQueue
+	s.stats.NetStallCycles += a.net.stall
+	s.stats.NetMessages += a.net.messages
+	s.stats.NetOverflows += a.net.overflows
+	s.stats.NetCollectiveOps += a.net.collOps
+	s.stats.NetCollectiveStall += a.net.collStall
+	if a.net.maxQueue > s.stats.NetMaxQueue {
+		s.stats.NetMaxQueue = a.net.maxQueue
 	}
 }
 
