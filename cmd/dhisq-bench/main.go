@@ -168,6 +168,9 @@ func main() {
 	register("collective", func() error {
 		return benchCollective(*outDir, *seed, *topo, *linkBW)
 	})
+	register("remote", func() error {
+		return benchRemote(*outDir, *seed, *linkBW)
+	})
 
 	names := make([]string, len(experiments))
 	for i, e := range experiments {
@@ -281,6 +284,23 @@ func benchPlacement(outDir string, seed int64, policy string, linkBW int64) erro
 		fmt.Println("interaction-aware placement never worse than row-major on the hotspot; strictly better somewhere")
 	}
 	return writeBenchJSON(outDir, "placement", points)
+}
+
+// benchRemote sweeps multi-chip execution — workload × chip count × EPR
+// latency × partition policy — enforces the cut-minimizing partition gate
+// (interaction never cuts more remote gates than the contiguous row-major
+// split, strictly fewer somewhere), and emits BENCH_remote.json.
+func benchRemote(outDir string, seed, linkBW int64) error {
+	points, err := exp.RemoteSweep(exp.RemoteOptions{Seed: seed, LinkBW: sim.Time(linkBW)})
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.RenderRemote(points))
+	if err := exp.CheckRemote(points); err != nil {
+		return err
+	}
+	fmt.Println("interaction chip partition never cuts more remote gates than row-major; strictly fewer somewhere")
+	return writeBenchJSON(outDir, "remote", points)
 }
 
 // benchFeedback runs each feedback workload cold (interaction placement)

@@ -10,7 +10,12 @@
 //	                     plus "shots" (required) and optional "seed", "mapping",
 //	                     "topo" (mesh|torus|tree), "link_bw" (cycles/message,
 //	                     0 = infinite), "router_ports", "placement"
-//	                     (identity|rowmajor|interaction); parameterized
+//	                     (identity|rowmajor|interaction), "schedule"
+//	                     (fixed|padded), "collective" (collective schedule
+//	                     name, DESIGN.md §12), "chips" (split the data
+//	                     qubits across N chips; crossing gates teleport via
+//	                     EPR pairs, DESIGN.md §13) with "epr_latency"
+//	                     (cycles per pair generation); parameterized
 //	                     circuits (QASM angles written as identifiers, e.g.
 //	                     "rz(theta0) q[0];") take "params" {"theta0": 0.5} or
 //	                     "sweep" [{"theta0": 0.1}, ...] — a sweep compiles the
@@ -19,8 +24,9 @@
 //	GET  /v1/jobs/{id}   poll a job; ?wait=1/true long-polls until it
 //	                     finishes, ?wait=0/false (or no wait) polls once;
 //	                     echoes the resolved mesh dimensions, placement
-//	                     policy and final qubit→controller mapping, and for
-//	                     sweep jobs the per-point results as "points"
+//	                     policy and final qubit→controller mapping (plus
+//	                     "chips" and "epr_pairs" for multi-chip jobs), and
+//	                     for sweep jobs the per-point results as "points"
 //	GET  /v1/jobs/{id}/stream
 //	                     chunked NDJSON: one {"point": ...} line per sweep
 //	                     point as it finishes (completion order — "index"
@@ -82,6 +88,7 @@ import (
 	"dhisq/internal/network"
 	"dhisq/internal/placement"
 	"dhisq/internal/service"
+	"dhisq/internal/sim"
 	"dhisq/internal/store"
 	"dhisq/internal/workloads"
 )
@@ -189,6 +196,13 @@ type submitRequest struct {
 	// collective-aware lowering plus the post-run digest reduce
 	// (DESIGN.md §12). "" leaves the collective machinery off.
 	Collective string `json:"collective,omitempty"`
+	// Chips splits the device into a multi-chip partition; cross-chip
+	// two-qubit gates run as EPR-mediated teleported gates (DESIGN.md
+	// §13). 0/1 = single chip. EPRLatency overrides the EPR
+	// pair-generation latency in cycles (0 = machine default). Both are
+	// validated at service admission.
+	Chips      int   `json:"chips,omitempty"`
+	EPRLatency int64 `json:"epr_latency,omitempty"`
 	// Params binds the circuit's symbolic parameters (QASM angles written
 	// as identifiers, e.g. "rz(theta0) q[0];"); Sweep runs the circuit at
 	// every listed binding inside one job — the skeleton compiles once
@@ -210,11 +224,16 @@ type jobResponse struct {
 	// MeshW/MeshH, Placement and Mapping echo the resolved placement so a
 	// remote user can see why two submissions hit different replica pools
 	// (mapping is omitted for identity placement).
-	MeshW     int            `json:"mesh_w,omitempty"`
-	MeshH     int            `json:"mesh_h,omitempty"`
-	Placement string         `json:"placement,omitempty"`
-	Schedule  string         `json:"schedule,omitempty"`
-	Mapping   []int          `json:"mapping,omitempty"`
+	MeshW     int    `json:"mesh_w,omitempty"`
+	MeshH     int    `json:"mesh_h,omitempty"`
+	Placement string `json:"placement,omitempty"`
+	Schedule  string `json:"schedule,omitempty"`
+	Mapping   []int  `json:"mapping,omitempty"`
+	// Chips echoes the resolved chip count (omitted for single-chip
+	// jobs); EPRPairs totals the EPR pairs generated across the job's
+	// shots.
+	Chips     int            `json:"chips,omitempty"`
+	EPRPairs  uint64         `json:"epr_pairs,omitempty"`
 	Makespan  int64          `json:"makespan_cycles,omitempty"`
 	Histogram map[string]int `json:"histogram,omitempty"`
 	// Points carries a sweep job's per-point results (params, histogram,
@@ -234,6 +253,7 @@ func toResponse(st service.JobStatus) jobResponse {
 		Fingerprint: st.Fingerprint, CacheHit: st.CacheHit, Batched: st.Batched,
 		MeshW: st.MeshW, MeshH: st.MeshH, Placement: st.Placement,
 		Schedule: st.Schedule, Mapping: st.Mapping,
+		Chips: st.Chips, EPRPairs: st.EPRPairs,
 		Makespan: st.Makespan, Histogram: st.Histogram, Points: st.Points, Error: st.Err,
 	}
 }
@@ -455,6 +475,7 @@ func streamJob(w http.ResponseWriter, r *http.Request, svc *service.Service,
 // any fabric overrides.
 func buildRequest(req submitRequest) (service.Request, error) {
 	var sreq service.Request
+	var defaultParams map[string]float64
 	switch {
 	case req.QASM != "" && req.Bench != "":
 		return service.Request{}, fmt.Errorf("give qasm or bench, not both")
@@ -479,6 +500,7 @@ func buildRequest(req submitRequest) (service.Request, error) {
 			Circuit: b.Circuit, MeshW: b.MeshW, MeshH: b.MeshH,
 			Mapping: b.Mapping, Shots: req.Shots, Seed: req.Seed,
 		}
+		defaultParams = b.DefaultParams
 	default:
 		return service.Request{}, fmt.Errorf("submission needs qasm or bench")
 	}
@@ -493,6 +515,16 @@ func buildRequest(req submitRequest) (service.Request, error) {
 	// Collective names are validated at service admission (the resolved
 	// name must parse as a network.CollSchedule), same as an invalid Topo.
 	sreq.Collective = req.Collective
+	// Chip count and EPR latency are validated at service admission
+	// (bounds, mapping conflicts) like the collective name.
+	sreq.Chips = req.Chips
+	sreq.EPRLatency = sim.Time(req.EPRLatency)
+	if req.Params == nil && len(req.Sweep) == 0 {
+		// Parameterized benchmarks (dvqe) carry a point-0 default binding
+		// so a bare {"bench": ...} submission runs; explicit params or a
+		// sweep always win (and QASM submissions never have a default).
+		req.Params = defaultParams
+	}
 	sreq.Params = req.Params
 	sreq.Sweep = req.Sweep
 	if err := applyFabric(req, &sreq); err != nil {

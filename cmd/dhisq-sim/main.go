@@ -58,6 +58,8 @@ func main() {
 	placePolicy := flag.String("placement", "", "placement policy for unmapped circuits: identity, rowmajor, interaction, or congestion (default identity)")
 	schedPolicy := flag.String("schedule", "", "compiler scheduling policy: fixed or padded (default fixed)")
 	collective := flag.String("collective", "", "fabric collective schedule: naive, ring, halving, tree, or auto (default off; turns on collective-aware feed-forward lowering and the post-run digest reduce)")
+	chips := flag.Int("chips", 0, "split the device into N chips; cross-chip 2q gates run as EPR-mediated teleported gates (0/1 = single chip)")
+	eprLatency := flag.Int64("epr-latency", 0, "EPR pair-generation latency in cycles for multi-chip runs (0 = machine default)")
 	bind := flag.String("bind", "", "bind symbolic circuit parameters, e.g. -bind theta0=0.5,theta1=1.2")
 	serve := flag.String("serve", "", "dhisq-serve base URL: submit as a job instead of running in-process")
 	list := flag.Bool("list", false, "list benchmark names")
@@ -75,7 +77,8 @@ func main() {
 
 	if *serve != "" {
 		must(submitRemote(*serve, *qasm, *bench, *scale, *shots, *seed,
-			*topoName, *linkBW, *routerPorts, *placePolicy, *schedPolicy, *collective, params))
+			*topoName, *linkBW, *routerPorts, *placePolicy, *schedPolicy, *collective,
+			*chips, *eprLatency, params))
 		return
 	}
 
@@ -94,6 +97,9 @@ func main() {
 		b, err := workloads.BuildScaled(*bench, *scale)
 		must(err)
 		c, meshW, meshH, mapping = b.Circuit, b.MeshW, b.MeshH, b.Mapping
+		if params == nil {
+			params = b.DefaultParams // parameterized bench, no -bind: sweep point 0
+		}
 	default:
 		fmt.Fprintln(os.Stderr, "usage: dhisq-sim -qasm file | -bench name [-scale N] [-shots N -workers W] | -list")
 		os.Exit(2)
@@ -116,12 +122,28 @@ func main() {
 		_, err := network.ParseCollSchedule(*collective)
 		must(err)
 	}
+	if *chips < 0 || *eprLatency < 0 {
+		must(fmt.Errorf("-chips and -epr-latency must be non-negative"))
+	}
 	cfg := machine.DefaultConfig(c.NumQubits)
 	cfg.Seed = *seed
 	cfg.Net.MeshW, cfg.Net.MeshH = meshW, meshH
 	cfg.Placement = *placePolicy
 	cfg.Schedule = *schedPolicy
 	cfg.Collective = *collective
+	if *chips > 1 {
+		if mapping != nil {
+			must(fmt.Errorf("-chips is incompatible with this benchmark's prebuilt qubit mapping (the chip expansion adds communication qubits)"))
+		}
+		cfg.Chips = *chips
+		cfg.EPRLatency = sim.Time(*eprLatency)
+		// One communication qubit per chip joins the device; regrow the
+		// controller mesh the same way the service does at admission.
+		if total := cfg.TotalQubits(c.NumQubits); meshW*meshH < total {
+			meshW, meshH = placement.AutoMesh(total)
+			cfg.Net.MeshW, cfg.Net.MeshH = meshW, meshH
+		}
+	}
 	topoKind, err := network.ParseTopology(*topoName)
 	must(err)
 	cfg.Net.Topology = topoKind
@@ -145,6 +167,9 @@ func main() {
 	fmt.Printf("makespan:      %d cycles (%d ns)\n", res.Makespan, sim.Nanoseconds(res.Makespan))
 	fmt.Printf("instructions:  %d executed, %d codeword commits\n", res.Instructions, res.Commits)
 	fmt.Printf("chip:          %d gates, %d measurements applied\n", res.Gates, res.Measurements)
+	if cfg.Chips > 1 {
+		fmt.Printf("chips:         %d, %d EPR pairs generated (shot 0)\n", cfg.Chips, res.EPRPairs)
+	}
 	fmt.Printf("sync stalls:   %d cycles total\n", res.SyncStall)
 	if res.Net.Enabled {
 		fmt.Printf("congestion:    %d stall cycles, max queue %d, busiest port %.1f%% utilized\n",
@@ -218,7 +243,7 @@ func parseBind(s string) (map[string]float64, error) {
 // The flag values are validated locally before anything travels: an
 // invalid -topo or -placement fails here with the parser's own message
 // instead of round-tripping to the daemon for a remote rejection.
-func submitRemote(base, qasmPath, bench string, scale, shots int, seed int64, topo string, linkBW int64, routerPorts int, placePolicy, schedPolicy, collective string, params map[string]float64) error {
+func submitRemote(base, qasmPath, bench string, scale, shots int, seed int64, topo string, linkBW int64, routerPorts int, placePolicy, schedPolicy, collective string, chips int, eprLatency int64, params map[string]float64) error {
 	if topo != "" {
 		if _, err := network.ParseTopology(topo); err != nil {
 			return err
@@ -234,6 +259,9 @@ func submitRemote(base, qasmPath, bench string, scale, shots int, seed int64, to
 		if _, err := network.ParseCollSchedule(collective); err != nil {
 			return err
 		}
+	}
+	if chips < 0 || eprLatency < 0 {
+		return fmt.Errorf("-chips and -epr-latency must be non-negative")
 	}
 	body := map[string]any{"shots": shots, "seed": seed}
 	if params != nil {
@@ -256,6 +284,12 @@ func submitRemote(base, qasmPath, bench string, scale, shots int, seed int64, to
 	}
 	if collective != "" {
 		body["collective"] = collective
+	}
+	if chips > 1 {
+		body["chips"] = chips
+		if eprLatency > 0 {
+			body["epr_latency"] = eprLatency
+		}
 	}
 	switch {
 	case qasmPath != "" && bench != "":

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSubmitRemoteValidatesClientSide pins the -serve client contract:
+// every policy flag is validated locally, before anything is POSTed. The
+// base URL below points at a port nothing listens on, so a request that
+// reaches the network fails with a connection error — seeing the
+// validator's message instead proves the check fired first.
+func TestSubmitRemoteValidatesClientSide(t *testing.T) {
+	const dead = "http://127.0.0.1:1" // nothing listens here
+	cases := []struct {
+		name    string
+		run     func() error
+		wantSub string
+	}{
+		{"collective", func() error {
+			return submitRemote(dead, "", "dvqe", 1, 1, 1, "", 0, 0, "", "", "bogus-schedule", 0, 0, nil)
+		}, "collective"},
+		{"topology", func() error {
+			return submitRemote(dead, "", "dvqe", 1, 1, 1, "hypercube", 0, 0, "", "", "", 0, 0, nil)
+		}, "topology"},
+		{"placement", func() error {
+			return submitRemote(dead, "", "dvqe", 1, 1, 1, "", 0, 0, "bogus-policy", "", "", 0, 0, nil)
+		}, "placement"},
+		{"schedule", func() error {
+			return submitRemote(dead, "", "dvqe", 1, 1, 1, "", 0, 0, "", "bogus-sched", "", 0, 0, nil)
+		}, "schedul"},
+		{"chips", func() error {
+			return submitRemote(dead, "", "dvqe", 1, 1, 1, "", 0, 0, "", "", "", -3, 0, nil)
+		}, "-chips"},
+		{"epr-latency", func() error {
+			return submitRemote(dead, "", "dvqe", 1, 1, 1, "", 0, 0, "", "", "", 2, -40, nil)
+		}, "-epr-latency"},
+		{"qasm-and-bench", func() error {
+			return submitRemote(dead, "x.qasm", "dvqe", 1, 1, 1, "", 0, 0, "", "", "", 0, 0, nil)
+		}, "not both"},
+	}
+	for _, tc := range cases {
+		err := tc.run()
+		if err == nil {
+			t.Fatalf("%s: invalid flag accepted", tc.name)
+		}
+		if strings.Contains(err.Error(), "connection refused") {
+			t.Fatalf("%s: flag reached the network instead of failing locally: %v", tc.name, err)
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+// TestSubmitRemoteValidFlagsReachNetwork is the inverse: with every flag
+// valid, submitRemote proceeds to the POST and fails only on the dead
+// connection — no validator rejects a legitimate multi-chip submission.
+func TestSubmitRemoteValidFlagsReachNetwork(t *testing.T) {
+	err := submitRemote("http://127.0.0.1:1", "", "dvqe", 2, 4, 7,
+		"torus", 4, 2, "interaction", "padded", "ring", 2, 150, map[string]float64{"t0_0": 0.5})
+	if err == nil {
+		t.Fatal("dead server accepted a submission")
+	}
+	if !strings.Contains(err.Error(), "connection refused") && !strings.Contains(err.Error(), "connect") {
+		t.Fatalf("expected a connection error, got: %v", err)
+	}
+}

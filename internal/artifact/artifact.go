@@ -58,8 +58,12 @@ func (f Fingerprint) Short() string { return hex.EncodeToString(f[:6]) }
 // different scheduling policies must never alias. v6: the Collective
 // option joined the compiler options — the collective-aware lowering
 // emits different feed-forward distribution code, so artifacts compiled
-// with it on and off must never alias.
-const keyVersion = 6
+// with it on and off must never alias. v7: the Chips and EPRLatency
+// options joined the compiler options — the multi-chip expansion rewrites
+// the circuit and the EPR latency changes emitted waits, so artifacts from
+// different chip configurations must never alias (and replica pools keyed
+// on the fingerprint stay chip-homogeneous).
+const keyVersion = 7
 
 // Key fingerprints a compilation request. Two requests share a key iff
 // the compiler is guaranteed to produce identical output for both: the
@@ -186,6 +190,9 @@ func key(c *circuit.Circuit, mapping []int, net network.Config, opt compiler.Opt
 	buf = append(buf, opt.Schedule...)
 	// Collective lowering toggle (keyVersion 6).
 	wb(opt.Collective)
+	// Multi-chip expansion inputs (keyVersion 7).
+	wi(int64(opt.Chips))
+	wi(int64(opt.EPRLatency))
 
 	return sha256.Sum256(buf)
 }

@@ -8,16 +8,47 @@ import (
 	"dhisq/internal/stabilizer"
 )
 
+// CommAware is implemented by backends that can separate communication-qubit
+// measurement randomness from the data stream. With a comm boundary set,
+// measurements and resets of qubits at or above it draw from a dedicated
+// herald RNG, so the data qubits of a multi-chip run consume exactly the
+// same random draws as the merged single-chip run of the same circuit — the
+// property the remote-gate distribution-equality oracle relies on.
+type CommAware interface {
+	// SetCommFrom marks qubits q.. as communication qubits (0 disables).
+	SetCommFrom(q int)
+}
+
+// heraldSeedMix decorrelates the herald RNG stream from the data stream
+// derived from the same shot seed.
+const heraldSeedMix = 0x5851F42D4C957F2D
+
 // StateVecBackend applies gates to a dense state vector — the exact oracle
 // for small verification runs.
 type StateVecBackend struct {
 	State *quantum.State
 	Rng   *rand.Rand
+	comm  int
+	hrng  *rand.Rand
 }
 
 // NewStateVec builds a dense backend for n qubits.
 func NewStateVec(n int, seed int64) *StateVecBackend {
-	return &StateVecBackend{State: quantum.NewState(n), Rng: rand.New(rand.NewSource(seed))}
+	return &StateVecBackend{
+		State: quantum.NewState(n),
+		Rng:   rand.New(rand.NewSource(seed)),
+		hrng:  rand.New(rand.NewSource(seed ^ heraldSeedMix)),
+	}
+}
+
+// SetCommFrom implements CommAware.
+func (b *StateVecBackend) SetCommFrom(q int) { b.comm = q }
+
+func (b *StateVecBackend) rng(q int) *rand.Rand {
+	if b.comm > 0 && q >= b.comm {
+		return b.hrng
+	}
+	return b.Rng
 }
 
 // Apply1 implements Backend.
@@ -47,7 +78,7 @@ func (b *StateVecBackend) Apply1(kind circuit.Kind, param float64, q int) {
 	case circuit.RZ:
 		s.RZ(q, param)
 	case circuit.Reset:
-		if s.Measure(q, b.Rng) == 1 {
+		if s.Measure(q, b.rng(q)) == 1 {
 			s.X(q)
 		}
 	case circuit.Delay:
@@ -73,24 +104,41 @@ func (b *StateVecBackend) Apply2(kind circuit.Kind, param float64, x, y int) {
 }
 
 // Measure implements Backend.
-func (b *StateVecBackend) Measure(q int) int { return b.State.Measure(q, b.Rng) }
+func (b *StateVecBackend) Measure(q int) int { return b.State.Measure(q, b.rng(q)) }
 
-// Reset implements Backend: |0...0> in place, RNG reseeded.
+// Reset implements Backend: |0...0> in place, both RNG streams reseeded.
 func (b *StateVecBackend) Reset(seed int64) {
 	b.State.Reset()
 	b.Rng = rand.New(rand.NewSource(seed))
+	b.hrng = rand.New(rand.NewSource(seed ^ heraldSeedMix))
 }
 
 // StabilizerBackend applies Clifford gates to a tableau — exact semantics at
 // thousands of qubits.
 type StabilizerBackend struct {
-	Tab *stabilizer.Tableau
-	Rng *rand.Rand
+	Tab  *stabilizer.Tableau
+	Rng  *rand.Rand
+	comm int
+	hrng *rand.Rand
 }
 
 // NewStabilizer builds a tableau backend for n qubits.
 func NewStabilizer(n int, seed int64) *StabilizerBackend {
-	return &StabilizerBackend{Tab: stabilizer.New(n), Rng: rand.New(rand.NewSource(seed))}
+	return &StabilizerBackend{
+		Tab:  stabilizer.New(n),
+		Rng:  rand.New(rand.NewSource(seed)),
+		hrng: rand.New(rand.NewSource(seed ^ heraldSeedMix)),
+	}
+}
+
+// SetCommFrom implements CommAware.
+func (b *StabilizerBackend) SetCommFrom(q int) { b.comm = q }
+
+func (b *StabilizerBackend) rng(q int) *rand.Rand {
+	if b.comm > 0 && q >= b.comm {
+		return b.hrng
+	}
+	return b.Rng
 }
 
 // Apply1 implements Backend.
@@ -110,7 +158,7 @@ func (b *StabilizerBackend) Apply1(kind circuit.Kind, param float64, q int) {
 	case circuit.Sdg:
 		t.Sdg(q)
 	case circuit.Reset:
-		if t.MeasureZ(q, b.Rng) == 1 {
+		if t.MeasureZ(q, b.rng(q)) == 1 {
 			t.X(q)
 		}
 	case circuit.Delay:
@@ -134,12 +182,14 @@ func (b *StabilizerBackend) Apply2(kind circuit.Kind, param float64, x, y int) {
 }
 
 // Measure implements Backend.
-func (b *StabilizerBackend) Measure(q int) int { return b.Tab.MeasureZ(q, b.Rng) }
+func (b *StabilizerBackend) Measure(q int) int { return b.Tab.MeasureZ(q, b.rng(q)) }
 
-// Reset implements Backend: identity tableau in place, RNG reseeded.
+// Reset implements Backend: identity tableau in place, both RNG streams
+// reseeded.
 func (b *StabilizerBackend) Reset(seed int64) {
 	b.Tab.Reset()
 	b.Rng = rand.New(rand.NewSource(seed))
+	b.hrng = rand.New(rand.NewSource(seed ^ heraldSeedMix))
 }
 
 // SeededBackend tracks no quantum state: gates are no-ops and each

@@ -116,6 +116,11 @@ type Model struct {
 	// result being available at the controller (window + discrimination).
 	MeasLatency sim.Time
 
+	// EPRLatency is the duration an inter-chip EPR-pair generation occupies
+	// its two communication qubits (attempt + heralding window). Zero falls
+	// back to the two-qubit gate duration.
+	EPRLatency sim.Time
+
 	// pending holds the first-arrived half of each two-qubit gate, keyed by
 	// the packed unordered qubit pair (low qubit in the high word).
 	pending map[uint64]pendingHalf
@@ -128,9 +133,12 @@ type Model struct {
 
 	Gates        uint64
 	Measurements uint64
-	Violations   []Violation
-	Overlaps     int
-	OverlapInfo  []Overlap
+	// EPRPairs counts inter-chip EPR-pair generations (remote-gate resource
+	// consumption; surfaced through machine.Result).
+	EPRPairs    uint64
+	Violations  []Violation
+	Overlaps    int
+	OverlapInfo []Overlap
 	// OrderInversions counts backend applications whose timestamp precedes
 	// an already-applied operation on the same qubit (would corrupt state
 	// semantics; always zero for compiler-generated programs).
@@ -178,6 +186,7 @@ func (m *Model) Reset(seed int64) {
 	clear(m.lastApplied)
 	m.Gates = 0
 	m.Measurements = 0
+	m.EPRPairs = 0
 	m.Violations = nil
 	m.Overlaps = 0
 	m.OverlapInfo = nil
@@ -262,6 +271,18 @@ func (m *Model) commit2Q(e TableEntry, at sim.Time) {
 	}
 	m.occupyKind(ctrl.Qubit, later, m.dur(ctrl.Kind, ctrl.Param), ctrl.Kind)
 	m.occupyKind(ctrl.Partner, later, m.dur(ctrl.Kind, ctrl.Param), ctrl.Kind)
+	if ctrl.Kind == circuit.EPR {
+		// EPR-pair generation across the chip boundary: both comm qubits
+		// are discarded and re-prepared as (|00>+|11>)/sqrt(2). Occupancy
+		// above already charged EPRLatency via dur().
+		m.backend.Apply1(circuit.Reset, 0, ctrl.Qubit)
+		m.backend.Apply1(circuit.Reset, 0, ctrl.Partner)
+		m.backend.Apply1(circuit.H, 0, ctrl.Qubit)
+		m.backend.Apply2(circuit.CNOT, 0, ctrl.Qubit, ctrl.Partner)
+		m.EPRPairs++
+		m.Gates++
+		return
+	}
 	m.backend.Apply2(ctrl.Kind, ctrl.Param, ctrl.Qubit, ctrl.Partner)
 	m.Gates++
 }
@@ -276,6 +297,11 @@ func (m *Model) dur(kind circuit.Kind, param float64) sim.Time {
 		return m.durations.Measure
 	case kind == circuit.Delay:
 		return sim.Time(param)
+	case kind == circuit.EPR:
+		if m.EPRLatency > 0 {
+			return m.EPRLatency
+		}
+		return m.durations.TwoQubit
 	case kind.IsTwoQubit():
 		return m.durations.TwoQubit
 	default:

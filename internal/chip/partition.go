@@ -1,0 +1,38 @@
+package chip
+
+import "fmt"
+
+// Partition describes the multi-chip layout of a device: Data data qubits
+// split across Chips chips, plus one communication qubit per chip appended
+// after the data qubits (comm qubit of chip j is global index Data+j). It is
+// the boundary contract shared by the circuit expansion, the machine's
+// backend sizing, and the herald-RNG comm split (DESIGN.md §13).
+type Partition struct {
+	Data  int // data qubits
+	Chips int // chips (1 = the single-chip degenerate case, no comm qubits)
+}
+
+// NewPartition validates and builds a partition descriptor.
+func NewPartition(data, chips int) (Partition, error) {
+	if data < 1 || chips < 1 {
+		return Partition{}, fmt.Errorf("chip: partition needs data >= 1 and chips >= 1 (got %d, %d)", data, chips)
+	}
+	if chips > data {
+		return Partition{}, fmt.Errorf("chip: %d chips for %d data qubits (each chip needs at least one)", chips, data)
+	}
+	return Partition{Data: data, Chips: chips}, nil
+}
+
+// Total returns the full qubit count including communication qubits.
+func (p Partition) Total() int {
+	if p.Chips <= 1 {
+		return p.Data
+	}
+	return p.Data + p.Chips
+}
+
+// Comm returns the global index of chip j's communication qubit.
+func (p Partition) Comm(chip int) int { return p.Data + chip }
+
+// IsComm reports whether global qubit q is a communication qubit.
+func (p Partition) IsComm(q int) bool { return p.Chips > 1 && q >= p.Data }

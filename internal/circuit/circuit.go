@@ -40,6 +40,13 @@ const (
 	Barrier // scheduling barrier across Qubits (empty = all)
 	Delay   // hold Qubits[0] idle for Param cycles (decoder latency modeling, §6.4.2)
 	Reset   // unconditional reset of Qubits[0] to |0> (reset drive pulse)
+	// EPR prepares the maximally entangled pair (|00>+|11>)/sqrt(2) on its
+	// two qubits, discarding their prior state. It is the inter-chip
+	// entanglement resource of the multi-chip model: the expansion emits it
+	// on communication qubits of different chips, and the chip model charges
+	// it the configured generation latency with a heralding exchange over
+	// the fabric (DESIGN.md §13). Semantically it is Reset+Reset+H+CNOT.
+	EPR
 )
 
 var kindNames = [...]string{
@@ -48,6 +55,7 @@ var kindNames = [...]string{
 	RX: "rx", RY: "ry", RZ: "rz", CPhase: "cp",
 	CNOT: "cx", CZ: "cz", SWAP: "swap",
 	Measure: "measure", Barrier: "barrier", Delay: "delay", Reset: "reset",
+	EPR: "epr",
 }
 
 func (k Kind) String() string {
@@ -60,7 +68,7 @@ func (k Kind) String() string {
 // IsTwoQubit reports whether the kind acts on exactly two qubits.
 func (k Kind) IsTwoQubit() bool {
 	switch k {
-	case CNOT, CZ, SWAP, CPhase:
+	case CNOT, CZ, SWAP, CPhase, EPR:
 		return true
 	}
 	return false
@@ -70,7 +78,7 @@ func (k Kind) IsTwoQubit() bool {
 // tableau.
 func (k Kind) IsClifford() bool {
 	switch k {
-	case H, X, Y, Z, S, Sdg, CNOT, CZ, SWAP, Measure, Barrier, Delay, Reset:
+	case H, X, Y, Z, S, Sdg, CNOT, CZ, SWAP, Measure, Barrier, Delay, Reset, EPR:
 		return true
 	}
 	return false
@@ -399,6 +407,9 @@ func (c *Circuit) Validate() error {
 				}
 			}
 		}
+		if op.Kind == EPR && op.Cond != nil {
+			return fmt.Errorf("circuit: op %d (%s): EPR generation cannot be conditioned", i, op)
+		}
 	}
 	return nil
 }
@@ -502,6 +513,14 @@ func (c *Circuit) RunStateVector(rng *rand.Rand) (*quantum.State, []int, error) 
 			st.CZ(q[0], q[1])
 		case SWAP:
 			st.SWAP(q[0], q[1])
+		case EPR:
+			for _, qq := range q {
+				if st.Measure(qq, rng) == 1 {
+					st.X(qq)
+				}
+			}
+			st.H(q[0])
+			st.CNOT(q[0], q[1])
 		case Measure:
 			bits[op.CBit] = st.Measure(q[0], rng)
 		case Reset:
@@ -550,6 +569,14 @@ func (c *Circuit) RunStabilizer(rng *rand.Rand) (*stabilizer.Tableau, []int, err
 			tb.CZ(q[0], q[1])
 		case SWAP:
 			tb.SWAP(q[0], q[1])
+		case EPR:
+			for _, qq := range q {
+				if tb.MeasureZ(qq, rng) == 1 {
+					tb.X(qq)
+				}
+			}
+			tb.H(q[0])
+			tb.CNOT(q[0], q[1])
 		case Measure:
 			bits[op.CBit] = tb.MeasureZ(q[0], rng)
 		case Reset:

@@ -1,0 +1,378 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// randChipOf draws a random assignment of n qubits to k chips with every
+// chip non-empty.
+func randChipOf(rng *rand.Rand, n, k int) []int {
+	chipOf := make([]int, n)
+	for {
+		used := make([]bool, k)
+		for q := range chipOf {
+			chipOf[q] = rng.Intn(k)
+			used[chipOf[q]] = true
+		}
+		ok := true
+		for _, u := range used {
+			ok = ok && u
+		}
+		if ok {
+			return chipOf
+		}
+	}
+}
+
+// randUnitary builds a random measurement-free circuit mixing every gate
+// kind the remote expansion handles, including plenty of two-qubit gates
+// that will cross chip boundaries.
+func randUnitary(rng *rand.Rand, n int) *Circuit {
+	c := New(n)
+	oneQ := []Kind{H, X, Y, Z, S, T}
+	for i := 0; i < 8*n; i++ {
+		if rng.Intn(2) == 0 {
+			c.Gate(oneQ[rng.Intn(len(oneQ))], rng.Intn(n))
+			continue
+		}
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			b = (b + 1) % n
+		}
+		switch rng.Intn(4) {
+		case 0:
+			c.CNOT(a, b)
+		case 1:
+			c.CZ(a, b)
+		case 2:
+			c.SWAP(a, b)
+		default:
+			c.CPhaseGate(a, b, 0.25+rng.Float64())
+		}
+	}
+	return c
+}
+
+// TestExpandRemoteStateOracle is the circuit-level half of the remote-gate
+// oracle battery: for random unitary circuits and random chip partitions,
+// the expanded circuit (teleported cross-chip gates, comm qubits, herald
+// measurements) must leave the data qubits in exactly the merged circuit's
+// state and every comm qubit back in |0>, up to one global phase. The
+// teleportation corrections make this hold for every herald outcome, so
+// the check is independent of the RNG driving the comm measurements.
+func TestExpandRemoteStateOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(4) // 2..5 data qubits
+		k := 2 + rng.Intn(2) // 2..3 chips
+		if k > n {
+			k = n
+		}
+		c := randUnitary(rng, n)
+		chipOf := randChipOf(rng, n, k)
+		exp, err := ExpandRemote(c, chipOf, k)
+		if err != nil {
+			t.Fatalf("trial %d: ExpandRemote: %v", trial, err)
+		}
+		if exp.NumQubits != n+k {
+			t.Fatalf("trial %d: expanded to %d qubits, want %d", trial, exp.NumQubits, n+k)
+		}
+
+		want, _, err := c.RunStateVector(rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatalf("trial %d: merged run: %v", trial, err)
+		}
+		got, _, err := exp.RunStateVector(rand.New(rand.NewSource(int64(trial) + 7)))
+		if err != nil {
+			t.Fatalf("trial %d: expanded run: %v", trial, err)
+		}
+
+		// Fix the global phase on the largest merged amplitude.
+		ref := 0
+		for i := 1; i < 1<<n; i++ {
+			if cmplx.Abs(want.Amplitude(i)) > cmplx.Abs(want.Amplitude(ref)) {
+				ref = i
+			}
+		}
+		phase := got.Amplitude(ref) / want.Amplitude(ref)
+		if math.Abs(cmplx.Abs(phase)-1) > 1e-9 {
+			t.Fatalf("trial %d: reference amplitude magnitude drifted: |%v| != 1", trial, phase)
+		}
+		for i := 0; i < 1<<(n+k); i++ {
+			var wantAmp complex128
+			if i < 1<<n { // comm qubits n..n+k-1 all |0>
+				wantAmp = phase * want.Amplitude(i)
+			}
+			if cmplx.Abs(got.Amplitude(i)-wantAmp) > 1e-9 {
+				t.Fatalf("trial %d (n=%d k=%d chipOf=%v): amplitude %d = %v, want %v",
+					trial, n, k, chipOf, i, got.Amplitude(i), wantAmp)
+			}
+		}
+	}
+}
+
+// TestExpandRemoteTruthTable pins the deterministic behavior of each
+// teleported gate on computational-basis inputs, measurement and
+// feed-forward corrections included.
+func TestExpandRemoteTruthTable(t *testing.T) {
+	chipOf := []int{0, 1}
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			for _, gate := range []string{"cnot", "cz-conj", "swap"} {
+				c := New(2)
+				if a == 1 {
+					c.X(0)
+				}
+				if b == 1 {
+					c.X(1)
+				}
+				switch gate {
+				case "cnot":
+					c.CNOT(0, 1)
+				case "cz-conj": // H(1) CZ H(1) == CNOT(0,1)
+					c.H(1)
+					c.CZ(0, 1)
+					c.H(1)
+				case "swap":
+					c.SWAP(0, 1)
+				}
+				c.MeasureNew(0)
+				c.MeasureNew(1)
+				exp, err := ExpandRemote(c, chipOf, 2)
+				if err != nil {
+					t.Fatalf("%s a=%d b=%d: %v", gate, a, b, err)
+				}
+				var want0, want1 int
+				if gate == "swap" {
+					want0, want1 = b, a
+				} else {
+					want0, want1 = a, a^b
+				}
+				for seed := int64(0); seed < 8; seed++ {
+					_, bits, err := exp.RunStateVector(rand.New(rand.NewSource(seed)))
+					if err != nil {
+						t.Fatalf("%s a=%d b=%d seed=%d: %v", gate, a, b, seed, err)
+					}
+					if bits[0] != want0 || bits[1] != want1 {
+						t.Fatalf("%s a=%d b=%d seed=%d: bits %d%d, want %d%d",
+							gate, a, b, seed, bits[0], bits[1], want0, want1)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExpandRemotePreservesSymbolicParams: a cross-chip CPhase with an
+// unbound symbolic parameter must survive expansion still symbolic on the
+// teleported gate, so remote circuits flow through the late-binding path.
+func TestExpandRemotePreservesSymbolicParams(t *testing.T) {
+	c := New(2)
+	c.H(0)
+	c.CPhaseSym(0, 1, "theta")
+	exp, err := ExpandRemote(c, []int{0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found int
+	for _, op := range exp.Ops {
+		if op.Kind == CPhase {
+			found++
+			if op.Sym != "theta" || op.Bound {
+				t.Fatalf("teleported CPhase lost its symbol: %+v", op)
+			}
+		}
+	}
+	if found != 1 {
+		t.Fatalf("expanded circuit has %d CPhase ops, want 1", found)
+	}
+	if ps := exp.UnboundParams(); len(ps) != 1 || ps[0] != "theta" {
+		t.Fatalf("expanded unbound params %v, want [theta]", ps)
+	}
+}
+
+// TestExpandRemoteBitLayout: teleport herald bits must all be allocated
+// after the original circuit's classical bits, whatever order measurements
+// and remote gates interleave in.
+func TestExpandRemoteBitLayout(t *testing.T) {
+	c := New(4)
+	c.H(0)
+	c.CNOT(0, 2) // remote under the contiguous 2-chip split
+	m := c.MeasureNew(1)
+	c.CondGate(X, Condition{Bits: []int{m}, Parity: 1}, 3)
+	c.CNOT(1, 3) // remote
+	c.MeasureNew(0)
+	exp, err := ExpandRemote(c, []int{0, 0, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.NumBits <= c.NumBits {
+		t.Fatalf("expanded NumBits %d, want > original %d", exp.NumBits, c.NumBits)
+	}
+	for _, op := range exp.Ops {
+		if op.Kind != Measure {
+			continue
+		}
+		orig := op.Qubits[0] < c.NumQubits
+		if orig && op.CBit < c.NumBits {
+			continue // original measurement kept its bit
+		}
+		if !orig && op.CBit < c.NumBits {
+			t.Fatalf("herald measurement of comm qubit %d landed in public bit %d", op.Qubits[0], op.CBit)
+		}
+	}
+}
+
+// TestExpandRemoteErrors exercises the rejection paths.
+func TestExpandRemoteErrors(t *testing.T) {
+	base := New(2)
+	base.CNOT(0, 1)
+	cases := []struct {
+		name   string
+		build  func() (*Circuit, []int, int)
+		substr string
+	}{
+		{"chipOf-length", func() (*Circuit, []int, int) { return base, []int{0}, 2 }, "chip assignment"},
+		{"chip-range", func() (*Circuit, []int, int) { return base, []int{0, 5}, 2 }, "chip"},
+		{"conditioned-crossing", func() (*Circuit, []int, int) {
+			c := New(2)
+			m := c.MeasureNew(0)
+			c.CondGate(CNOT, Condition{Bits: []int{m}, Parity: 1}, 0, 1)
+			return c, []int{0, 1}, 2
+		}, "conditioned"},
+		{"epr-input", func() (*Circuit, []int, int) {
+			c := New(2)
+			c.Gate(EPR, 0, 1)
+			return c, []int{0, 1}, 2
+		}, "EPR"},
+	}
+	for _, tc := range cases {
+		c, chipOf, k := tc.build()
+		if _, err := ExpandRemote(c, chipOf, k); err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+	}
+}
+
+// TestRemoteGateCount checks the cut metric: crossing two-qubit gates
+// count once each (SWAP included), local gates and 1q/measure ops never.
+func TestRemoteGateCount(t *testing.T) {
+	c := New(4)
+	c.H(0)
+	c.CNOT(0, 1)            // local
+	c.CNOT(0, 2)            // cut
+	c.SWAP(1, 3)            // cut (counts once)
+	c.CPhaseGate(2, 3, 0.5) // local
+	c.MeasureNew(0)
+	if got := RemoteGateCount(c, []int{0, 0, 1, 1}); got != 2 {
+		t.Fatalf("RemoteGateCount = %d, want 2", got)
+	}
+	if got := RemoteGateCount(c, []int{0, 0, 0, 0}); got != 0 {
+		t.Fatalf("single-chip RemoteGateCount = %d, want 0", got)
+	}
+}
+
+// TestEPRKindProperties pins the enum-level contract of the EPR kind.
+func TestEPRKindProperties(t *testing.T) {
+	if !EPR.IsTwoQubit() || !EPR.IsClifford() {
+		t.Fatalf("EPR must be a two-qubit Clifford resource op")
+	}
+	if EPR.String() != "epr" {
+		t.Fatalf("EPR.String() = %q", EPR.String())
+	}
+	c := New(2)
+	c.Ops = append(c.Ops, Op{Kind: EPR, Qubits: []int{0, 1}, Cond: &Condition{Bits: []int{0}, Parity: 1}})
+	c.NumBits = 1
+	if err := c.Validate(); err == nil {
+		t.Fatalf("conditioned EPR must not validate")
+	}
+	// Semantics: EPR on |anything> yields a Bell pair.
+	b := New(2)
+	b.X(0).X(1) // junk the inputs; EPR must reset them first
+	b.Gate(EPR, 0, 1)
+	st, _, err := b.RunStateVector(rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := 1 / math.Sqrt2
+	for i := 0; i < 4; i++ {
+		want := complex(0, 0)
+		if i == 0 || i == 3 {
+			want = complex(inv, 0)
+		}
+		if cmplx.Abs(st.Amplitude(i)-want) > 1e-12 {
+			t.Fatalf("EPR amplitude %d = %v, want %v", i, st.Amplitude(i), want)
+		}
+	}
+	// Stabilizer path agrees.
+	tb, _, err := b.RunStabilizer(rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tb
+}
+
+func ExampleExpandRemote() {
+	c := New(2)
+	c.H(0)
+	c.CNOT(0, 1)
+	exp, _ := ExpandRemote(c, []int{0, 1}, 2)
+	fmt.Println(exp.NumQubits, "qubits,", RemoteGateCount(c, []int{0, 1}), "remote gate")
+	// Output: 4 qubits, 1 remote gate
+}
+
+// TestRemoteHelpersMatchLocalGates pins the public teleportation builders
+// (RemoteCNOT/RemoteCZ/RemoteCPhase) directly: on 2 data + 2 comm qubits,
+// each teleported gate leaves the data qubits in exactly the state the
+// local gate produces, for every herald outcome (hence the seed loop).
+func TestRemoteHelpersMatchLocalGates(t *testing.T) {
+	cases := []struct {
+		name   string
+		local  func(c *Circuit)
+		remote func(c *Circuit)
+	}{
+		{"cnot", func(c *Circuit) { c.CNOT(0, 1) }, func(c *Circuit) { c.RemoteCNOT(0, 1, 2, 3) }},
+		{"cz", func(c *Circuit) { c.CZ(0, 1) }, func(c *Circuit) { c.RemoteCZ(0, 1, 2, 3) }},
+		{"cphase", func(c *Circuit) { c.CPhaseGate(0, 1, 0.9) }, func(c *Circuit) { c.RemoteCPhase(0, 1, 0.9, 2, 3) }},
+	}
+	for _, tc := range cases {
+		want := New(2)
+		want.H(0)
+		want.H(1)
+		tc.local(want)
+		ws, _, err := want.RunStateVector(rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatalf("%s: local run: %v", tc.name, err)
+		}
+		for seed := int64(0); seed < 8; seed++ {
+			got := New(4)
+			got.H(0)
+			got.H(1)
+			tc.remote(got)
+			gs, _, err := got.RunStateVector(rand.New(rand.NewSource(seed)))
+			if err != nil {
+				t.Fatalf("%s seed %d: remote run: %v", tc.name, seed, err)
+			}
+			ref := 0
+			for i := 1; i < 4; i++ {
+				if cmplx.Abs(ws.Amplitude(i)) > cmplx.Abs(ws.Amplitude(ref)) {
+					ref = i
+				}
+			}
+			phase := gs.Amplitude(ref) / ws.Amplitude(ref)
+			for i := 0; i < 1<<4; i++ {
+				wantAmp := complex(0, 0)
+				if i < 4 {
+					wantAmp = phase * ws.Amplitude(i)
+				}
+				if cmplx.Abs(gs.Amplitude(i)-wantAmp) > 1e-9 {
+					t.Fatalf("%s seed %d: amplitude %d = %v, want %v", tc.name, seed, i, gs.Amplitude(i), wantAmp)
+				}
+			}
+		}
+	}
+}

@@ -27,6 +27,7 @@ func (Assemble) Run(st *State) error {
 		BitOwner:   st.bitOwner,
 		MemBytes:   4*st.Circuit.NumBits + 4096,
 		ParamSlots: st.paramSlots,
+		PublicBits: st.PublicBits,
 	}
 	if st.Mapping != nil {
 		// Copy: the artifact is cached and shared process-wide, and an

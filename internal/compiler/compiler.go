@@ -91,6 +91,17 @@ type Options struct {
 	// State-based entry points: nearest-holder selection needs the
 	// topology, which the Windows interface hides.
 	Collective bool
+	// Chips splits the data qubits across this many chips (0 or 1 = the
+	// single-chip legacy model, byte-identical to before the multi-chip
+	// refactor). The Place pass partitions qubits across chips, appends one
+	// communication qubit per chip, and rewrites cross-chip two-qubit gates
+	// into EPR-mediated teleported constructions (DESIGN.md §13). Part of
+	// the artifact fingerprint (keyVersion 7).
+	Chips int
+	// EPRLatency is the cycle cost of one inter-chip EPR-pair generation
+	// (0 falls back to the two-qubit gate duration). Part of the artifact
+	// fingerprint.
+	EPRLatency sim.Time
 }
 
 // DefaultOptions uses the paper's durations and a 5-cycle (20 ns) readout
@@ -136,6 +147,11 @@ type Compiled struct {
 	// ParamSlots locates every bindable angle (empty for fully concrete
 	// circuits). Slots survive binding, so a bound artifact can be re-bound.
 	ParamSlots []ParamSlot
+	// PublicBits is the classical-bit count of the pre-expansion circuit
+	// when the multi-chip expansion appended teleport-correction bits after
+	// it (0 = every bit is public). Result readers truncate to this, so a
+	// k-chip histogram is directly comparable to the single-chip run.
+	PublicBits int
 }
 
 // Params returns the sorted set of symbolic parameter names the artifact's
@@ -201,6 +217,9 @@ type Stats struct {
 	Sends        int
 	Recvs        int
 	TableEntries int
+	// RemoteGates counts the two-qubit gates the chip expansion teleported
+	// across chips (0 for single-chip compiles).
+	RemoteGates int
 }
 
 // Register conventions of generated code.

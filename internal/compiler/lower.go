@@ -199,6 +199,51 @@ func (Lower) Run(st *State) error {
 				holders[op.CBit] = []int{s.id}
 			}
 
+		case op.Kind == circuit.EPR:
+			// Inter-chip EPR-pair generation: both comm qubits co-commit at
+			// one synchronized point (the pair is one physical event), the
+			// generation occupies them for EPRLatency cycles, and delivery is
+			// heralded with an ordinary fabric message from the generating
+			// side to its peer — so EPR traffic shares link serialization and
+			// congestion accounting with all other classical traffic.
+			a, b := op.Qubits[0], op.Qubits[1]
+			ca, cb := ctrlOf(a), ctrlOf(b)
+			ctrlEntry := chip.TableEntry{Role: chip.RoleControl, Kind: circuit.EPR, Qubit: a, Partner: b}
+			partEntry := chip.TableEntry{Role: chip.RoleParticipant, Kind: circuit.EPR, Qubit: b, Partner: a}
+			epr := int64(opt.EPRLatency)
+			if epr <= 0 {
+				epr = d.TwoQubit
+			}
+			if ca == cb {
+				s := streams[ca]
+				s.guard(2)
+				ins := append(s.cwInstrs(ctrlEntry), s.cwInstrs(partEntry)...)
+				s.unit(unit{ins: ins, det: true})
+				s.wait(epr)
+				break
+			}
+			sa, sb := streams[ca], streams[cb]
+			n := int64(fab.NearbyWindow(ca, cb))
+			sa.guard(1)
+			sb.guard(1)
+			sa.sync(cb, n)
+			sb.sync(ca, n)
+			st.stats.NearbySyncs += 2
+			sa.unit(unit{ins: sa.cwInstrs(ctrlEntry), det: true, window: true})
+			sb.unit(unit{ins: sb.cwInstrs(partEntry), det: true, window: true})
+			sa.wait(epr)
+			sb.wait(epr)
+			// Herald: slide-stop send (det: false, like bit forwarding — a
+			// later sync must not be booked before it), blocking recv + anchor
+			// on the peer.
+			herald := append(loadImm(regScratch, 1),
+				isa.Instr{Op: isa.OpSEND, Rs1: regScratch, Imm: int32(cb)})
+			sa.unit(unit{ins: herald})
+			st.stats.Sends++
+			sb.unit(unit{ins: []isa.Instr{{Op: isa.OpRECV, Rd: regScratch, Imm: int32(ca)}}})
+			sb.anchorDir()
+			st.stats.Recvs++
+
 		case op.Cond != nil:
 			if op.Kind.IsTwoQubit() {
 				return fmt.Errorf("compiler: op %d: conditioned two-qubit gate unsupported", opIdx)

@@ -23,6 +23,10 @@ type State struct {
 	Windows Windows
 	Opt     Options
 
+	// Produced by Place when Opt.Chips > 1: the pre-expansion classical-bit
+	// count (teleport bits live after it in the expanded circuit).
+	PublicBits int
+
 	// Produced by Lower: one directive stream per controller, the bit
 	// ownership table, the parameter-slot table (symbolic angles interned
 	// into codeword tables), and the lowering-side stats.

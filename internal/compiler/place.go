@@ -22,6 +22,12 @@ func (Place) Run(st *State) error {
 	if err != nil {
 		return err
 	}
+	if st.Opt.Chips > 1 {
+		// Multi-chip: partition qubits across chips, expand cross-chip gates
+		// into EPR-mediated remote constructions, and lay controllers out
+		// chip-grouped. Computes st.Mapping itself, so the pass ends here.
+		return expandChips(st)
+	}
 	if st.Mapping != nil || pol.Name() == placement.Default {
 		// Explicit mapping, or identity: nothing to compute. Identity skips
 		// the policy call entirely so topology-less callers (unit tests

@@ -111,13 +111,14 @@ func CollectiveSweep(opt CollectiveOptions) ([]CollectivePoint, error) {
 		opt.Seed = 1
 	}
 	if opt.Kinds == nil {
-		// Broadcast and reduce are the gated defaults: they are the shapes
-		// the runtime consumers use (feed-forward distribution, parity
-		// gathers, the digest reduce), and the never-worse contract holds
-		// for them on every topology. All-reduce is sweepable but not
-		// gated by default — recursive doubling sends ~2x naive's message
-		// volume at non-power-of-two counts, where naive can win on mesh.
-		opt.Kinds = []network.CollKind{network.CollBroadcast, network.CollReduce}
+		// Broadcast, reduce and all-reduce are all gated: broadcast and
+		// reduce are the shapes the runtime consumers use (feed-forward
+		// distribution, parity gathers, the digest reduce), and all-reduce
+		// joined the gate once the ring schedule closed its old caveat —
+		// recursive doubling sends ~2x naive's message volume at
+		// non-power-of-two counts, so the resolver now routes those counts
+		// to the volume-optimal reduce-scatter + all-gather ring instead.
+		opt.Kinds = []network.CollKind{network.CollBroadcast, network.CollReduce, network.CollAllReduce}
 	}
 	if opt.Topologies == nil {
 		opt.Topologies = []network.TopologyKind{network.TopoMesh, network.TopoTorus, network.TopoTree}
@@ -170,7 +171,10 @@ func CollectiveSweep(opt CollectiveOptions) ([]CollectivePoint, error) {
 					if err != nil {
 						return nil, err
 					}
-					resolved := network.CollAuto.Resolve(tk)
+					// ResolveFor sees the collective kind and participant
+					// count, so non-power-of-two all-reduce lands on the
+					// ring schedule rather than recursive doubling.
+					resolved := network.CollAuto.ResolveFor(tk, kind, n)
 					spec.Schedule = resolved
 					coll, err := runCollCell(cfg, spec, inputs)
 					if err != nil {

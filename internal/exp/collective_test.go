@@ -22,9 +22,10 @@ func TestCollectiveSweepGate(t *testing.T) {
 	if err := CheckCollective(points); err != nil {
 		t.Fatalf("%v\n%s", err, RenderCollective(points))
 	}
-	// 2 kinds x 3 topologies x 3 participant counts x 2 bandwidths.
-	if len(points) != 36 {
-		t.Fatalf("got %d points, want 36", len(points))
+	// 3 kinds x 3 topologies x 3 participant counts x 2 bandwidths
+	// (all-reduce joined the gated defaults with the ring schedule).
+	if len(points) != 54 {
+		t.Fatalf("got %d points, want 54", len(points))
 	}
 }
 

@@ -1,0 +1,232 @@
+package exp
+
+import (
+	"fmt"
+
+	"dhisq/internal/circuit"
+	"dhisq/internal/machine"
+	"dhisq/internal/network"
+	"dhisq/internal/placement"
+	"dhisq/internal/runner"
+	"dhisq/internal/sim"
+	"dhisq/internal/workloads"
+)
+
+// The remote experiment measures the cost surface of multi-chip execution:
+// every cross-chip two-qubit gate compiles into an EPR-mediated teleported
+// gate — pair generation, herald traffic over the contended fabric, and
+// feed-forward corrections — so the chip partition decides how much of the
+// circuit turns into inter-chip protocol. The sweep runs workload × chip
+// count × EPR latency × partition policy and reports the cut size, the EPR
+// pairs actually generated, and where the time went. The gate holds the
+// interaction partitioner to the contract its never-worse fallback
+// promises: cut size at most the contiguous row-major split everywhere,
+// strictly below it somewhere.
+
+// RemotePoint is one (workload, chips, EPR latency, policy) cell.
+type RemotePoint struct {
+	Workload string `json:"workload"`
+	Qubits   int    `json:"qubits"`
+	// Chips is the partition size (1 = the single-chip baseline; its
+	// cells pin the degenerate contract: zero cut, zero EPR pairs).
+	Chips int `json:"chips"`
+	// EPRLatency is the pair-generation latency in cycles.
+	EPRLatency int64  `json:"epr_latency_cycles"`
+	Policy     string `json:"policy"`
+	// CutGates counts the original circuit's two-qubit gates that cross
+	// the policy's chip partition — each becomes one teleported gate.
+	CutGates int `json:"cut_gates"`
+	// EPRPairs counts the pairs the chip actually generated during the
+	// shot (teleported SWAPs expand to three pairs, so this can exceed
+	// CutGates).
+	EPRPairs  uint64 `json:"epr_pairs"`
+	Makespan  int64  `json:"makespan_cycles"`
+	NetStall  int64  `json:"net_stall_cycles"`
+	SyncStall int64  `json:"sync_stall_cycles"`
+}
+
+// RemoteOptions parameterizes the sweep. Zero values pick the defaults
+// used by dhisq-bench -exp remote.
+type RemoteOptions struct {
+	Qubits    int      // workload size (default 16)
+	Seed      int64    // backend seed (default 1)
+	LinkBW    sim.Time // link serialization in cycles (default 4)
+	Chips     []int    // partition sizes (default 1, 2, 4)
+	Latencies []int64  // EPR latencies in cycles (default 40, 200)
+	Policies  []string // partition policies (default rowmajor, interaction)
+}
+
+// RemoteSweepWorkloads names the circuits the sweep runs: the GHZ chain
+// (nearest-neighbor structure contiguous splits handle well), the QFT
+// (all-to-all controlled phases — no partition is clean), and the
+// distributed VQE ansatz (cross-half entangler rungs built to reward an
+// interaction-aware partition).
+func RemoteSweepWorkloads() []string { return []string{"ghz", "qft", "dvqe"} }
+
+func remoteCircuit(name string, n int) (*circuit.Circuit, error) {
+	switch name {
+	case "ghz":
+		return workloads.GHZ(n), nil
+	case "qft":
+		return workloads.QFT(n), nil
+	case "dvqe":
+		// The sweep measures compiled structure, not angles; bind the
+		// ansatz at sweep point 0 (remote-gate angle sweeps go through
+		// the service's params path instead).
+		return workloads.DistributedVQE(n, 2).Bind(workloads.DistributedVQEPoint(n, 2, 0))
+	}
+	return nil, fmt.Errorf("exp: unknown remote workload %q", name)
+}
+
+// RemoteSweep runs every cell on the contended mesh fabric and returns
+// the points in deterministic (workload, chips, latency, policy) order.
+func RemoteSweep(opt RemoteOptions) ([]RemotePoint, error) {
+	if opt.Qubits <= 0 {
+		opt.Qubits = 16
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	if opt.LinkBW <= 0 {
+		opt.LinkBW = 4
+	}
+	if opt.Chips == nil {
+		opt.Chips = []int{1, 2, 4}
+	}
+	if opt.Latencies == nil {
+		opt.Latencies = []int64{40, 200}
+	}
+	if opt.Policies == nil {
+		opt.Policies = []string{"rowmajor", "interaction"}
+	}
+	var out []RemotePoint
+	for _, name := range RemoteSweepWorkloads() {
+		c, err := remoteCircuit(name, opt.Qubits)
+		if err != nil {
+			return nil, err
+		}
+		for _, chips := range opt.Chips {
+			for _, lat := range opt.Latencies {
+				for _, policy := range opt.Policies {
+					if err := placement.Valid(policy); err != nil {
+						return nil, err
+					}
+					// The cut is a pure function of circuit, chip count
+					// and policy — recomputed here so the report never
+					// depends on compiler internals.
+					chipOf, err := placement.PartitionChips(c, chips, policy)
+					if err != nil {
+						return nil, err
+					}
+					cut := placement.ChipCut(c, chipOf)
+
+					cfg := machine.DefaultConfig(c.NumQubits)
+					cfg.Backend = machine.BackendSeeded
+					cfg.Seed = opt.Seed
+					cfg.Net.LinkSerialization = opt.LinkBW
+					cfg.Placement = policy
+					if chips > 1 {
+						cfg.Chips = chips
+						cfg.EPRLatency = sim.Time(lat)
+					}
+					w, h := network.NearSquareMesh(cfg.TotalQubits(c.NumQubits))
+					cfg.Net.MeshW, cfg.Net.MeshH = w, h
+					set, err := runner.Run(runner.Spec{
+						Circuit: c, MeshW: w, MeshH: h, Cfg: cfg,
+					}, 1, 1)
+					if err != nil {
+						return nil, fmt.Errorf("exp: remote %s chips=%d lat=%d %s: %w", name, chips, lat, policy, err)
+					}
+					res := set.Shots[0].Result
+					out = append(out, RemotePoint{
+						Workload:   name,
+						Qubits:     c.NumQubits,
+						Chips:      chips,
+						EPRLatency: lat,
+						Policy:     policy,
+						CutGates:   cut,
+						EPRPairs:   res.EPRPairs,
+						Makespan:   int64(res.Makespan),
+						NetStall:   int64(res.NetStall),
+						SyncStall:  int64(res.SyncStall),
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// CheckRemote enforces the sweep's CI gate:
+//   - single-chip cells are exactly the legacy machine: zero cut gates,
+//     zero EPR pairs;
+//   - multi-chip cells generated at least one EPR pair per cut gate;
+//   - the interaction partition never cuts more gates than row-major in
+//     any cell, and cuts strictly fewer in at least one.
+func CheckRemote(points []RemotePoint) error {
+	if len(points) == 0 {
+		return fmt.Errorf("exp: empty remote sweep")
+	}
+	type cell struct {
+		workload string
+		chips    int
+		lat      int64
+	}
+	byPolicy := map[cell]map[string]RemotePoint{}
+	strict := false
+	for _, p := range points {
+		if p.Chips <= 1 {
+			if p.CutGates != 0 || p.EPRPairs != 0 {
+				return fmt.Errorf("exp: remote %s/%s chips=%d: single-chip cell has %d cut gates, %d EPR pairs",
+					p.Workload, p.Policy, p.Chips, p.CutGates, p.EPRPairs)
+			}
+			continue
+		}
+		if p.EPRPairs < uint64(p.CutGates) {
+			return fmt.Errorf("exp: remote %s/%s chips=%d: %d EPR pairs for %d cut gates",
+				p.Workload, p.Policy, p.Chips, p.EPRPairs, p.CutGates)
+		}
+		k := cell{p.Workload, p.Chips, p.EPRLatency}
+		if byPolicy[k] == nil {
+			byPolicy[k] = map[string]RemotePoint{}
+		}
+		byPolicy[k][p.Policy] = p
+	}
+	for k, pols := range byPolicy {
+		rm, okR := pols["rowmajor"]
+		in, okI := pols["interaction"]
+		if !okR || !okI {
+			continue
+		}
+		if in.CutGates > rm.CutGates {
+			return fmt.Errorf("exp: remote %s chips=%d lat=%d: interaction cuts %d gates, rowmajor %d — never-worse contract broken",
+				k.workload, k.chips, k.lat, in.CutGates, rm.CutGates)
+		}
+		if in.CutGates < rm.CutGates {
+			strict = true
+		}
+	}
+	if !strict {
+		return fmt.Errorf("exp: interaction partition never cut strictly fewer gates than rowmajor")
+	}
+	return nil
+}
+
+// RenderRemote formats the sweep as a text table.
+func RenderRemote(points []RemotePoint) string {
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		rows = append(rows, []string{
+			p.Workload,
+			fmt.Sprint(p.Chips),
+			fmt.Sprint(p.EPRLatency),
+			p.Policy,
+			fmt.Sprint(p.CutGates),
+			fmt.Sprint(p.EPRPairs),
+			fmt.Sprint(p.Makespan),
+			fmt.Sprint(p.NetStall),
+			fmt.Sprint(p.SyncStall),
+		})
+	}
+	return Table([]string{"workload", "chips", "epr(cy)", "policy", "cut", "pairs", "makespan(cy)", "net stall(cy)", "sync(cy)"}, rows)
+}

@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRemoteSweepGate runs a reduced grid of the remote experiment and
+// enforces the same gate dhisq-bench -exp remote does: single-chip cells
+// degenerate cleanly, every multi-chip cell generated pairs for its cut,
+// and the interaction partition is never worse than row-major with a
+// strict win somewhere.
+func TestRemoteSweepGate(t *testing.T) {
+	points, err := RemoteSweep(RemoteOptions{
+		Qubits:    8,
+		Chips:     []int{1, 2},
+		Latencies: []int64{40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckRemote(points); err != nil {
+		t.Fatalf("%v\n%s", err, RenderRemote(points))
+	}
+	// 3 workloads x 2 chip counts x 1 latency x 2 policies.
+	if len(points) != 12 {
+		t.Fatalf("got %d points, want 12", len(points))
+	}
+	if !strings.Contains(RenderRemote(points), "dvqe") {
+		t.Fatal("rendered table lost the dvqe rows")
+	}
+}
+
+// TestCheckRemoteCatchesRegression pins that the gate bites on every
+// contract clause: a leaking single-chip cell, a pair deficit, a
+// worse-than-rowmajor cut, and a sweep with no strict win.
+func TestCheckRemoteCatchesRegression(t *testing.T) {
+	base := []RemotePoint{
+		{Workload: "w", Chips: 1, EPRLatency: 40, Policy: "rowmajor"},
+		{Workload: "w", Chips: 1, EPRLatency: 40, Policy: "interaction"},
+		{Workload: "w", Chips: 2, EPRLatency: 40, Policy: "rowmajor", CutGates: 4, EPRPairs: 4},
+		{Workload: "w", Chips: 2, EPRLatency: 40, Policy: "interaction", CutGates: 2, EPRPairs: 2},
+	}
+	if err := CheckRemote(base); err != nil {
+		t.Fatalf("healthy sweep rejected: %v", err)
+	}
+	if err := CheckRemote(nil); err == nil {
+		t.Fatal("empty sweep passed")
+	}
+
+	leak := append([]RemotePoint(nil), base...)
+	leak[0].EPRPairs = 1
+	if err := CheckRemote(leak); err == nil {
+		t.Fatal("single-chip cell with EPR pairs passed")
+	}
+
+	deficit := append([]RemotePoint(nil), base...)
+	deficit[3].EPRPairs = 1
+	if err := CheckRemote(deficit); err == nil {
+		t.Fatal("pair deficit (fewer pairs than cut gates) passed")
+	}
+
+	worse := append([]RemotePoint(nil), base...)
+	worse[3].CutGates, worse[3].EPRPairs = 9, 9
+	if err := CheckRemote(worse); err == nil {
+		t.Fatal("interaction worse than rowmajor passed")
+	}
+
+	flat := append([]RemotePoint(nil), base...)
+	flat[3].CutGates, flat[3].EPRPairs = 4, 4
+	if err := CheckRemote(flat); err == nil {
+		t.Fatal("never-strictly-better sweep passed")
+	}
+}
+
+// TestRemoteCircuitUnknownWorkload pins the error path.
+func TestRemoteCircuitUnknownWorkload(t *testing.T) {
+	if _, err := remoteCircuit("bogus", 8); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	for _, name := range RemoteSweepWorkloads() {
+		c, err := remoteCircuit(name, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.NumQubits != 8 {
+			t.Fatalf("%s: %d qubits, want 8", name, c.NumQubits)
+		}
+	}
+}

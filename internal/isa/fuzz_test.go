@@ -2,6 +2,9 @@ package isa
 
 import (
 	"encoding/binary"
+	"fmt"
+	"os"
+	"strings"
 	"testing"
 )
 
@@ -115,6 +118,45 @@ func FuzzDecode(f *testing.F) {
 			t.Fatalf("decode not stable: %#08x -> %v -> %#08x -> %v", w, in, w2, in2)
 		}
 	})
+}
+
+// TestRemoteFeedForwardCorpusSeed pins the committed fuzz corpus entry
+// testdata/fuzz/FuzzDecodeProgram/remote-feedforward-2chip: the encoded
+// program of the communication-qubit controller from a compiled two-chip
+// teleported CNOT (regenerate by compiling that circuit with Chips=2 and
+// encoding the controller with the most recv instructions). The seed keeps
+// the fuzzer exercising the cross-chip feed-forward decode path — herald
+// recv, conditional branch on the measured bit, correction codeword — and
+// this test fails loudly if the entry ever stops decoding to that shape.
+func TestRemoteFeedForwardCorpusSeed(t *testing.T) {
+	raw, err := os.ReadFile("testdata/fuzz/FuzzDecodeProgram/remote-feedforward-2chip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitN(string(raw), "\n", 3)
+	if len(lines) < 2 || lines[0] != "go test fuzz v1" {
+		t.Fatalf("corpus entry not in go fuzz v1 format: %q", lines[0])
+	}
+	var code string
+	if _, err := fmt.Sscanf(lines[1], "[]byte(%q)", &code); err != nil {
+		t.Fatalf("corpus entry body: %v", err)
+	}
+	p, err := DecodeProgram([]byte(code))
+	if err != nil {
+		t.Fatalf("corpus seed no longer decodes: %v", err)
+	}
+	recv, branch := 0, 0
+	for _, in := range p.Instrs {
+		switch in.Op {
+		case OpRECV:
+			recv++
+		case OpBEQ, OpBNE:
+			branch++
+		}
+	}
+	if recv < 2 || branch == 0 {
+		t.Fatalf("corpus seed decoded to %d recv, %d branches — lost the feed-forward shape", recv, branch)
+	}
 }
 
 // FuzzDecodeProgram covers the multi-word path (length handling, error

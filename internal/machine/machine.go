@@ -64,6 +64,17 @@ type Config struct {
 	// configuration, not compile input: internal/service keys replica
 	// pools on it separately.
 	Collective string
+	// Chips splits the data qubits across this many chips (0 or 1 = the
+	// single-chip legacy machine, byte-identical to before). A multi-chip
+	// machine appends one communication qubit per chip after the data
+	// qubits, sizes its backends and mesh for the total, and the compiler
+	// teleports cross-chip two-qubit gates through the EPR resource
+	// (DESIGN.md §13). Part of the compile fingerprint via CompileOptions.
+	Chips int
+	// EPRLatency is the cycle cost of one inter-chip EPR-pair generation
+	// (0 = DefaultEPRLatency when Chips > 1). Part of the compile
+	// fingerprint via CompileOptions.
+	EPRLatency sim.Time
 	// ShotLanes > 1 builds the chip backend as that many independent state
 	// lanes: one event-simulation replay drives every lane, so a block of
 	// ShotLanes shots costs one Run (see runner.RunBatched). Deliberately
@@ -85,6 +96,35 @@ func (cfg Config) artifacts() *artifact.Cache {
 		return cfg.Artifacts
 	}
 	return artifact.Shared
+}
+
+// DefaultEPRLatency is the EPR-pair generation cost in cycles a multi-chip
+// machine assumes when Config.EPRLatency is zero: 400 ns on the 4 ns grid —
+// an optimistic-but-plausible heralded-entanglement figure, deliberately an
+// order of magnitude above the two-qubit gate so remote gates are visibly
+// expensive by default.
+const DefaultEPRLatency sim.Time = 100
+
+// effectiveEPRLatency resolves the EPR latency a machine built from cfg
+// charges (0 for single-chip configs).
+func (cfg Config) effectiveEPRLatency() sim.Time {
+	switch {
+	case cfg.Chips <= 1:
+		return 0
+	case cfg.EPRLatency > 0:
+		return cfg.EPRLatency
+	default:
+		return DefaultEPRLatency
+	}
+}
+
+// TotalQubits is the device qubit count a machine built from cfg for n data
+// qubits carries: the data qubits plus one communication qubit per chip.
+func (cfg Config) TotalQubits(n int) int {
+	if cfg.Chips > 1 {
+		return n + cfg.Chips
+	}
+	return n
 }
 
 // DefaultConfig sizes a machine for n qubits with the paper's constants.
@@ -122,6 +162,18 @@ type Machine struct {
 // selection; direct callers of New get the timing-only seeded substrate
 // unless they pass a concrete kind.
 func New(cfg Config, numQubits int) (*Machine, error) {
+	total := cfg.TotalQubits(numQubits)
+	if cfg.Chips > 1 {
+		if cfg.Chips > numQubits {
+			return nil, fmt.Errorf("machine: %d chips exceed %d qubits (each chip needs at least one data qubit)", cfg.Chips, numQubits)
+		}
+		if cfg.Net.MeshW*cfg.Net.MeshH < total {
+			// Backstop for callers that sized the mesh for the data qubits
+			// only; the entry points (service, CLIs) resize identically up
+			// front so fingerprints computed at admission match the machine.
+			cfg.Net.MeshW, cfg.Net.MeshH = network.NearSquareMesh(total)
+		}
+	}
 	topo, err := network.NewTopology(cfg.Net)
 	if err != nil {
 		return nil, err
@@ -138,14 +190,21 @@ func New(cfg Config, numQubits int) (*Machine, error) {
 	fab := network.NewFabric(eng, topo, log)
 
 	mkBackend := func(int) chip.Backend {
+		var b chip.Backend
 		switch cfg.Backend {
 		case BackendStateVec:
-			return chip.NewStateVec(numQubits, cfg.Seed)
+			b = chip.NewStateVec(total, cfg.Seed)
 		case BackendStabilizer:
-			return chip.NewStabilizer(numQubits, cfg.Seed)
+			b = chip.NewStabilizer(total, cfg.Seed)
 		default:
-			return chip.NewSeeded(cfg.Seed)
+			b = chip.NewSeeded(cfg.Seed)
 		}
+		if cfg.Chips > 1 {
+			if ca, ok := b.(chip.CommAware); ok {
+				ca.SetCommFrom(numQubits)
+			}
+		}
+		return b
 	}
 	var backend chip.Backend
 	if cfg.ShotLanes > 1 {
@@ -154,6 +213,7 @@ func New(cfg Config, numQubits int) (*Machine, error) {
 		backend = mkBackend(0)
 	}
 	chipModel := chip.New(eng, backend, cfg.Durations, cfg.MeasLatency)
+	chipModel.EPRLatency = cfg.effectiveEPRLatency()
 
 	m := &Machine{
 		Cfg: cfg, Eng: eng, Topo: topo, Fab: fab,
@@ -181,11 +241,18 @@ func New(cfg Config, numQubits int) (*Machine, error) {
 // Clifford circuits, seeded outcome source otherwise. Non-Auto kinds
 // pass through unchanged.
 func ResolveBackend(c *circuit.Circuit, k BackendKind) BackendKind {
+	return resolveBackendFor(c, k, c.NumQubits)
+}
+
+// resolveBackendFor is ResolveBackend with the device total (data + comm
+// qubits) as the state-size criterion: a multi-chip expansion must not push
+// a dense state vector past what fits.
+func resolveBackendFor(c *circuit.Circuit, k BackendKind, total int) BackendKind {
 	if k != BackendAuto {
 		return k
 	}
 	switch {
-	case c.NumQubits <= 14:
+	case total <= 14:
 		return BackendStateVec
 	case c.IsClifford():
 		return BackendStabilizer
@@ -198,7 +265,7 @@ func ResolveBackend(c *circuit.Circuit, k BackendKind) BackendKind {
 // shape, picking a backend per BackendAuto rules.
 func NewForCircuit(c *circuit.Circuit, meshW, meshH int, cfg Config) (*Machine, error) {
 	cfg.Net.MeshW, cfg.Net.MeshH = meshW, meshH
-	cfg.Backend = ResolveBackend(c, cfg.Backend)
+	cfg.Backend = resolveBackendFor(c, cfg.Backend, cfg.TotalQubits(c.NumQubits))
 	return New(cfg, c.NumQubits)
 }
 
@@ -210,6 +277,10 @@ func (m *Machine) CompileOptions() compiler.Options {
 	opt.Placement = m.Cfg.Placement
 	opt.Schedule = m.Cfg.Schedule
 	opt.Collective = m.Cfg.Collective != ""
+	if m.Cfg.Chips > 1 {
+		opt.Chips = m.Cfg.Chips
+		opt.EPRLatency = m.Cfg.effectiveEPRLatency()
+	}
 	return opt
 }
 
@@ -228,6 +299,12 @@ func CompileOptionsFor(cfg Config) (compiler.Options, error) {
 	opt.Placement = cfg.Placement
 	opt.Schedule = cfg.Schedule
 	opt.Collective = cfg.Collective != ""
+	if cfg.Chips > 1 {
+		// Chips <= 1 stays zero so a Chips=1 config fingerprints — and
+		// compiles — identically to the legacy single-chip machine.
+		opt.Chips = cfg.Chips
+		opt.EPRLatency = cfg.effectiveEPRLatency()
+	}
 	return opt, nil
 }
 
@@ -435,6 +512,9 @@ type Result struct {
 	Commits      uint64
 	Gates        uint64
 	Measurements uint64
+	// EPRPairs counts inter-chip EPR-pair generations (0 on single-chip
+	// machines) — the remote-gate resource consumption of the run.
+	EPRPairs uint64
 	// Net snapshots the fabric's congestion counters for this run.
 	Net network.CongestionStats
 	// RouterUtilization is the busiest single router port's occupancy
@@ -500,6 +580,7 @@ func (m *Machine) Run() (Result, error) {
 	res.Inversions = m.Chip.OrderInversions
 	res.Gates = m.Chip.Gates
 	res.Measurements = m.Chip.Measurements
+	res.EPRPairs = m.Chip.EPRPairs
 	if len(m.Chip.Errs) > 0 {
 		return res, m.Chip.Errs[0]
 	}
@@ -619,14 +700,21 @@ func (m *Machine) ReadBit(cp *compiler.Compiled, b int) (int, error) {
 	return int(mem[0]) & 1, nil
 }
 
-// ReadBits reads every classical bit of the loaded program after a run.
-// Bits that were never measured (owner < 0) read as 0.
+// ReadBits reads every public classical bit of the loaded program after a
+// run. Bits that were never measured (owner < 0) read as 0. On multi-chip
+// artifacts the teleport-correction bits after Compiled.PublicBits are
+// machine-internal and excluded, so the result has the same shape as a
+// single-chip run of the pre-expansion circuit.
 func (m *Machine) ReadBits() ([]int, error) {
 	if m.loaded == nil {
 		return nil, fmt.Errorf("machine: ReadBits before Load")
 	}
-	bits := make([]int, len(m.loaded.BitOwner))
-	for b, owner := range m.loaded.BitOwner {
+	n := len(m.loaded.BitOwner)
+	if pb := m.loaded.PublicBits; pb > 0 && pb < n {
+		n = pb
+	}
+	bits := make([]int, n)
+	for b, owner := range m.loaded.BitOwner[:n] {
 		if owner < 0 {
 			continue
 		}

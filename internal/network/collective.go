@@ -122,6 +122,23 @@ func (s CollSchedule) Resolve(k TopologyKind) CollSchedule {
 	}
 }
 
+// ResolveFor maps CollAuto onto a schedule using the full operation shape,
+// not just the topology kind: on meshes an auto all-reduce with a
+// non-power-of-two participant count routes to the ring reduce-scatter +
+// all-gather instead of recursive halving/doubling, whose deficit folds cost
+// roughly twice the naive volume there (the PR 9 caveat). Everything else
+// matches Resolve, and concrete schedules pass through unchanged.
+func (s CollSchedule) ResolveFor(k TopologyKind, kind CollKind, parts int) CollSchedule {
+	if s != CollAuto {
+		return s
+	}
+	r := s.Resolve(k)
+	if kind == CollAllReduce && r == CollHalving && parts&(parts-1) != 0 {
+		return CollRing
+	}
+	return r
+}
+
 // ReduceOp combines two words. Collective schedules reorder and re-bracket
 // combines freely, so the operator must be associative and commutative.
 type ReduceOp func(a, b uint32) uint32
@@ -310,7 +327,7 @@ func buildCollScripts(t *Topology, spec CollSpec) ([][]collStep, error) {
 		return nil, err
 	}
 	b := newCollScripts(spec)
-	switch spec.Schedule.Resolve(t.Cfg.Topology) {
+	switch spec.Schedule.ResolveFor(t.Cfg.Topology, spec.Kind, len(spec.Parts)) {
 	case CollNaive:
 		b.naive(spec.Kind)
 	case CollRing:
@@ -422,8 +439,37 @@ func (b *collScripts) ring(kind CollKind) {
 			b.recv(r0, at(-1), b.all, true)
 		}
 	case CollAllReduce:
-		b.ring(CollReduce)
-		b.ring(CollBroadcast)
+		// Reduce-scatter + all-gather rotation: per-node volume is
+		// 2·W·(n-1)/n words at any n, replacing the reduce-then-broadcast
+		// relay that walked the full vector along each arc. Chunks are the
+		// locally uneven split [r·W/n, (r+1)·W/n) — no divisibility
+		// requirement, and empty chunks (W < n) complete as zero-word steps.
+		mod := func(x int) int { return (x%n + n) % n }
+		W := b.spec.Width
+		chunk := func(r int) []int {
+			lo, hi := r*W/n, (r+1)*W/n
+			out := make([]int, 0, hi-lo)
+			for w := lo; w < hi; w++ {
+				out = append(out, w)
+			}
+			return out
+		}
+		// Phase 1: the CollReduceScatter rotation below, with uneven
+		// chunks; after n-1 rounds rank i holds the fully combined chunk i.
+		for s := 0; s <= n-2; s++ {
+			for i := 0; i < n; i++ {
+				b.send(i, mod(i+1), chunk(mod(i-s-1)))
+				b.recv(i, mod(i-1), chunk(mod(i-s-2)), true)
+			}
+		}
+		// Phase 2: all-gather; each round forwards the chunk received in
+		// the previous one.
+		for s := 0; s <= n-2; s++ {
+			for i := 0; i < n; i++ {
+				b.send(i, mod(i+1), chunk(mod(i-s)))
+				b.recv(i, mod(i-1), chunk(mod(i-s-1)), false)
+			}
+		}
 	case CollReduceScatter:
 		// Round s: rank i forwards the partial of chunk (i-s-1) to its
 		// successor while folding its own contribution into chunk

@@ -322,3 +322,72 @@ func TestTreePathConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestResolveForAllReduceRing pins the schedule-resolution fix for the
+// recursive-doubling volume blowup: an auto all-reduce at a
+// non-power-of-two participant count resolves to the ring reduce-scatter
+// + all-gather on mesh, while power-of-two counts, other collective
+// kinds, and concrete schedule names are untouched.
+func TestResolveForAllReduceRing(t *testing.T) {
+	cases := []struct {
+		topo  TopologyKind
+		kind  CollKind
+		parts int
+		want  CollSchedule
+	}{
+		{TopoMesh, CollAllReduce, 5, CollRing},    // the fixed case
+		{TopoMesh, CollAllReduce, 9, CollRing},    // non-po2 again
+		{TopoMesh, CollAllReduce, 8, CollHalving}, // po2 keeps halving
+		{TopoMesh, CollReduce, 5, CollHalving},    // other kinds untouched
+		{TopoTorus, CollAllReduce, 5, CollRing},   // torus was already ring
+		{TopoTree, CollAllReduce, 5, CollTree},    // tree untouched
+	}
+	for _, tc := range cases {
+		if got := CollAuto.ResolveFor(tc.topo, tc.kind, tc.parts); got != tc.want {
+			t.Fatalf("ResolveFor(%s, %s, %d) = %s, want %s", tc.topo, tc.kind, tc.parts, got, tc.want)
+		}
+	}
+	// Concrete schedules pass through whatever the shape.
+	if got := CollHalving.ResolveFor(TopoMesh, CollAllReduce, 5); got != CollHalving {
+		t.Fatalf("concrete schedule rewritten to %s", got)
+	}
+}
+
+// TestRingAllReduceVolume quantifies what the ring schedule buys at
+// non-power-of-two counts: strictly fewer fabric messages than recursive
+// halving/doubling, whose deficit folds roughly double the volume there.
+func TestRingAllReduceVolume(t *testing.T) {
+	cfg := Config{MeshW: 3, MeshH: 3, RouterFanout: 2, NeighborLatency: 1, Topology: TopoMesh}
+	topo, err := NewTopology(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{5, 6, 7, 9} {
+		parts := topo.SnakeOrder()[:n]
+		spec := CollSpec{Kind: CollAllReduce, Parts: parts, Root: 0, Width: 2 * n, Op: ReduceSum}
+		inputs := randInputs(rng, n, spec.Width)
+		run := func(s CollSchedule) *CollResult {
+			spec.Schedule = s
+			f := NewFabric(sim.NewEngine(), topo, telf.NewLog())
+			res, err := RunCollective(f, spec, inputs, 0)
+			if err != nil {
+				t.Fatalf("n=%d %s: %v", n, s, err)
+			}
+			want := CollExpect(spec, inputs)
+			for r := range res.Values {
+				for _, w := range CollOwnedWords(spec, r) {
+					if res.Values[r][w] != want[r][w] {
+						t.Fatalf("n=%d %s: rank %d word %d diverged", n, s, r, w)
+					}
+				}
+			}
+			return res
+		}
+		ring, halving := run(CollRing), run(CollHalving)
+		if ring.Messages >= halving.Messages {
+			t.Fatalf("n=%d: ring all-reduce sent %d messages, halving %d — ring should be strictly leaner at non-po2",
+				n, ring.Messages, halving.Messages)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"dhisq/internal/circuit"
 	"dhisq/internal/machine"
+	"dhisq/internal/network"
 	"dhisq/internal/workloads"
 )
 
@@ -34,9 +35,13 @@ type goldenShot struct {
 }
 
 // goldenRun is the committed fixture: everything a regression should catch.
+// Chips is omitempty so the pre-multi-chip fixtures stay byte-identical —
+// the single-chip configs' golden files are themselves the regression test
+// for the "chips=0 unchanged" contract.
 type goldenRun struct {
 	Name      string         `json:"name"`
 	Qubits    int            `json:"qubits"`
+	Chips     int            `json:"chips,omitempty"`
 	MeshW     int            `json:"mesh_w"`
 	MeshH     int            `json:"mesh_h"`
 	Seed      int64          `json:"seed"`
@@ -50,19 +55,34 @@ type goldenRun struct {
 // quantum outcomes, not just timing, are under regression.
 func goldenCases() []struct {
 	name  string
+	chips int
 	build func() *circuit.Circuit
 } {
 	return []struct {
 		name  string
+		chips int
 		build func() *circuit.Circuit
 	}{
-		{"ghz_n9", func() *circuit.Circuit { return workloads.GHZ(9) }},
-		{"bv_n10", func() *circuit.Circuit { return workloads.BV(10, workloads.AlternatingSecret) }},
-		{"qft_n8", func() *circuit.Circuit { return workloads.QFT(8) }},
+		{"ghz_n9", 0, func() *circuit.Circuit { return workloads.GHZ(9) }},
+		{"bv_n10", 0, func() *circuit.Circuit { return workloads.BV(10, workloads.AlternatingSecret) }},
+		{"qft_n8", 0, func() *circuit.Circuit { return workloads.QFT(8) }},
+		// A Bell pair split across two chips: the CNOT teleports via an EPR
+		// pair, so the fixture pins the remote-gate expansion, the herald
+		// traffic timing, and the feed-forward corrections byte-for-byte.
+		{"remote_cnot_2chip", 2, func() *circuit.Circuit {
+			c := circuit.New(4)
+			c.H(0)
+			c.CNOT(0, 2) // crosses the {0,1}|{2,3} contiguous partition
+			c.CNOT(2, 3)
+			for q := 0; q < 4; q++ {
+				c.MeasureInto(q, q)
+			}
+			return c
+		}},
 	}
 }
 
-func goldenRunFor(t *testing.T, name string, c *circuit.Circuit) goldenRun {
+func goldenRunFor(t *testing.T, name string, chips int, c *circuit.Circuit) goldenRun {
 	t.Helper()
 	const (
 		seed  = 7
@@ -70,6 +90,11 @@ func goldenRunFor(t *testing.T, name string, c *circuit.Circuit) goldenRun {
 	)
 	cfg := machine.DefaultConfig(c.NumQubits)
 	cfg.Seed = seed
+	if chips > 1 {
+		cfg.Chips = chips
+		cfg.EPRLatency = 40
+		cfg.Net.MeshW, cfg.Net.MeshH = network.NearSquareMesh(cfg.TotalQubits(c.NumQubits))
+	}
 	set, err := Run(Spec{
 		Circuit: c,
 		MeshW:   cfg.Net.MeshW,
@@ -82,6 +107,7 @@ func goldenRunFor(t *testing.T, name string, c *circuit.Circuit) goldenRun {
 	g := goldenRun{
 		Name:      name,
 		Qubits:    c.NumQubits,
+		Chips:     cfg.Chips,
 		MeshW:     cfg.Net.MeshW,
 		MeshH:     cfg.Net.MeshH,
 		Seed:      seed,
@@ -104,7 +130,7 @@ func TestGoldenFixtures(t *testing.T) {
 	for _, tc := range goldenCases() {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			got := goldenRunFor(t, tc.name, tc.build())
+			got := goldenRunFor(t, tc.name, tc.chips, tc.build())
 			data, err := json.MarshalIndent(got, "", "  ")
 			if err != nil {
 				t.Fatal(err)

@@ -121,6 +121,18 @@ type Request struct {
 	// Cfg.Collective, then to off). Validated at admission like the other
 	// policy names.
 	Collective string
+	// Chips splits the device into a multi-chip partition (machine
+	// config Chips; 0/1 = the legacy single-chip machine). Cross-chip
+	// two-qubit gates compile into EPR-mediated teleported gates, so
+	// chip count is compile-relevant: it joins the artifact fingerprint
+	// and thereby the replica-pool key, keeping pools chip-homogeneous.
+	// Validated at admission (bounded by the circuit's qubit count,
+	// incompatible with an explicit Mapping).
+	Chips int
+	// EPRLatency overrides the EPR pair-generation latency in cycles for
+	// multi-chip jobs (0 defers to Cfg.EPRLatency, then to the machine
+	// default). Compile-relevant like Chips.
+	EPRLatency sim.Time
 	Shots      int
 	// Seed, when non-zero, is the job's base seed; 0 lets the service
 	// derive a per-job seed from its own seed stream.
@@ -165,6 +177,12 @@ type JobStatus struct {
 	// Schedule is the resolved scheduling policy name, echoed like
 	// Placement.
 	Schedule string
+	// Chips is the resolved chip count the job compiled with (0 = the
+	// legacy single-chip machine), echoed like Placement; EPRPairs
+	// totals the EPR pairs generated across the job's shots (0 for
+	// single-chip jobs and for sweep jobs, which drop their shot sets).
+	Chips    int
+	EPRPairs uint64
 	// Mapping is the final qubit→controller mapping the job compiled with
 	// (nil = identity), as resolved by the compiler's Place pass. A job
 	// served by a feedback-re-placed replica pool echoes the re-placed
@@ -468,6 +486,34 @@ func resolveRequest(req Request) (Request, machine.Config, string, string, error
 	}
 	if req.Collective != "" {
 		cfg.Collective = req.Collective
+	}
+	if req.Chips != 0 {
+		cfg.Chips = req.Chips
+	}
+	if req.EPRLatency != 0 {
+		cfg.EPRLatency = req.EPRLatency
+	}
+	if cfg.Chips < 0 {
+		return req, machine.Config{}, "", "", fmt.Errorf("service: negative chip count %d", cfg.Chips)
+	}
+	if cfg.EPRLatency < 0 {
+		return req, machine.Config{}, "", "", fmt.Errorf("service: negative EPR latency %d", cfg.EPRLatency)
+	}
+	if cfg.Chips > 1 {
+		if req.Mapping != nil {
+			return req, machine.Config{}, "", "", fmt.Errorf("service: explicit mapping with %d chips unsupported (the chip expansion adds communication qubits; use a placement policy)", cfg.Chips)
+		}
+		if cfg.Chips > req.Circuit.NumQubits {
+			return req, machine.Config{}, "", "", fmt.Errorf("service: %d chips exceed %d qubits (each chip needs at least one data qubit)", cfg.Chips, req.Circuit.NumQubits)
+		}
+		// The expansion appends one communication qubit per chip; grow
+		// the mesh here, at admission, exactly the way machine.New
+		// would, so the fingerprint this request is admitted and routed
+		// under matches the machine it will run on.
+		if total := cfg.TotalQubits(req.Circuit.NumQubits); req.MeshW*req.MeshH < total {
+			req.MeshW, req.MeshH = placement.AutoMesh(total)
+			cfg.Net.MeshW, cfg.Net.MeshH = req.MeshW, req.MeshH
+		}
 	}
 	// Validate the policies the job will actually compile with — whether
 	// they arrived via the request or a caller-supplied Cfg — so unknown
@@ -1226,6 +1272,7 @@ func (j *job) status() JobStatus {
 		Fingerprint: j.fp.String(), CacheHit: j.cacheHit, Batched: j.batched,
 		MeshW: j.req.MeshW, MeshH: j.req.MeshH,
 		Placement: j.placement, Schedule: j.schedule, Mapping: j.mapping,
+		Chips: j.spec.Cfg.Chips,
 	}
 	if j.err != nil {
 		st.Err = j.err.Error()
@@ -1235,6 +1282,9 @@ func (j *job) status() JobStatus {
 		st.Histogram = j.hist
 		if len(j.set.Shots) > 0 {
 			st.Makespan = int64(j.set.Shots[0].Result.Makespan)
+		}
+		for _, shot := range j.set.Shots {
+			st.EPRPairs += shot.Result.EPRPairs
 		}
 	}
 	if j.points != nil {

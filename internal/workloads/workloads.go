@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"dhisq/internal/circuit"
+	"dhisq/internal/network"
 )
 
 // GHZ prepares an n-qubit GHZ state and measures every qubit.
@@ -115,6 +116,50 @@ func VQEAnsatzPoint(n, layers, k int) map[string]float64 {
 		}
 	}
 	return out
+}
+
+// DistributedVQE builds the multi-chip variational workload: the
+// hardware-efficient ansatz of VQEAnsatz — per-qubit symbolic RY layers
+// (angles t<layer>_<qubit>) between entanglers — but with an entangler
+// deliberately split across device halves: the nearest-neighbor chain
+// plus a rung of CNOT(q, q+n/2) pairs. On a single chip the rungs are
+// ordinary long-range gates; under -chips 2 with the contiguous
+// partition every rung is a cut gate, while the interaction partitioner
+// can trade chain edges for rungs — which is exactly the spread the
+// remote-gate experiment sweeps. All angles stay symbolic, so remote-gate
+// sweeps flow through the parameter-binding path: one multi-chip skeleton
+// compiles once and every point is a table patch.
+func DistributedVQE(n, layers int) *circuit.Circuit {
+	if n < 4 {
+		panic("workloads: DistributedVQE needs >= 4 qubits")
+	}
+	if layers < 1 {
+		layers = 1
+	}
+	c := circuit.New(n)
+	half := n / 2
+	for l := 0; l < layers; l++ {
+		for q := 0; q < n; q++ {
+			c.RYSym(q, fmt.Sprintf("t%d_%d", l, q))
+		}
+		for q := 0; q < n-1; q++ {
+			c.CNOT(q, q+1)
+		}
+		for q := 0; q < half; q++ {
+			c.CNOT(q, q+half)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.MeasureInto(q, q)
+	}
+	return c
+}
+
+// DistributedVQEPoint returns a deterministic full binding for a
+// DistributedVQE skeleton, point k of a sweep (same golden-ratio spread
+// as VQEAnsatzPoint — the two ansatz share a parameter naming scheme).
+func DistributedVQEPoint(n, layers, k int) map[string]float64 {
+	return VQEAnsatzPoint(n, layers, k)
 }
 
 // QFTSweep builds a parameterized QFT workload: a layer of symbolic RZ
@@ -283,6 +328,10 @@ type Benchmark struct {
 	MeshW   int
 	MeshH   int
 	Mapping []int // qubit -> controller; nil means identity
+	// DefaultParams is a full binding for parameterized benchmarks
+	// (sweep point 0), applied by the CLI and the serve daemon when the
+	// caller supplies no params of their own. Nil for concrete circuits.
+	DefaultParams map[string]float64
 }
 
 // SnakeMapping maps a 1-D qubit chain onto a W-wide mesh boustrophedon-style
@@ -361,6 +410,23 @@ func BuildScaled(name string, div int) (Benchmark, error) {
 }
 
 func buildSized(name string, div int) (Benchmark, error) {
+	if name == "dvqe" {
+		// Distributed-VQE is not a Fig. 15 benchmark; it exists for the
+		// multi-chip remote-gate experiments. 16 qubits, 2 layers at
+		// full size; scaled variants shrink the register but keep it
+		// even so the cross-half rungs stay well defined.
+		q := 16 / div
+		if q < 4 {
+			q = 4
+		}
+		q -= q % 2
+		c := DistributedVQE(q, 2)
+		w, h := network.NearSquareMesh(q)
+		return Benchmark{
+			Name: name, Qubits: q, Logical: q, Circuit: c, MeshW: w, MeshH: h,
+			DefaultParams: DistributedVQEPoint(q, 2, 0),
+		}, nil
+	}
 	for _, s := range fig15Specs() {
 		if s.name != name {
 			continue
